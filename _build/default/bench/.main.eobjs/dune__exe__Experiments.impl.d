@@ -1,0 +1,1 @@
+bench/experiments.ml: Authz Baselines Colock Format List Lockmgr Nf2 Option Printf Query Random Sim Tables Workload

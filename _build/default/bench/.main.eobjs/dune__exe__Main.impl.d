@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Authz Baselines Bechamel Benchmark Colock Experiments Float Hashtbl Instance List Lockmgr Measure Nf2 Option Printf Query Sim Staged String Sys Test Time Toolkit Workload

@@ -1,0 +1,296 @@
+(* Benchmark and experiment harness.
+
+   Default: regenerate every experiment table/figure (E1-E13, see DESIGN.md).
+   Options:
+     --only E5        run a single experiment (E1..E13)
+     --bechamel       additionally run the Bechamel micro-benchmarks (one
+                      Test.make per experiment's core operation, plus the
+                      E14 index ablation)
+     --no-experiments skip the experiment tables *)
+
+open Bechamel
+open Toolkit
+
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+module Node_id = Colock.Node_id
+module Graph = Colock.Instance_graph
+module Protocol = Colock.Protocol
+module Oid = Nf2.Oid
+
+(* --------------------------------------------------- Bechamel micro-tests *)
+
+(* Shared read-only fixtures, built once. *)
+let fig1_db = Workload.Figure1.database ()
+let fig1_graph = Graph.build fig1_db
+
+let shared32_graph = Graph.build (Workload.Generator.shared_effector ~robots:32)
+
+let robot_r1 =
+  Option.get
+    (Node_id.of_steps [ "db1"; "seg1"; "cells"; "c1"; "robots"; "r1" ])
+
+let shared_e1 =
+  Option.get (Graph.object_node shared32_graph (Oid.make ~relation:"effectors" ~key:"e1"))
+
+(* E1: derive the object-specific lock graph of "cells". *)
+let bench_e1_derive_object_graph =
+  Test.make ~name:"E1 derive object graph (cells)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Colock.Object_graph.of_relation ~database:"db1"
+              Workload.Figure1.cells_schema)))
+
+(* E2: unit computation on the instance graph. *)
+let bench_e2_unit_members =
+  Test.make ~name:"E2 outer-unit members (fig1)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Colock.Units.unit_members fig1_graph ~root:(Graph.root fig1_graph))))
+
+(* E3: plan + acquire + release the Figure 7 Q2 lock set. *)
+let bench_e3_q2_acquire_release =
+  let table = Table.create () in
+  let rights = Authz.Rights.create () in
+  Authz.Rights.set_relation_default rights ~relation:"effectors" false;
+  let protocol = Protocol.create ~rights fig1_graph table in
+  Test.make ~name:"E3 Q2 acquire+release (fig7)"
+    (Staged.stage (fun () ->
+         (match Protocol.acquire protocol ~txn:2 robot_r1 Mode.X with
+          | Protocol.Acquired _ -> ()
+          | Protocol.Blocked _ -> assert false);
+         ignore (Protocol.end_of_transaction protocol ~txn:2)))
+
+(* E4: the three techniques' plan construction for a Q2-like access. *)
+let bench_e4_plan_proposed =
+  let table = Table.create () in
+  let protocol = Protocol.create fig1_graph table in
+  Test.make ~name:"E4 plan proposed (robot X)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Protocol.plan protocol ~txn:1 robot_r1 Mode.X)))
+
+let bench_e4_plan_whole_object =
+  Test.make ~name:"E4 plan whole-object (cell X)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Baselines.Whole_object.plan fig1_graph
+              ~oid:(Oid.make ~relation:"cells" ~key:"c1") Mode.X)))
+
+let bench_e4_plan_tuple_level =
+  Test.make ~name:"E4 plan tuple-level (cell S)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Baselines.Tuple_level.plan fig1_graph
+              ~oid:(Oid.make ~relation:"cells" ~key:"c1") Mode.S)))
+
+(* E5: X on a shared effector, proposed vs all-parents. *)
+let bench_e5_shared_proposed =
+  let table = Table.create () in
+  let protocol = Protocol.create shared32_graph table in
+  Test.make ~name:"E5 plan X shared effector, proposed (k=32)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Protocol.plan protocol ~txn:1 shared_e1 Mode.X)))
+
+let bench_e5_shared_all_parents =
+  Test.make ~name:"E5 plan X shared effector, naive DAG (k=32)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Baselines.Sysr_dag.plan_exclusive_all_parents shared32_graph
+              ~oid:(Oid.make ~relation:"effectors" ~key:"e1"))))
+
+(* E6: the hidden-conflict audit. *)
+let bench_e6_hidden_conflict_audit =
+  let table = Table.create () in
+  let r2 =
+    Option.get
+      (Node_id.of_steps [ "db1"; "seg1"; "cells"; "c1"; "robots"; "r2" ])
+  in
+  (match
+     Baselines.Technique.acquire table ~txn:1
+       (Baselines.Sysr_dag.plan_hierarchical_naive fig1_graph robot_r1 Mode.X)
+   with
+  | Baselines.Technique.Acquired _ -> ()
+  | Baselines.Technique.Blocked _ -> assert false);
+  (match
+     Baselines.Technique.acquire table ~txn:2
+       (Baselines.Sysr_dag.plan_hierarchical_naive fig1_graph r2 Mode.X)
+   with
+  | Baselines.Technique.Acquired _ -> ()
+  | Baselines.Technique.Blocked _ -> assert false);
+  Test.make ~name:"E6 hidden-conflict audit (fig1)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Baselines.Sysr_dag.hidden_conflicts fig1_graph table ~txns:[ 1; 2 ])))
+
+(* E7: query execution under rule 4'. *)
+let bench_e7_query_q2 =
+  let table = Table.create () in
+  let rights = Authz.Rights.create () in
+  Authz.Rights.set_relation_default rights ~relation:"effectors" false;
+  let protocol = Protocol.create ~rights fig1_graph table in
+  let executor = Query.Executor.create fig1_db protocol in
+  let q2 =
+    "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND \
+     r.robot_id = 'r1' FOR UPDATE"
+  in
+  Test.make ~name:"E7 execute Q2 (parse+analyze+lock+eval)"
+    (Staged.stage (fun () ->
+         (match Query.Executor.run_string executor ~txn:4 q2 with
+          | Ok _ -> ()
+          | Error _ -> assert false);
+         ignore (Protocol.end_of_transaction protocol ~txn:4)))
+
+(* E8: escalation anticipation (query-specific lock graph construction). *)
+let bench_e8_query_graph =
+  let catalog = Nf2.Database.catalog fig1_db in
+  let stats =
+    let computed =
+      List.map
+        (fun store -> (Nf2.Relation.name store, Nf2.Statistics.compute store))
+        (Nf2.Database.relations fig1_db)
+    in
+    fun relation ->
+      match List.assoc_opt relation computed with
+      | Some stats -> stats
+      | None -> Nf2.Statistics.empty relation
+  in
+  let access =
+    Colock.Access.make
+      ~predicate:(Nf2.Path.of_string "cell_id")
+      ~target:(Nf2.Path.of_string "c_objects")
+      Colock.Access.Read "cells"
+  in
+  Test.make ~name:"E8 build query-specific lock graph"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Colock.Query_graph.build ~threshold:16 catalog ~stats [ access ])))
+
+(* E9: a full 40-transaction simulation run. *)
+let bench_e9_simulation =
+  let db = Workload.Generator.manufacturing Workload.Generator.default_manufacturing in
+  let graph = Graph.build db in
+  let specs =
+    Sim.Scenario.manufacturing_mix db graph
+      { Sim.Scenario.default_mix with jobs = 40; seed = 5 }
+  in
+  Test.make ~name:"E9 simulate 40 txns (proposed)"
+    (Staged.stage (fun () ->
+         let table = Table.create () in
+         let protocol = Protocol.create graph table in
+         let jobs = Sim.Scenario.compile graph (Sim.Scenario.Proposed protocol) specs in
+         Sys.opaque_identity (Sim.Runner.run ~table jobs)))
+
+(* E10: instance-graph construction (the once-per-relation overhead). *)
+let bench_e10_build_instance_graph =
+  Test.make ~name:"E10 build instance graph (fig1)"
+    (Staged.stage (fun () -> Sys.opaque_identity (Graph.build fig1_db)))
+
+(* E11: the lock table itself. *)
+let bench_e11_lock_table_ops =
+  let table = Table.create () in
+  Test.make ~name:"E11 lock table request+release"
+    (Staged.stage (fun () ->
+         (match Table.request table ~txn:1 ~resource:"r" Mode.X with
+          | Table.Granted -> ()
+          | Table.Waiting _ -> assert false);
+         ignore (Table.release table ~txn:1 ~resource:"r")))
+
+(* E14: index-assisted selection vs relation scan (the index substrate). *)
+let bench_e14_pair =
+  let make_executor with_index =
+    let db =
+      Workload.Generator.manufacturing
+        { Workload.Generator.default_manufacturing with cells = 256 }
+    in
+    if with_index then begin
+      match
+        Nf2.Database.create_index db ~relation:"cells"
+          (Nf2.Path.of_string "cell_id")
+      with
+      | Ok () -> ()
+      | Error _ -> assert false
+    end;
+    let graph = Graph.build db in
+    let table = Table.create () in
+    let protocol = Protocol.create graph table in
+    Query.Executor.create db protocol
+  in
+  let keyed = "SELECT c FROM c IN cells WHERE c.cell_id = 'c200' FOR READ" in
+  let bench name executor =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           (match Query.Executor.run_string executor ~txn:3 keyed with
+            | Ok _ -> ()
+            | Error _ -> assert false);
+           ignore
+             (Protocol.end_of_transaction (Query.Executor.protocol executor)
+                ~txn:3)))
+  in
+  [ bench "E14 keyed select, scan (256 cells)" (make_executor false);
+    bench "E14 keyed select, index (256 cells)" (make_executor true) ]
+
+let all_micro_tests =
+  Test.make_grouped ~name:"colock"
+    ([ bench_e1_derive_object_graph; bench_e2_unit_members;
+      bench_e3_q2_acquire_release; bench_e4_plan_proposed;
+      bench_e4_plan_whole_object; bench_e4_plan_tuple_level;
+      bench_e5_shared_proposed; bench_e5_shared_all_parents;
+      bench_e6_hidden_conflict_audit; bench_e7_query_q2;
+      bench_e8_query_graph; bench_e9_simulation;
+      bench_e10_build_instance_graph; bench_e11_lock_table_ops ]
+     @ bench_e14_pair)
+
+let run_bechamel () =
+  print_endline "\n=== Bechamel micro-benchmarks (ns/run, OLS estimate) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances all_micro_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure by_test ->
+      let rows =
+        Hashtbl.fold (fun name ols_result accu -> (name, ols_result) :: accu)
+          by_test []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, ols_result) ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (first :: _) -> first
+            | Some [] | None -> Float.nan
+          in
+          Printf.printf "  %-52s %14.1f ns/run\n" name estimate)
+        rows)
+    merged
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let with_bechamel = List.mem "--bechamel" argv in
+  let skip_experiments = List.mem "--no-experiments" argv in
+  let only =
+    let rec find = function
+      | "--only" :: name :: _ -> Some name
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  (match only, skip_experiments with
+   | Some name, _ -> (
+     match List.assoc_opt name Experiments.by_name with
+     | Some experiment -> experiment ()
+     | None ->
+       Printf.eprintf "unknown experiment %s (use E1..E13)\n" name;
+       exit 1)
+   | None, false -> Experiments.run_all ()
+   | None, true -> ());
+  if with_bechamel then run_bechamel ()

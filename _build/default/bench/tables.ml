@@ -1,0 +1,40 @@
+(* Minimal aligned-table printing for the experiment harness. *)
+
+type cell = Text of string | Int of int | Float of float
+
+let render_cell = function
+  | Text text -> text
+  | Int number -> string_of_int number
+  | Float number ->
+    if Float.is_integer number && Float.abs number < 1e9 then
+      Printf.sprintf "%.0f" number
+    else Printf.sprintf "%.2f" number
+
+let print ~title ~header rows =
+  Printf.printf "\n--- %s ---\n" title;
+  let rendered = List.map (List.map render_cell) rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        List.mapi
+          (fun column text ->
+            let current = try List.nth widths column with _ -> 0 in
+            max current (String.length text))
+          row)
+      (List.map String.length header)
+      rendered
+  in
+  let print_row cells =
+    List.iteri
+      (fun column text ->
+        let width = List.nth widths column in
+        if column = 0 then Printf.printf "%-*s" width text
+        else Printf.printf "  %*s" width text)
+      cells;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun width -> String.make width '-') widths);
+  List.iter print_row rendered
+
+let note text = Printf.printf "%s\n" text

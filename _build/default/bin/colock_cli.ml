@@ -1,0 +1,220 @@
+(* colock — command-line interface to the lock technique library.
+
+   Subcommands:
+     graph     print the object-specific lock graph of the Figure 1 relations
+               (or of a generated deep schema)
+     plan      show the lock plan of a query, per technique
+     query     execute queries against the Figure 1 database, showing rows
+               and the resulting lock table
+     simulate  run the concurrency simulator on a generated workload *)
+
+open Cmdliner
+
+let setup_logs =
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ]
+             ~doc:"Log lock-protocol and lock-table decisions to stderr.")
+  in
+  let setup verbose =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+  in
+  Term.(const setup $ verbose)
+
+let make_fig1_env ~library_writable =
+  let db = Workload.Figure1.database () in
+  let graph = Colock.Instance_graph.build db in
+  let table = Lockmgr.Lock_table.create () in
+  let rights = Authz.Rights.create () in
+  if not library_writable then
+    Authz.Rights.set_relation_default rights ~relation:"effectors" false;
+  let protocol = Colock.Protocol.create ~rights graph table in
+  (db, graph, table, protocol)
+
+(* ------------------------------------------------------------------ graph *)
+
+let graph_cmd =
+  let deep_depth =
+    Arg.(value & opt (some int) None
+         & info [ "deep" ] ~docv:"DEPTH"
+             ~doc:"Show the lock graph of a generated schema of this depth \
+                   instead of the Figure 1 relations.")
+  in
+  let run () deep =
+    (match deep with
+     | Some depth ->
+       let db =
+         Workload.Generator.deep
+           { Workload.Generator.default_deep with depth; objects = 1 }
+       in
+       List.iter
+         (fun store ->
+           let schema = Nf2.Relation.schema store in
+           Format.printf "%a@.@." Colock.Object_graph.pp
+             (Colock.Object_graph.of_relation ~database:"db1" schema))
+         (Nf2.Database.relations db)
+     | None ->
+       List.iter
+         (fun schema ->
+           Format.printf "%a@.@." Colock.Object_graph.pp
+             (Colock.Object_graph.of_relation ~database:"db1" schema))
+         [ Workload.Figure1.cells_schema; Workload.Figure1.effectors_schema ]);
+    0
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print object-specific lock graphs (Figure 5).")
+    Term.(const run $ setup_logs $ deep_depth)
+
+(* ------------------------------------------------------------------- plan *)
+
+let query_arg position =
+  Arg.(required & pos position (some string) None
+       & info [] ~docv:"QUERY" ~doc:"An HDBL-like query (see Figure 3).")
+
+let plan_cmd =
+  let threshold =
+    Arg.(value & opt int 16
+         & info [ "threshold" ] ~docv:"N" ~doc:"Escalation threshold.")
+  in
+  let run () text threshold =
+    let db, _graph, _table, _protocol = make_fig1_env ~library_writable:true in
+    match Query.Parser.parse text with
+    | Error error ->
+      Format.eprintf "%a@." Query.Parser.pp_error error;
+      1
+    | Ok ast -> (
+      let catalog = Nf2.Database.catalog db in
+      match Query.Analyzer.analyze catalog ast with
+      | Error error ->
+        Format.eprintf "%a@." Query.Analyzer.pp_error error;
+        1
+      | Ok analysis ->
+        let stats relation =
+          match Nf2.Database.relation db relation with
+          | Some store -> Nf2.Statistics.compute store
+          | None -> Nf2.Statistics.empty relation
+        in
+        let plan =
+          Colock.Query_graph.build ~threshold catalog ~stats
+            analysis.Query.Analyzer.accesses
+        in
+        Format.printf "%a@." Colock.Query_graph.pp plan;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Show the query-specific lock graph (granules and modes) chosen \
+             by escalation anticipation.")
+    Term.(const run $ setup_logs $ query_arg 0 $ threshold)
+
+(* ------------------------------------------------------------------ query *)
+
+let query_cmd =
+  let queries =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"QUERY"
+             ~doc:"Queries, executed by transactions 1, 2, ... in order.")
+  in
+  let library_writable =
+    Arg.(value & flag
+         & info [ "library-writable" ]
+             ~doc:"Allow every transaction to modify the effectors library \
+                   (rule 4' then behaves like rule 4).")
+  in
+  let run () texts library_writable =
+    let db, _graph, table, protocol = make_fig1_env ~library_writable in
+    let executor = Query.Executor.create db protocol in
+    let failed = ref false in
+    List.iteri
+      (fun index text ->
+        let txn = index + 1 in
+        Printf.printf "T%d: %s\n" txn text;
+        match Query.Executor.run_string executor ~txn ~wait:false text with
+        | Ok result ->
+          Printf.printf "  %d row(s), %d lock request(s)\n"
+            (List.length result.Query.Executor.rows)
+            result.Query.Executor.locks_requested
+        | Error error ->
+          failed := true;
+          Format.printf "  %a@." Query.Executor.pp_error error)
+      texts;
+    Format.printf "@.lock table:@.%a@." Lockmgr.Lock_table.pp table;
+    if !failed then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Execute queries against the Figure 1 database and show the \
+             resulting lock table (compare with Figure 7).")
+    Term.(const run $ setup_logs $ queries $ library_writable)
+
+(* --------------------------------------------------------------- simulate *)
+
+let simulate_cmd =
+  let technique_conv =
+    Arg.enum
+      [ ("proposed", `Proposed); ("rule4", `Proposed_rule4);
+        ("whole-object", `Whole_object); ("tuple-level", `Tuple_level) ]
+  in
+  let technique =
+    Arg.(value & opt (list technique_conv) [ `Proposed; `Whole_object; `Tuple_level ]
+         & info [ "technique"; "t" ] ~docv:"TECH"
+             ~doc:"Techniques to compare: proposed, rule4, whole-object, \
+                   tuple-level.")
+  in
+  let jobs = Arg.(value & opt int 60 & info [ "jobs" ] ~docv:"N" ~doc:"Number of transactions.") in
+  let cells = Arg.(value & opt int 8 & info [ "cells" ] ~docv:"N" ~doc:"Cells in the database.") in
+  let read_fraction =
+    Arg.(value & opt float 0.5
+         & info [ "read-fraction" ] ~docv:"F" ~doc:"Fraction of Q1-like reads.")
+  in
+  let seed = Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let run () techniques jobs cells read_fraction seed =
+    let db =
+      Workload.Generator.manufacturing
+        { Workload.Generator.default_manufacturing with cells; seed }
+    in
+    let graph = Colock.Instance_graph.build db in
+    let mix =
+      { Sim.Scenario.default_mix with jobs; read_fraction; seed }
+    in
+    let specs = Sim.Scenario.manufacturing_mix db graph mix in
+    Printf.printf "%-22s %9s %9s %9s %9s %9s %9s\n" "technique" "committed"
+      "makespan" "thruput" "avg resp" "waits" "locks";
+    List.iter
+      (fun selector ->
+        let table = Lockmgr.Lock_table.create () in
+        let technique =
+          match selector with
+          | `Proposed ->
+            Sim.Scenario.Proposed (Colock.Protocol.create graph table)
+          | `Proposed_rule4 ->
+            Sim.Scenario.Proposed
+              (Colock.Protocol.create ~rule:Colock.Protocol.Rule_4 graph table)
+          | `Whole_object -> Sim.Scenario.Whole_object
+          | `Tuple_level -> Sim.Scenario.Tuple_level
+        in
+        let sim_jobs = Sim.Scenario.compile graph technique specs in
+        let metrics = Sim.Runner.run ~table sim_jobs in
+        Printf.printf "%-22s %9d %9d %9.2f %9.1f %9d %9d\n"
+          (Sim.Scenario.technique_name technique)
+          metrics.Sim.Metrics.committed metrics.Sim.Metrics.makespan
+          (Sim.Metrics.throughput metrics)
+          (Sim.Metrics.avg_response metrics)
+          metrics.Sim.Metrics.total_wait metrics.Sim.Metrics.lock_requests)
+      techniques;
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the concurrency simulator on a generated manufacturing \
+             workload and compare techniques.")
+    Term.(const run $ setup_logs $ technique $ jobs $ cells $ read_fraction $ seed)
+
+let () =
+  let info =
+    Cmd.info "colock" ~version:"0.1.0"
+      ~doc:"A lock technique for disjoint and non-disjoint complex objects \
+            (Herrmann et al., EDBT 1990)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ graph_cmd; plan_cmd; query_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/concurrent_clients.ml: Atomic Colock Domain List Lockmgr Option Printf Unix Workload

@@ -1,0 +1,1 @@
+examples/manufacturing.ml: Colock List Lockmgr Printf Sim Workload

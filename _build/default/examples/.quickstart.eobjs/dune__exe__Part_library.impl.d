@@ -1,0 +1,1 @@
+examples/part_library.ml: Authz Colock List Lockmgr Option Printf String Txn Workload

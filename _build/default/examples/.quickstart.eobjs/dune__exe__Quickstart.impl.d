@@ -1,0 +1,1 @@
+examples/quickstart.ml: Authz Colock Format List Lockmgr Nf2 Printf Query Workload

@@ -1,0 +1,1 @@
+examples/workstation_checkout.ml: Colock Filename Format List Lockmgr Nf2 Option Printf String Sys Txn Workload

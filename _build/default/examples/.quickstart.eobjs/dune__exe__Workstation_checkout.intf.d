@@ -1,0 +1,1 @@
+examples/workstation_checkout.mli:

@@ -1,0 +1,56 @@
+(* Manufacturing cells under concurrent load.
+
+   Generates a manufacturing database (cells sharing an effector library),
+   then runs the same mixed workload — engineers reading cell objects and
+   updating robots — under three lock techniques, printing the comparison
+   the paper argues qualitatively in §3/§4.6.
+
+   Run with: dune exec examples/manufacturing.exe *)
+
+let () =
+  let parameters =
+    { Workload.Generator.cells = 8; objects_per_cell = 40;
+      robots_per_cell = 4; effectors = 12; effectors_per_robot = 2; seed = 7 }
+  in
+  let db = Workload.Generator.manufacturing parameters in
+  let graph = Colock.Instance_graph.build db in
+  Printf.printf
+    "database: %d cells x %d objects, %d robots each, %d shared effectors\n\
+     instance lock graph: %d lockable units\n\n"
+    parameters.Workload.Generator.cells
+    parameters.Workload.Generator.objects_per_cell
+    parameters.Workload.Generator.robots_per_cell
+    parameters.Workload.Generator.effectors
+    (Colock.Instance_graph.node_count graph);
+  let mix =
+    { Sim.Scenario.default_mix with jobs = 80; arrival_gap = 4;
+      read_fraction = 0.6; seed = 99 }
+  in
+  let specs = Sim.Scenario.manufacturing_mix db graph mix in
+  let run technique_of_table =
+    let table = Lockmgr.Lock_table.create () in
+    let technique = technique_of_table table in
+    let jobs = Sim.Scenario.compile graph technique specs in
+    (Sim.Scenario.technique_name technique, Sim.Runner.run ~table jobs)
+  in
+  let results =
+    [ run (fun table ->
+          Sim.Scenario.Proposed (Colock.Protocol.create graph table));
+      run (fun _table -> Sim.Scenario.Whole_object);
+      run (fun _table -> Sim.Scenario.Tuple_level) ]
+  in
+  Printf.printf "%-22s %9s %9s %9s %9s %9s %9s\n" "technique" "committed"
+    "makespan" "thruput" "avg resp" "waits" "locks";
+  List.iter
+    (fun (name, metrics) ->
+      Printf.printf "%-22s %9d %9d %9.2f %9.1f %9d %9d\n" name
+        metrics.Sim.Metrics.committed metrics.Sim.Metrics.makespan
+        (Sim.Metrics.throughput metrics)
+        (Sim.Metrics.avg_response metrics)
+        metrics.Sim.Metrics.total_wait metrics.Sim.Metrics.lock_requests)
+    results;
+  print_newline ();
+  print_endline
+    "whole-object locking serializes readers against robot updates in the\n\
+     same cell; tuple-level locking needs an order of magnitude more lock\n\
+     requests; the proposed sub-object granules get both right."

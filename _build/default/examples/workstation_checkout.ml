@@ -1,0 +1,112 @@
+(* Workstation-server check-out/check-in with long locks (§1, §3.1).
+
+   A designer checks cell c1 out to a workstation for update (long X lock),
+   edits the private copy, survives a server shutdown (the long lock is
+   saved and restored), checks the changed object back in, and releases
+   the session. A colleague's conflicting check-out attempt is refused for
+   the whole duration.
+
+   Run with: dune exec examples/workstation_checkout.exe *)
+
+module Table = Lockmgr.Lock_table
+module Value = Nf2.Value
+
+let step = ref 0
+
+let banner text =
+  incr step;
+  Printf.printf "\n%d. %s\n" !step text
+
+let () =
+  let lock_file = Filename.temp_file "colock_demo_locks" ".txt" in
+  let db = Workload.Figure1.database () in
+  let graph = Colock.Instance_graph.build db in
+  let c1 = Nf2.Oid.make ~relation:"cells" ~key:"c1" in
+
+  banner "designer checks out cell c1 for update (long lock)";
+  let table = Table.create () in
+  let protocol = Colock.Protocol.create graph table in
+  let manager = Txn.Txn_manager.create protocol in
+  let checkout = Txn.Checkout.create ~lock_file manager db in
+  let designer = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long manager in
+  (match Txn.Checkout.check_out checkout designer c1 ~mode:`Update with
+   | Ok value ->
+     Format.printf "   private copy: %a@." Nf2.Value.pp value
+   | Error error -> Format.printf "   failed: %a@." Txn.Checkout.pp_error error);
+
+  banner "a colleague tries to check the same cell out";
+  let colleague = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long manager in
+  (match Txn.Checkout.check_out checkout colleague c1 ~mode:`Update with
+   | Ok _ -> print_endline "   unexpected success"
+   | Error error -> Format.printf "   refused: %a@." Txn.Checkout.pp_error error);
+
+  banner "the designer edits the private copy on the workstation";
+  let edited =
+    match Txn.Checkout.local_copy checkout designer c1 with
+    | Some (Value.Tuple bindings) ->
+      Value.Tuple
+        (List.map
+           (fun (field, sub) ->
+             if String.equal field "robots" then
+               match sub with
+               | Value.List robots ->
+                 ( field,
+                   Value.List
+                     (List.map
+                        (fun robot ->
+                          match robot with
+                          | Value.Tuple robot_fields ->
+                            Value.Tuple
+                              (List.map
+                                 (fun (rf, rv) ->
+                                   if String.equal rf "trajectory" then
+                                     (rf, Value.Str "re-planned")
+                                   else (rf, rv))
+                                 robot_fields)
+                          | other -> other)
+                        robots) )
+               | other -> (field, other)
+             else (field, sub))
+           bindings)
+    | Some other -> other
+    | None -> failwith "no local copy"
+  in
+  (match Txn.Checkout.update_local checkout designer c1 edited with
+   | Ok () -> print_endline "   local copy updated (trajectories re-planned)"
+   | Error error -> Format.printf "   failed: %a@." Txn.Checkout.pp_error error);
+
+  banner "server shutdown: long locks are persisted";
+  Txn.Checkout.save_locks checkout;
+  Printf.printf "   saved to %s\n" lock_file;
+
+  banner "server restart: fresh lock table, locks restored from disk";
+  let table2 = Table.create () in
+  let protocol2 = Colock.Protocol.create graph table2 in
+  let manager2 = Txn.Txn_manager.create protocol2 in
+  let checkout2 = Txn.Checkout.create ~lock_file manager2 db in
+  let restored = Txn.Checkout.restore_locks checkout2 in
+  Printf.printf "   %d long lock(s) restored\n" restored;
+
+  banner "the colleague tries again after the restart";
+  let colleague2 =
+    { colleague with Txn.Transaction.id = 77; status = Txn.Transaction.Active }
+  in
+  (match Txn.Checkout.check_out checkout2 colleague2 c1 ~mode:`Update with
+   | Ok _ -> print_endline "   unexpected success"
+   | Error error ->
+     Format.printf "   still refused: %a@." Txn.Checkout.pp_error error);
+
+  banner "the designer checks the changed cell back in";
+  (* The designer's private copy lives in the first checkout manager; the
+     check-in happens against the (shared) central database. *)
+  (match Txn.Checkout.check_in checkout designer c1 with
+   | Ok () ->
+     let stored = Option.get (Nf2.Database.deref db c1) in
+     Format.printf "   central copy now: %a@." Nf2.Value.pp stored
+   | Error error -> Format.printf "   failed: %a@." Txn.Checkout.pp_error error);
+
+  banner "the designer ends the session; all locks are released";
+  let (_ : Table.grant list) = Txn.Checkout.finish_session checkout designer in
+  Printf.printf "   locks held by designer: %d\n"
+    (List.length (Table.locks_of table ~txn:designer.Txn.Transaction.id));
+  Sys.remove lock_file

@@ -1,0 +1,1 @@
+lib/authz/rights.ml: Hashtbl List

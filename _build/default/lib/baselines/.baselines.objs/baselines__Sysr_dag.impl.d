@@ -1,0 +1,1 @@
+lib/baselines/sysr_dag.ml: Authz Colock Hashtbl List Lockmgr Nf2 Technique

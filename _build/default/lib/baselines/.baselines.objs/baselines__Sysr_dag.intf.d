@@ -1,0 +1,1 @@
+lib/baselines/sysr_dag.mli: Authz Colock Lockmgr Nf2 Technique

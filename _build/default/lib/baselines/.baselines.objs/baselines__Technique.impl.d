@@ -1,0 +1,1 @@
+lib/baselines/technique.ml: Colock Format Hashtbl List Lockmgr

@@ -1,0 +1,1 @@
+lib/baselines/tuple_level.ml: Colock Hashtbl List Nf2 Technique

@@ -1,0 +1,1 @@
+lib/baselines/tuple_level.mli: Colock Lockmgr Nf2 Technique

@@ -1,0 +1,1 @@
+lib/baselines/whole_object.ml: Colock Hashtbl List Technique

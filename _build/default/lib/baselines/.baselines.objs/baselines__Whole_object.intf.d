@@ -1,0 +1,1 @@
+lib/baselines/whole_object.mli: Colock Lockmgr Nf2 Technique

@@ -1,0 +1,123 @@
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+module Graph = Colock.Instance_graph
+module Node_id = Colock.Node_id
+
+let parent_enumeration_visits graph =
+  List.length (Colock.Units.unit_members graph ~root:(Graph.root graph))
+
+let plan_exclusive_all_parents graph ~oid =
+  match Graph.object_node graph oid with
+  | None -> []
+  | Some node ->
+    let referencing_chains =
+      List.concat_map
+        (fun referencer -> Technique.with_ancestors graph referencer Mode.IX)
+        (Graph.referencers graph oid)
+    in
+    let own_chain = Technique.with_ancestors graph node Mode.X in
+    Technique.merge (referencing_chains @ own_chain)
+
+let plan_hierarchical_naive graph node mode =
+  Technique.with_ancestors graph node mode
+
+type hidden_conflict = {
+  at : Node_id.t;
+  writer : Table.txn_id;
+  other : Table.txn_id;
+}
+
+let resource_index graph =
+  let index = Hashtbl.create 256 in
+  Graph.fold
+    (fun node () ->
+      Hashtbl.replace index
+        (Node_id.to_resource node.Graph.id)
+        node.Graph.id)
+    graph ();
+  index
+
+(* DAG-effective coverage of one transaction: explicit data locks flow down
+   solid edges and across dashed references (the transaction *believes* the
+   referenced common data are implicitly locked). *)
+let coverage ?rights graph table ~index ~txn =
+  let covered = Hashtbl.create 64 in
+  let weaken mode target_relation =
+    match rights, mode with
+    | Some rights, Mode.X ->
+      if Authz.Rights.may_modify rights ~txn ~relation:target_relation then
+        Mode.X
+      else Mode.S
+    | (None | Some _), _ -> mode
+  in
+  let record node_id mode =
+    let key = Node_id.to_resource node_id in
+    let merged =
+      match Hashtbl.find_opt covered key with
+      | Some (previous, _node) -> Mode.sup previous mode
+      | None -> mode
+    in
+    Hashtbl.replace covered key (merged, node_id)
+  in
+  let rec spread node_id mode =
+    record node_id mode;
+    let node = Graph.node_exn graph node_id in
+    List.iter (fun child -> spread child mode) node.Graph.children;
+    List.iter
+      (fun ref_oid ->
+        match Graph.object_node graph ref_oid with
+        | Some target ->
+          let target_mode = weaken mode (Nf2.Oid.relation ref_oid) in
+          let key = Node_id.to_resource target in
+          let already =
+            match Hashtbl.find_opt covered key with
+            | Some (previous, _node) -> Mode.leq target_mode previous
+            | None -> false
+          in
+          if not already then spread target target_mode
+        | None -> ())
+      node.Graph.refs_out
+  in
+  List.iter
+    (fun (resource, mode, _duration) ->
+      let data_mode =
+        match mode with
+        | Mode.X -> Some Mode.X
+        | Mode.S | Mode.SIX -> Some Mode.S
+        | Mode.NL | Mode.IS | Mode.IX -> None
+      in
+      match data_mode with
+      | Some data_mode -> (
+        match Hashtbl.find_opt index resource with
+        | Some node_id -> spread node_id data_mode
+        | None -> ())
+      | None -> ())
+    (Table.locks_of table ~txn);
+  covered
+
+let hidden_conflicts ?rights graph table ~txns =
+  let index = resource_index graph in
+  let coverages =
+    List.map (fun txn -> (txn, coverage ?rights graph table ~index ~txn)) txns
+  in
+  let conflicts = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | (txn_a, coverage_a) :: rest ->
+      List.iter
+        (fun (txn_b, coverage_b) ->
+          Hashtbl.iter
+            (fun key (mode_a, node_id) ->
+              match Hashtbl.find_opt coverage_b key with
+              | Some (mode_b, _node) ->
+                if Mode.grants_write mode_a && Mode.grants_read mode_b then
+                  conflicts := { at = node_id; writer = txn_a; other = txn_b } :: !conflicts
+                else if Mode.grants_write mode_b && Mode.grants_read mode_a then
+                  conflicts := { at = node_id; writer = txn_b; other = txn_a } :: !conflicts
+              | None -> ())
+            coverage_a)
+        rest;
+      pairs rest
+  in
+  pairs coverages;
+  List.sort_uniq compare !conflicts

@@ -1,0 +1,51 @@
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+module Node_id = Colock.Node_id
+module Graph = Colock.Instance_graph
+
+type request = { node : Node_id.t; mode : Mode.t }
+
+type outcome =
+  | Acquired of int
+  | Blocked of { request : request; blockers : Table.txn_id list }
+
+let acquire table ~txn ?(wait = true) requests =
+  let rec walk issued = function
+    | [] -> Acquired issued
+    | request :: rest -> (
+      let resource = Node_id.to_resource request.node in
+      if wait then
+        match Table.request table ~txn ~resource request.mode with
+        | Table.Granted -> walk (issued + 1) rest
+        | Table.Waiting blockers -> Blocked { request; blockers }
+      else
+        match Table.try_request table ~txn ~resource request.mode with
+        | `Granted -> walk (issued + 1) rest
+        | `Would_block blockers -> Blocked { request; blockers })
+  in
+  walk 0 requests
+
+let with_ancestors graph node mode =
+  let intention = Mode.intention_for mode in
+  List.map
+    (fun ancestor -> { node = ancestor; mode = intention })
+    (Graph.ancestors graph node)
+  @ [ { node; mode } ]
+
+let merge requests =
+  let seen = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun { node; mode } ->
+      let key = Node_id.to_resource node in
+      match Hashtbl.find_opt seen key with
+      | Some cell -> cell := { node; mode = Mode.sup !cell.mode mode }
+      | None ->
+        let cell = ref { node; mode } in
+        Hashtbl.replace seen key cell;
+        order := cell :: !order)
+    requests;
+  List.rev_map (fun cell -> !cell) !order
+
+let pp_request formatter { node; mode } =
+  Format.fprintf formatter "%a: %a" Node_id.pp node Mode.pp mode

@@ -1,0 +1,30 @@
+(** Shared vocabulary of the baseline lock techniques the paper compares
+    against (§3): lock plans as explicit request lists, plus an executor that
+    plays a plan against a lock table. *)
+
+type request = { node : Colock.Node_id.t; mode : Lockmgr.Lock_mode.t }
+
+type outcome =
+  | Acquired of int  (** number of requests issued *)
+  | Blocked of {
+      request : request;
+      blockers : Lockmgr.Lock_table.txn_id list;
+    }
+
+val acquire :
+  Lockmgr.Lock_table.t -> txn:Lockmgr.Lock_table.txn_id -> ?wait:bool ->
+  request list -> outcome
+(** Issues the requests in order. With [wait] (default true) a conflict
+    leaves the transaction queued on the failing node; otherwise try-only. *)
+
+val with_ancestors :
+  Colock.Instance_graph.t -> Colock.Node_id.t -> Lockmgr.Lock_mode.t ->
+  request list
+(** The System R chain: intention locks on all ancestors (root first), then
+    the node in the given mode. *)
+
+val merge : request list -> request list
+(** Deduplicates by node, merging modes with the supremum, keeping first
+    positions (parents stay before children). *)
+
+val pp_request : Format.formatter -> request -> unit

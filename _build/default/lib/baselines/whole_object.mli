@@ -1,0 +1,17 @@
+(** Baseline (a): whole-complex-object locking, as in XSQL (§3.1, Fig. 2b).
+
+    A transaction always locks the complex object as a whole — "including
+    existing common data, if any": the check-out closure follows references
+    and locks every reachable referenced object in the same mode. This is
+    the appropriate compromise when objects are always manipulated as a whole
+    (check-out/check-in), and the §3.2.1 strawman when they are not. *)
+
+val plan :
+  Colock.Instance_graph.t -> oid:Nf2.Oid.t -> Lockmgr.Lock_mode.t ->
+  Technique.request list
+(** Intentions above, the requested mode on the object node and on every
+    complex object reachable through references (transitively, with its own
+    intention chain). Empty if the object is unknown. *)
+
+val lock_count : Colock.Instance_graph.t -> oid:Nf2.Oid.t ->
+  Lockmgr.Lock_mode.t -> int

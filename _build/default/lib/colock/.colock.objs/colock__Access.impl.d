@@ -1,0 +1,1 @@
+lib/colock/access.ml: Format Lockmgr Nf2 Printf

@@ -1,0 +1,1 @@
+lib/colock/access.mli: Format Lockmgr Nf2

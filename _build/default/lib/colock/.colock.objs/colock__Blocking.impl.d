@@ -1,0 +1,1 @@
+lib/colock/blocking.ml: Condition Domain Fun Int Lockmgr Mutex Protocol Set

@@ -1,0 +1,1 @@
+lib/colock/blocking.mli: Lockmgr Node_id Protocol

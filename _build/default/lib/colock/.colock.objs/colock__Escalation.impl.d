@@ -1,0 +1,1 @@
+lib/colock/escalation.ml: Instance_graph List Lockmgr Node_id Protocol

@@ -1,0 +1,1 @@
+lib/colock/escalation.mli: Lockmgr Node_id Protocol

@@ -1,0 +1,1 @@
+lib/colock/instance_graph.ml: Hashtbl List Lockable Map Nf2 Node_id Option Printf String

@@ -1,0 +1,1 @@
+lib/colock/instance_graph.mli: Lockable Nf2 Node_id

@@ -1,0 +1,1 @@
+lib/colock/lockable.ml: Format Nf2

@@ -1,0 +1,1 @@
+lib/colock/lockable.mli: Format Nf2

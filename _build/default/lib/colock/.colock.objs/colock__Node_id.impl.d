@@ -1,0 +1,1 @@
+lib/colock/node_id.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/colock/node_id.mli: Format

@@ -1,0 +1,1 @@
+lib/colock/object_graph.ml: Format List Lockable Nf2 Option Printf String

@@ -1,0 +1,1 @@
+lib/colock/object_graph.mli: Format Lockable Nf2

@@ -1,0 +1,1 @@
+lib/colock/protocol.ml: Authz Format Hashtbl Instance_graph List Lockmgr Logs Node_id Printf Units

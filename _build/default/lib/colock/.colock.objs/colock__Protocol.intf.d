@@ -1,0 +1,1 @@
+lib/colock/protocol.mli: Authz Format Instance_graph Lockmgr Node_id

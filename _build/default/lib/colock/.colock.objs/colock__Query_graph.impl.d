@@ -1,0 +1,1 @@
+lib/colock/query_graph.ml: Access Format List Lockmgr Nf2

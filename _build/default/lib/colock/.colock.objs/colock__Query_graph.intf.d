@@ -1,0 +1,1 @@
+lib/colock/query_graph.mli: Access Format Lockmgr Nf2

@@ -1,0 +1,1 @@
+lib/colock/units.ml: Format Instance_graph List Lockable Nf2 Node_id String

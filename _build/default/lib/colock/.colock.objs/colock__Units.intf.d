@@ -1,0 +1,1 @@
+lib/colock/units.mli: Format Instance_graph Node_id

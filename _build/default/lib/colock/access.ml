@@ -1,0 +1,24 @@
+type kind = Read | Update | Delete
+
+type t = {
+  relation : string;
+  predicate : Nf2.Path.t option;
+  target : Nf2.Path.t;
+  kind : kind;
+}
+
+let make ?predicate ?(target = Nf2.Path.root) kind relation =
+  { relation; predicate; target; kind }
+
+let lock_mode = function
+  | Read -> Lockmgr.Lock_mode.S
+  | Update | Delete -> Lockmgr.Lock_mode.X
+
+let pp formatter { relation; predicate; target; kind } =
+  let kind_text =
+    match kind with Read -> "read" | Update -> "update" | Delete -> "delete"
+  in
+  Format.fprintf formatter "%s %s.%a%s" kind_text relation Nf2.Path.pp target
+    (match predicate with
+     | None -> ""
+     | Some path -> Printf.sprintf " where %s = ?" (Nf2.Path.to_string path))

@@ -1,0 +1,26 @@
+(** Access specifications: what a query touches and how.
+
+    The query analyzer reduces each query variable binding to one access —
+    relation, optional equality predicate, target attribute subtree, and kind
+    of access — which is all §4.5's determination of "optimal" lock requests
+    needs. *)
+
+type kind = Read | Update | Delete
+
+type t = {
+  relation : string;
+  predicate : Nf2.Path.t option;
+      (** attribute carrying an equality predicate restricting the objects
+          ([None]: all objects qualify) *)
+  target : Nf2.Path.t;
+      (** the attribute subtree accessed; [Path.root] for whole objects *)
+  kind : kind;
+}
+
+val make :
+  ?predicate:Nf2.Path.t -> ?target:Nf2.Path.t -> kind -> string -> t
+
+val lock_mode : kind -> Lockmgr.Lock_mode.t
+(** Read → S, Update/Delete → X: "the least restrictive way necessary". *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,401 @@
+type node = {
+  id : Node_id.t;
+  kind : Lockable.kind;
+  parent : Node_id.t option;
+  children : Node_id.t list;
+  refs_out : Nf2.Oid.t list;
+  entry_point : bool;
+  relation : string option;
+  oid : Nf2.Oid.t option;
+}
+
+module Oid_map = Map.Make (struct
+  type t = Nf2.Oid.t
+
+  let compare = Nf2.Oid.compare
+end)
+
+type t = {
+  root : Node_id.t;
+  nodes : (Node_id.t, node) Hashtbl.t;
+  mutable segment_index : (string * Node_id.t) list;
+  mutable relation_index : (string * Node_id.t) list;
+  mutable object_index : Node_id.t Oid_map.t;
+  mutable referencer_index : Node_id.t list Oid_map.t;
+}
+
+(* Construction builds children lists bottom-up: [emit] registers a node and
+   returns its id so parents can list it. *)
+
+let register graph node = Hashtbl.replace graph.nodes node.id node
+
+let add_referencer graph oid node_id =
+  let known =
+    match Oid_map.find_opt oid graph.referencer_index with
+    | None -> []
+    | Some nodes -> nodes
+  in
+  graph.referencer_index <-
+    Oid_map.add oid (node_id :: known) graph.referencer_index
+
+(* Stable, human-readable member names: prefer an atomic field ending in
+   "_id", then any renderable atomic field, then the member's own rendering,
+   then a positional fallback; collisions get the position appended. *)
+let member_name used position value =
+  let candidate =
+    match value with
+    | Nf2.Value.Tuple bindings ->
+      let renderable (field, sub) =
+        match Nf2.Value.render_atomic sub with
+        | Some rendering -> Some (field, rendering)
+        | None -> None
+      in
+      let atomics = List.filter_map renderable bindings in
+      let id_like =
+        List.find_opt
+          (fun (field, _rendering) ->
+            String.length field >= 3
+            && String.equal (String.sub field (String.length field - 3) 3) "_id")
+          atomics
+      in
+      (match id_like, atomics with
+       | Some (_field, rendering), _ -> Some rendering
+       | None, (_field, rendering) :: _ -> Some rendering
+       | None, [] -> None)
+    | Nf2.Value.Str _ | Nf2.Value.Int _ | Nf2.Value.Real _ | Nf2.Value.Bool _
+      ->
+      Nf2.Value.render_atomic value
+    | Nf2.Value.Ref oid -> Some (Nf2.Oid.to_string oid)
+    | Nf2.Value.Set _ | Nf2.Value.List _ -> None
+  in
+  let base =
+    match candidate with
+    | Some rendering -> rendering
+    | None -> Printf.sprintf "#%d" position
+  in
+  if Hashtbl.mem used base then Printf.sprintf "%s#%d" base position
+  else begin
+    Hashtbl.add used base ();
+    base
+  end
+
+let rec build_attr graph ~parent ~field_name attr value =
+  let id = Node_id.child parent field_name in
+  match attr, value with
+  | Nf2.Schema.Atomic (Nf2.Schema.Ref _target), Nf2.Value.Ref oid ->
+    add_referencer graph oid id;
+    register graph
+      { id; kind = Lockable.Blu; parent = Some parent; children = [];
+        refs_out = [ oid ]; entry_point = false; relation = None; oid = None };
+    id
+  | Nf2.Schema.Atomic _, _ ->
+    register graph
+      { id; kind = Lockable.Blu; parent = Some parent; children = [];
+        refs_out = []; entry_point = false; relation = None; oid = None };
+    id
+  | (Nf2.Schema.Set inner | Nf2.Schema.List inner),
+    (Nf2.Value.Set members | Nf2.Value.List members) ->
+    let used = Hashtbl.create (List.length members) in
+    let children =
+      List.mapi
+        (fun position member ->
+          let name = member_name used position member in
+          build_member graph ~parent:id ~name inner member)
+        members
+    in
+    register graph
+      { id; kind = Lockable.Holu; parent = Some parent; children;
+        refs_out = []; entry_point = false; relation = None; oid = None };
+    id
+  | Nf2.Schema.Tuple fields, Nf2.Value.Tuple bindings ->
+    let children = build_fields graph ~parent:id fields bindings in
+    register graph
+      { id; kind = Lockable.Helu; parent = Some parent; children;
+        refs_out = []; entry_point = false; relation = None; oid = None };
+    id
+  | (Nf2.Schema.Set _ | Nf2.Schema.List _ | Nf2.Schema.Tuple _), _ ->
+    (* Values are typechecked on insert, so a shape mismatch here is a
+       programming error, not data. *)
+    invalid_arg
+      (Printf.sprintf "Instance_graph: value shape mismatch at %s"
+         (Node_id.to_resource id))
+
+and build_member graph ~parent ~name inner member =
+  let id = Node_id.child parent name in
+  match inner, member with
+  | Nf2.Schema.Tuple fields, Nf2.Value.Tuple bindings ->
+    let children = build_fields graph ~parent:id fields bindings in
+    register graph
+      { id; kind = Lockable.Helu; parent = Some parent; children;
+        refs_out = []; entry_point = false; relation = None; oid = None };
+    id
+  | Nf2.Schema.Atomic (Nf2.Schema.Ref _target), Nf2.Value.Ref oid ->
+    add_referencer graph oid id;
+    register graph
+      { id; kind = Lockable.Blu; parent = Some parent; children = [];
+        refs_out = [ oid ]; entry_point = false; relation = None; oid = None };
+    id
+  | Nf2.Schema.Atomic _, _ ->
+    register graph
+      { id; kind = Lockable.Blu; parent = Some parent; children = [];
+        refs_out = []; entry_point = false; relation = None; oid = None };
+    id
+  | (Nf2.Schema.Set inner_inner | Nf2.Schema.List inner_inner),
+    (Nf2.Value.Set members | Nf2.Value.List members) ->
+    let used = Hashtbl.create (List.length members) in
+    let children =
+      List.mapi
+        (fun position sub_member ->
+          let sub_name = member_name used position sub_member in
+          build_member graph ~parent:id ~name:sub_name inner_inner sub_member)
+        members
+    in
+    register graph
+      { id; kind = Lockable.Holu; parent = Some parent; children;
+        refs_out = []; entry_point = false; relation = None; oid = None };
+    id
+  | (Nf2.Schema.Set _ | Nf2.Schema.List _ | Nf2.Schema.Tuple _), _ ->
+    invalid_arg
+      (Printf.sprintf "Instance_graph: member shape mismatch at %s"
+         (Node_id.to_resource id))
+
+and build_fields graph ~parent fields bindings =
+  List.map2
+    (fun { Nf2.Schema.field_name; field_type } (_bound_name, bound_value) ->
+      build_attr graph ~parent ~field_name field_type bound_value)
+    fields bindings
+
+let build_object graph ~parent ~shared schema key value =
+  let id = Node_id.child parent key in
+  let oid = Nf2.Oid.make ~relation:schema.Nf2.Schema.rel_name ~key in
+  let children =
+    match value with
+    | Nf2.Value.Tuple bindings ->
+      build_fields graph ~parent:id schema.Nf2.Schema.fields bindings
+    | Nf2.Value.Str _ | Nf2.Value.Int _ | Nf2.Value.Real _ | Nf2.Value.Bool _
+    | Nf2.Value.Ref _ | Nf2.Value.Set _ | Nf2.Value.List _ ->
+      invalid_arg "Instance_graph: complex object is not a tuple"
+  in
+  register graph
+    { id; kind = Lockable.Helu; parent = Some parent; children;
+      refs_out = []; entry_point = shared;
+      relation = Some schema.Nf2.Schema.rel_name; oid = Some oid };
+  graph.object_index <- Oid_map.add oid id graph.object_index;
+  id
+
+let build db =
+  let root = Node_id.database (Nf2.Database.name db) in
+  let graph =
+    { root; nodes = Hashtbl.create 1024; segment_index = [];
+      relation_index = []; object_index = Oid_map.empty;
+      referencer_index = Oid_map.empty }
+  in
+  let catalog = Nf2.Database.catalog db in
+  let segments = Nf2.Catalog.segments catalog in
+  let segment_children =
+    List.map
+      (fun segment ->
+        let segment_id = Node_id.child root segment in
+        let relations_here =
+          List.filter
+            (fun store ->
+              String.equal
+                (Nf2.Relation.schema store).Nf2.Schema.segment segment)
+            (Nf2.Database.relations db)
+        in
+        let relation_children =
+          List.map
+            (fun store ->
+              let schema = Nf2.Relation.schema store in
+              let relation_id =
+                Node_id.child segment_id schema.Nf2.Schema.rel_name
+              in
+              let shared =
+                Nf2.Catalog.is_shared catalog schema.Nf2.Schema.rel_name
+              in
+              let object_children =
+                List.map
+                  (fun (key, value) ->
+                    build_object graph ~parent:relation_id ~shared schema key
+                      value)
+                  (Nf2.Relation.objects store)
+              in
+              register graph
+                { id = relation_id; kind = Lockable.Holu;
+                  parent = Some segment_id; children = object_children;
+                  refs_out = []; entry_point = false;
+                  relation = Some schema.Nf2.Schema.rel_name; oid = None };
+              graph.relation_index <-
+                (schema.Nf2.Schema.rel_name, relation_id)
+                :: graph.relation_index;
+              relation_id)
+            relations_here
+        in
+        register graph
+          { id = segment_id; kind = Lockable.Helu; parent = Some root;
+            children = relation_children; refs_out = []; entry_point = false;
+            relation = None; oid = None };
+        graph.segment_index <- (segment, segment_id) :: graph.segment_index;
+        segment_id)
+      segments
+  in
+  register graph
+    { id = root; kind = Lockable.Helu; parent = None;
+      children = segment_children; refs_out = []; entry_point = false;
+      relation = None; oid = None };
+  (* Deterministic referencer order. *)
+  graph.referencer_index <-
+    Oid_map.map
+      (fun nodes -> List.sort_uniq Node_id.compare nodes)
+      graph.referencer_index;
+  graph
+
+let root graph = graph.root
+let node graph id = Hashtbl.find_opt graph.nodes id
+
+let insert_object graph catalog schema ~key value =
+  let rel_name = schema.Nf2.Schema.rel_name in
+  match List.assoc_opt rel_name graph.relation_index with
+  | None -> Error (Printf.sprintf "unknown relation %S" rel_name)
+  | Some relation_id ->
+    let candidate = Node_id.child relation_id key in
+    if Hashtbl.mem graph.nodes candidate then
+      Error (Printf.sprintf "object %S already in the graph" key)
+    else begin
+      let shared = Nf2.Catalog.is_shared catalog rel_name in
+      let object_id =
+        build_object graph ~parent:relation_id ~shared schema key value
+      in
+      let relation_record = Hashtbl.find graph.nodes relation_id in
+      let children =
+        List.sort Node_id.compare (object_id :: relation_record.children)
+      in
+      Hashtbl.replace graph.nodes relation_id { relation_record with children };
+      (* keep referencer lists deterministic after the prepends *)
+      graph.referencer_index <-
+        Oid_map.map
+          (fun nodes -> List.sort_uniq Node_id.compare nodes)
+          graph.referencer_index;
+      Ok object_id
+    end
+
+let delete_object graph oid =
+  match Oid_map.find_opt oid graph.object_index with
+  | None -> Error (Printf.sprintf "unknown object %s" (Nf2.Oid.to_string oid))
+  | Some object_id -> (
+    match Oid_map.find_opt oid graph.referencer_index with
+    | Some (_ :: _) ->
+      Error
+        (Printf.sprintf "object %s is still referenced"
+           (Nf2.Oid.to_string oid))
+    | Some [] | None ->
+      (* collect and drop the subtree, unhooking any outgoing references *)
+      let rec drop id =
+        match Hashtbl.find_opt graph.nodes id with
+        | None -> ()
+        | Some current ->
+          List.iter
+            (fun target ->
+              match Oid_map.find_opt target graph.referencer_index with
+              | None -> ()
+              | Some holders ->
+                let holders =
+                  List.filter
+                    (fun holder -> not (Node_id.equal holder id))
+                    holders
+                in
+                graph.referencer_index <-
+                  Oid_map.add target holders graph.referencer_index)
+            current.refs_out;
+          List.iter drop current.children;
+          Hashtbl.remove graph.nodes id
+      in
+      drop object_id;
+      (match Hashtbl.find_opt graph.nodes (Option.get (Node_id.parent object_id)) with
+       | Some relation_record ->
+         Hashtbl.replace graph.nodes relation_record.id
+           { relation_record with
+             children =
+               List.filter
+                 (fun child -> not (Node_id.equal child object_id))
+                 relation_record.children }
+       | None -> ());
+      graph.object_index <- Oid_map.remove oid graph.object_index;
+      graph.referencer_index <- Oid_map.remove oid graph.referencer_index;
+      Ok ())
+
+let node_exn graph id =
+  match node graph id with
+  | Some found -> found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Instance_graph: unknown node %s"
+         (Node_id.to_resource id))
+
+let node_count graph = Hashtbl.length graph.nodes
+let segment_node graph name = List.assoc_opt name graph.segment_index
+let relation_node graph name = List.assoc_opt name graph.relation_index
+let object_node graph oid = Oid_map.find_opt oid graph.object_index
+
+let member_node graph holu name =
+  let candidate = Node_id.child holu name in
+  if Hashtbl.mem graph.nodes candidate then Some candidate else None
+
+let referencers graph oid =
+  match Oid_map.find_opt oid graph.referencer_index with
+  | None -> []
+  | Some nodes -> nodes
+
+let ancestors graph id =
+  let rec climb accu id =
+    match (node_exn graph id).parent with
+    | None -> accu
+    | Some parent -> climb (parent :: accu) parent
+  in
+  climb [] id
+
+let fold visit graph accu =
+  Hashtbl.fold (fun _id node accu -> visit node accu) graph.nodes accu
+
+let subtree_fold visit graph accu id =
+  let rec walk accu id =
+    let current = node_exn graph id in
+    let accu = visit accu current in
+    List.fold_left walk accu current.children
+  in
+  walk accu id
+
+let subtree_refs graph id =
+  subtree_fold (fun accu current -> List.rev_append current.refs_out accu)
+    graph [] id
+  |> List.sort_uniq Nf2.Oid.compare
+
+let subtree_size graph id = subtree_fold (fun count _node -> count + 1) graph 0 id
+
+let nodes_at_path graph oid path =
+  match object_node graph oid with
+  | None -> []
+  | Some object_id ->
+    let rec resolve frontier steps =
+      match steps with
+      | [] -> frontier
+      | step :: rest ->
+        let advance id =
+          let current = node_exn graph id in
+          match current.kind with
+          | Lockable.Holu ->
+            (* fan out over members, step not yet consumed *)
+            List.concat_map
+              (fun member -> resolve [ member ] steps)
+              current.children
+          | Lockable.Helu -> (
+            match member_node graph id step with
+            | Some child -> resolve [ child ] rest
+            | None -> [])
+          | Lockable.Blu -> []
+        in
+        List.concat_map advance frontier
+    in
+    (* Collapse any trailing HoLUs?  No: the path addresses the HoLU itself,
+       so resolution stops once all steps are consumed. *)
+    resolve [ object_id ] (Nf2.Path.to_list path)

@@ -1,0 +1,14 @@
+type kind = Blu | Holu | Helu
+
+let derive = function
+  | Nf2.Schema.Atomic _ -> Blu
+  | Nf2.Schema.Set _ | Nf2.Schema.List _ -> Holu
+  | Nf2.Schema.Tuple _ -> Helu
+
+let may_contain container _contained =
+  match container with Holu | Helu -> true | Blu -> false
+
+let may_reference = function Blu -> true | Holu | Helu -> false
+let equal a b = a = b
+let to_string = function Blu -> "BLU" | Holu -> "HoLU" | Helu -> "HeLU"
+let pp formatter kind = Format.pp_print_string formatter (to_string kind)

@@ -1,0 +1,29 @@
+(** Kinds of lockable units and the general lock graph (paper §4.2, Fig. 4).
+
+    The general lock graph has three node kinds. Solid edges say a granule
+    may be composed of other granules; the dashed edge says a BLU may be a
+    reference into common data (an independent complex object with its own
+    lockable units). *)
+
+type kind =
+  | Blu  (** basic lockable unit: an atomic attribute (or a reference) *)
+  | Holu  (** homogeneous: data of one type — a set, list or relation *)
+  | Helu
+      (** heterogeneous: composed of different types — a (complex) tuple, a
+          segment, a database *)
+
+val derive : Nf2.Schema.attr_type -> kind
+(** The derivation rules of §4.3: list → HoLU, set → HoLU, (complex) tuple →
+    HeLU, atomic (including references) → BLU. *)
+
+val may_contain : kind -> kind -> bool
+(** Solid edges of the general lock graph: HoLUs and HeLUs may be composed of
+    units of any kind; BLUs are the smallest lockable units and contain
+    nothing. *)
+
+val may_reference : kind -> bool
+(** Dashed edge: only a BLU can be a "reference to common data". *)
+
+val equal : kind -> kind -> bool
+val to_string : kind -> string
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,34 @@
+type t = string list
+(* Reversed steps: leaf first, database name last.  Keeps [child]/[parent]
+   constant-time; [steps] reverses. *)
+
+let database name = [ name ]
+let child node step = step :: node
+
+let parent = function
+  | [] | [ _ ] -> None
+  | _leaf :: ancestors -> Some ancestors
+
+let steps node = List.rev node
+let of_steps = function [] -> None | steps -> Some (List.rev steps)
+
+let escape step =
+  if String.contains step '/' then
+    String.concat "//" (String.split_on_char '/' step)
+  else step
+
+let to_resource node = String.concat "/" (List.rev_map escape node)
+let depth = List.length
+
+let rec is_ancestor ~ancestor node =
+  List.length ancestor <= List.length node
+  &&
+  match node with
+  | [] -> false
+  | _leaf :: rest ->
+    List.equal String.equal ancestor node || is_ancestor ~ancestor rest
+
+let equal = List.equal String.equal
+let compare a b = List.compare String.compare (List.rev a) (List.rev b)
+let hash = Hashtbl.hash
+let pp formatter node = Format.pp_print_string formatter (to_resource node)

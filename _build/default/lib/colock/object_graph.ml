@@ -1,0 +1,171 @@
+type node = {
+  label : string;
+  kind : Lockable.kind;
+  schema_path : Nf2.Path.t option;
+  children : node list;
+  ref_target : string option;
+}
+
+type t = { database : string; relation : string; root : node }
+
+let plain label kind schema_path children =
+  { label; kind; schema_path; children; ref_target = None }
+
+(* A collection attribute owns a HoLU; its member type contributes a child
+   node: HeLU "C.O. <field>" for tuples (as in Fig. 5), a nested HoLU for
+   collections of collections, a BLU for collections of atomics. *)
+let rec of_attr field_name path attr =
+  match attr with
+  | Nf2.Schema.Atomic (Nf2.Schema.Ref target) ->
+    { label = Printf.sprintf "%S (\"..ref..\")" field_name;
+      kind = Lockable.Blu; schema_path = Some path; children = [];
+      ref_target = Some target }
+  | Nf2.Schema.Atomic (Nf2.Schema.Str | Nf2.Schema.Int | Nf2.Schema.Real | Nf2.Schema.Bool)
+    ->
+    plain (Printf.sprintf "%S" field_name) Lockable.Blu (Some path) []
+  | Nf2.Schema.Set inner | Nf2.Schema.List inner ->
+    let member = member_of field_name path inner in
+    plain (Printf.sprintf "%S" field_name) Lockable.Holu (Some path) [ member ]
+  | Nf2.Schema.Tuple fields ->
+    plain (Printf.sprintf "%S" field_name) Lockable.Helu (Some path)
+      (of_fields path fields)
+
+and member_of field_name path inner =
+  match inner with
+  | Nf2.Schema.Tuple fields ->
+    plain (Printf.sprintf "C.O. %S" field_name) Lockable.Helu (Some path)
+      (of_fields path fields)
+  | Nf2.Schema.Atomic _ | Nf2.Schema.Set _ | Nf2.Schema.List _ ->
+    of_attr (field_name ^ " member") path inner
+
+and of_fields path fields =
+  List.map
+    (fun { Nf2.Schema.field_name; field_type } ->
+      of_attr field_name (Nf2.Path.child path field_name) field_type)
+    fields
+
+let of_relation ~database schema =
+  let complex_object =
+    plain
+      (Printf.sprintf "C.O. %S" schema.Nf2.Schema.rel_name)
+      Lockable.Helu (Some Nf2.Path.root)
+      (of_fields Nf2.Path.root schema.Nf2.Schema.fields)
+  in
+  let relation_node =
+    plain
+      (Printf.sprintf "Relation %S" schema.Nf2.Schema.rel_name)
+      Lockable.Holu None [ complex_object ]
+  in
+  let segment_node =
+    plain
+      (Printf.sprintf "Segment %S" schema.Nf2.Schema.segment)
+      Lockable.Helu None [ relation_node ]
+  in
+  let database_node =
+    plain (Printf.sprintf "Database %S" database) Lockable.Helu None
+      [ segment_node ]
+  in
+  { database; relation = schema.Nf2.Schema.rel_name; root = database_node }
+
+let rec fold_nodes visit accu node =
+  let accu = visit accu node in
+  List.fold_left (fold_nodes visit) accu node.children
+
+let node_count graph = fold_nodes (fun count _node -> count + 1) 0 graph.root
+
+let blu_count graph =
+  fold_nodes
+    (fun count node ->
+      match node.kind with
+      | Lockable.Blu -> count + 1
+      | Lockable.Holu | Lockable.Helu -> count)
+    0 graph.root
+
+let complex_object_node graph =
+  (* database -> segment -> relation -> C.O. *)
+  match graph.root.children with
+  | [ segment ] -> (
+    match segment.children with
+    | [ relation ] -> (
+      match relation.children with
+      | [ complex_object ] -> complex_object
+      | [] | _ :: _ -> invalid_arg "Object_graph: malformed relation node")
+    | [] | _ :: _ -> invalid_arg "Object_graph: malformed segment node")
+  | [] | _ :: _ -> invalid_arg "Object_graph: malformed database node"
+
+let levels_to_path graph path =
+  let target_steps = Nf2.Path.to_list path in
+  let complex_object = complex_object_node graph in
+  (* Walk the remaining steps; collection member nodes are traversed (and
+     recorded as levels) without consuming a path step, since [Nf2.Path]
+     enters collections implicitly. *)
+  let final_step_matches child step =
+    match child.schema_path with
+    | Some child_path -> (
+      match Nf2.Path.last child_path with
+      | Some final -> String.equal final step
+      | None -> false)
+    | None -> false
+  in
+  let is_member_of node child =
+    match child.schema_path, node.schema_path with
+    | Some child_path, Some node_path -> Nf2.Path.equal child_path node_path
+    | (Some _ | None), (Some _ | None) -> false
+  in
+  let rec walk node steps =
+    match steps with
+    | [] -> Some [ node ]
+    | step :: rest -> (
+      let direct =
+        List.find_map
+          (fun child ->
+            if final_step_matches child step then
+              Option.map (fun chain -> node :: chain) (walk child rest)
+            else None)
+          node.children
+      in
+      match direct with
+      | Some chain -> Some chain
+      | None ->
+        List.find_map
+          (fun child ->
+            if is_member_of node child then
+              Option.map (fun chain -> node :: chain) (walk child steps)
+            else None)
+          node.children)
+  in
+  match walk complex_object target_steps with
+  | Some chain -> chain
+  | None -> []
+
+let find_path graph path =
+  match List.rev (levels_to_path graph path) with
+  | deepest :: _ -> Some deepest
+  | [] -> None
+
+let reference_nodes graph =
+  fold_nodes
+    (fun accu node ->
+      match node.ref_target, node.schema_path with
+      | Some target, Some path -> (path, target) :: accu
+      | Some _, None | None, (Some _ | None) -> accu)
+    [] graph.root
+  |> List.rev
+
+let pp formatter graph =
+  let rec pp_node indent formatter node =
+    let dashes =
+      match node.ref_target with
+      | Some target -> Printf.sprintf "  - - -> HeLU (C.O. %S)" target
+      | None -> ""
+    in
+    Format.fprintf formatter "%s%s (%s)%s" indent
+      (Lockable.to_string node.kind)
+      node.label dashes;
+    List.iter
+      (fun child ->
+        Format.pp_print_cut formatter ();
+        pp_node (indent ^ "  ") formatter child)
+      node.children
+  in
+  Format.fprintf formatter "@[<v>%a@]" (pp_node "") graph.root

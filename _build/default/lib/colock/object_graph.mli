@@ -1,0 +1,54 @@
+(** Object-specific lock graphs (paper §4.3, Fig. 5).
+
+    When a relation is created, its object-specific lock graph is constructed
+    automatically from the general lock graph, catalog information and the
+    derivation rules:
+
+    + an attribute of type "list" becomes a HoLU,
+    + an attribute of type "set" becomes a HoLU,
+    + an attribute of type "(complex) tuple" becomes a HeLU,
+    + an atomic attribute becomes a BLU.
+
+    The graph is a schema-level artifact: it has one node per *type* of
+    lockable unit (the instance-level graph of {!Instance_graph} has one node
+    per unit). Relations are HoLUs whose member node is the HeLU "C.O."
+    (complex object); a collection attribute contributes both its HoLU and a
+    member node; a reference BLU carries a dashed edge to the target
+    relation's complex-object HeLU. *)
+
+type node = {
+  label : string;  (** display label, e.g. ["Relation \"cells\""] *)
+  kind : Lockable.kind;
+  schema_path : Nf2.Path.t option;
+      (** the attribute this unit covers; [None] for database, segment,
+          relation and complex-object nodes ([Path.root] is the C.O. node) *)
+  children : node list;  (** solid edges, schema order *)
+  ref_target : string option;  (** dashed edge: target relation of a BLU *)
+}
+
+type t = { database : string; relation : string; root : node }
+(** [root] is the database HeLU. *)
+
+val of_relation : database:string -> Nf2.Schema.relation -> t
+
+val node_count : t -> int
+val blu_count : t -> int
+
+val complex_object_node : t -> node
+(** The HeLU "C.O. <relation>" node. *)
+
+val find_path : t -> Nf2.Path.t -> node option
+(** The node covering the attribute at [path] ([Path.root] gives the
+    complex-object HeLU). Collections resolve to their HoLU node. *)
+
+val levels_to_path : t -> Nf2.Path.t -> node list
+(** Chain of nodes from the complex-object HeLU down to [find_path]'s node
+    (inclusive), i.e. the candidate lock granules within the complex object
+    for an access to [path]. Empty when the path does not exist. *)
+
+val reference_nodes : t -> (Nf2.Path.t * string) list
+(** Paths and targets of all dashed edges, schema order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tree rendering in the spirit of the paper's Figure 5, dashed edges
+    annotated. *)

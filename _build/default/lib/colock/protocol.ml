@@ -1,0 +1,313 @@
+module Lock_mode = Lockmgr.Lock_mode
+module Lock_table = Lockmgr.Lock_table
+
+let log_src = Logs.Src.create "colock.protocol" ~doc:"lock protocol decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type rule = Rule_4 | Rule_4_prime
+
+type t = {
+  graph : Instance_graph.t;
+  table : Lock_table.t;
+  rights : Authz.Rights.t;
+  rule : rule;
+}
+
+let create ?(rule = Rule_4_prime) ?(rights = Authz.Rights.create ()) graph
+    table =
+  { graph; table; rights; rule }
+
+let graph protocol = protocol.graph
+let table protocol = protocol.table
+let rights protocol = protocol.rights
+let rule protocol = protocol.rule
+
+type reason =
+  | Requested
+  | Ancestor_intention
+  | Upward_propagation
+  | Downward_propagation
+
+type step = { node : Node_id.t; mode : Lock_mode.t; reason : reason }
+
+let pp_step formatter { node; mode; reason } =
+  let reason_text =
+    match reason with
+    | Requested -> "requested"
+    | Ancestor_intention -> "ancestor intention"
+    | Upward_propagation -> "upward propagation"
+    | Downward_propagation -> "downward propagation"
+  in
+  Format.fprintf formatter "%a: %a (%s)" Node_id.pp node Lock_mode.pp mode
+    reason_text
+
+(* Ordered plans with supremum-merge on duplicate nodes.  The first position
+   of a node is kept, which preserves parent-before-child in every chain the
+   node occurs in. *)
+module Plan_builder = struct
+  type builder = {
+    mutable steps : step list;  (* reversed *)
+    positions : (Node_id.t, step ref) Hashtbl.t;
+    mutable order : step ref list;  (* reversed insertion order *)
+  }
+
+  let create () =
+    { steps = []; positions = Hashtbl.create 32; order = [] }
+
+  let add builder node mode reason =
+    match Hashtbl.find_opt builder.positions node with
+    | Some cell ->
+      let merged = Lock_mode.sup !cell.mode mode in
+      let stronger_reason =
+        (* "requested" dominates in reporting; otherwise keep the first. *)
+        match !cell.reason, reason with
+        | Requested, _ -> Requested
+        | _, Requested -> Requested
+        | first, _ -> first
+      in
+      cell := { !cell with mode = merged; reason = stronger_reason }
+    | None ->
+      let cell = ref { node; mode; reason } in
+      Hashtbl.replace builder.positions node cell;
+      builder.order <- cell :: builder.order
+
+  let finish builder = List.rev_map (fun cell -> !cell) builder.order
+end
+
+(* The data mode an S/X/SIX lock imposes on the units below it; NL when the
+   mode carries no data part that must propagate. *)
+let propagated_data_mode = function
+  | Lock_mode.X -> Lock_mode.X
+  | Lock_mode.S | Lock_mode.SIX -> Lock_mode.S
+  | Lock_mode.NL | Lock_mode.IS | Lock_mode.IX -> Lock_mode.NL
+
+(* Mode actually placed on one entry point, given the mode being propagated
+   and the transaction's rights on the entry's relation (rule 4 vs 4'). *)
+let entry_mode protocol ~txn entry_id data_mode =
+  match protocol.rule with
+  | Rule_4 -> data_mode
+  | Rule_4_prime -> (
+    match data_mode with
+    | Lock_mode.X -> (
+      let entry = Instance_graph.node_exn protocol.graph entry_id in
+      match entry.Instance_graph.relation with
+      | Some relation ->
+        if Authz.Rights.may_modify protocol.rights ~txn ~relation then
+          Lock_mode.X
+        else Lock_mode.S
+      | None -> Lock_mode.X)
+    | Lock_mode.NL | Lock_mode.IS | Lock_mode.IX | Lock_mode.S | Lock_mode.SIX
+      ->
+      data_mode)
+
+(* Downward propagation: breadth-first over inner units reachable from
+   [node], carrying the mode to propagate into each.  Crosses superunit
+   boundaries; each entry point gets upward propagation (intentions on its
+   superunit parents) first. *)
+let add_downward_propagation protocol ~txn builder node mode =
+  let data_mode = propagated_data_mode mode in
+  if not (Lock_mode.equal data_mode Lock_mode.NL) then begin
+    let seen = Hashtbl.create 16 in
+    let rec propagate_from node data_mode =
+      let entries = Units.entry_points_below protocol.graph node in
+      List.iter
+        (fun entry_id ->
+          let mode_here = entry_mode protocol ~txn entry_id data_mode in
+          let cached = Hashtbl.find_opt seen entry_id in
+          let already_covers =
+            match cached with
+            | Some previous -> Lock_mode.leq mode_here previous
+            | None -> false
+          in
+          if not already_covers then begin
+            let merged =
+              match cached with
+              | Some previous -> Lock_mode.sup previous mode_here
+              | None -> mode_here
+            in
+            Hashtbl.replace seen entry_id merged;
+            List.iter
+              (fun parent ->
+                Plan_builder.add builder parent
+                  (Lock_mode.intention_for mode_here)
+                  Upward_propagation)
+              (Units.superunit_parents protocol.graph ~root:entry_id);
+            Plan_builder.add builder entry_id mode_here Downward_propagation;
+            propagate_from entry_id (propagated_data_mode mode_here)
+          end)
+        entries
+    in
+    propagate_from node data_mode
+  end
+
+let plan protocol ~txn ?(follow_references = true) node mode =
+  let builder = Plan_builder.create () in
+  let intention = Lock_mode.intention_for mode in
+  List.iter
+    (fun ancestor ->
+      Plan_builder.add builder ancestor intention Ancestor_intention)
+    (Instance_graph.ancestors protocol.graph node);
+  Plan_builder.add builder node mode Requested;
+  if follow_references then
+    add_downward_propagation protocol ~txn builder node mode;
+  let steps = Plan_builder.finish builder in
+  Log.debug (fun log ->
+      log "T%d plan for %s %s: %d step(s)%s" txn (Lock_mode.to_string mode)
+        (Node_id.to_resource node) (List.length steps)
+        (let propagated =
+           List.length
+             (List.filter
+                (fun step -> step.reason = Downward_propagation)
+                steps)
+         in
+         if propagated = 0 then ""
+         else Printf.sprintf " (%d propagated entry point(s))" propagated));
+  steps
+
+type outcome =
+  | Acquired of step list
+  | Blocked of {
+      step : step;
+      blockers : Lock_table.txn_id list;
+      acquired : step list;
+    }
+
+let run_plan protocol ~txn ~duration ~wait steps =
+  let rec walk acquired = function
+    | [] -> Acquired (List.rev acquired)
+    | step :: rest ->
+      let outcome =
+        if wait then
+          match
+            Lock_table.request protocol.table ~txn ~duration
+              ~resource:(Node_id.to_resource step.node)
+              step.mode
+          with
+          | Lock_table.Granted -> `Granted
+          | Lock_table.Waiting blockers -> `Blocked blockers
+        else
+          match
+            Lock_table.try_request protocol.table ~txn ~duration
+              ~resource:(Node_id.to_resource step.node)
+              step.mode
+          with
+          | `Granted -> `Granted
+          | `Would_block blockers -> `Blocked blockers
+      in
+      (match outcome with
+       | `Granted -> walk (step :: acquired) rest
+       | `Blocked blockers ->
+         Blocked { step; blockers; acquired = List.rev acquired })
+  in
+  walk [] steps
+
+let acquire protocol ~txn ?(duration = Lock_table.Short) ?follow_references
+    node mode =
+  run_plan protocol ~txn ~duration ~wait:true
+    (plan protocol ~txn ?follow_references node mode)
+
+let try_acquire protocol ~txn ?(duration = Lock_table.Short) ?follow_references
+    node mode =
+  run_plan protocol ~txn ~duration ~wait:false
+    (plan protocol ~txn ?follow_references node mode)
+
+let explicit_mode protocol ~txn node =
+  Lock_table.held protocol.table ~txn ~resource:(Node_id.to_resource node)
+
+let effective_mode protocol ~txn node =
+  let explicit = explicit_mode protocol ~txn node in
+  let implicit =
+    List.fold_left
+      (fun inherited ancestor ->
+        match explicit_mode protocol ~txn ancestor with
+        | Lock_mode.X -> Lock_mode.X
+        | Lock_mode.S | Lock_mode.SIX -> Lock_mode.sup inherited Lock_mode.S
+        | Lock_mode.NL | Lock_mode.IS | Lock_mode.IX -> inherited)
+      Lock_mode.NL
+      (Instance_graph.ancestors protocol.graph node)
+  in
+  Lock_mode.sup explicit implicit
+
+type protocol_violation =
+  | Unknown_node of Node_id.t
+  | Parent_not_locked of {
+      node : Node_id.t;
+      parent : Node_id.t;
+      needed : Lock_mode.t;
+      held : Lock_mode.t;
+    }
+  | Entry_point_not_reached of { entry : Node_id.t; needed : Lock_mode.t }
+
+let pp_protocol_violation formatter = function
+  | Unknown_node node ->
+    Format.fprintf formatter "unknown node %a" Node_id.pp node
+  | Parent_not_locked { node; parent; needed; held } ->
+    Format.fprintf formatter
+      "parent %a of %a holds %a, but %a (or more restrictive) is required"
+      Node_id.pp parent Node_id.pp node Lock_mode.pp held Lock_mode.pp needed
+  | Entry_point_not_reached { entry; needed } ->
+    Format.fprintf formatter
+      "no referencing node of entry point %a is %a-locked" Node_id.pp entry
+      Lock_mode.pp needed
+
+let request_explicit protocol ~txn ?(duration = Lock_table.Short) node mode =
+  match Instance_graph.node protocol.graph node with
+  | None -> Error (Unknown_node node)
+  | Some current -> (
+    let needed = Lock_mode.intention_for mode in
+    let parent_ok parent =
+      let held = effective_mode protocol ~txn parent in
+      Lock_mode.leq needed held
+    in
+    let precondition =
+      match current.Instance_graph.parent with
+      | None -> Ok ()  (* root of the outer unit: no locks needed *)
+      | Some parent ->
+        if current.Instance_graph.entry_point then
+          (* Reached either via a locked referencing node (the manager then
+             performs upward propagation) or directly through its locked
+             parent relation. *)
+          let via_reference =
+            match current.Instance_graph.oid with
+            | Some oid ->
+              List.exists parent_ok
+                (Instance_graph.referencers protocol.graph oid)
+            | None -> false
+          in
+          if via_reference || parent_ok parent then Ok ()
+          else Error (Entry_point_not_reached { entry = node; needed })
+        else if parent_ok parent then Ok ()
+        else
+          Error
+            (Parent_not_locked
+               { node; parent; needed;
+                 held = effective_mode protocol ~txn parent })
+    in
+    match precondition with
+    | Error _ as error -> error
+    | Ok () ->
+      (* Only the request itself plus the two implicit propagations; the
+         caller is responsible for the explicit parent chain (checked
+         above). *)
+      let builder = Plan_builder.create () in
+      if current.Instance_graph.entry_point then
+        List.iter
+          (fun parent ->
+            Plan_builder.add builder parent
+              (Lock_mode.intention_for mode)
+              Upward_propagation)
+          (Units.superunit_parents protocol.graph ~root:node);
+      Plan_builder.add builder node mode Requested;
+      add_downward_propagation protocol ~txn builder node mode;
+      Ok (run_plan protocol ~txn ~duration ~wait:true (Plan_builder.finish builder)))
+
+let release_node protocol ~txn node =
+  Lock_table.release protocol.table ~txn ~resource:(Node_id.to_resource node)
+
+let end_of_transaction protocol ~txn =
+  Authz.Rights.forget_txn protocol.rights ~txn;
+  Lock_table.release_all protocol.table ~txn
+
+let commit_keeping_long_locks protocol ~txn =
+  Lock_table.release_short protocol.table ~txn

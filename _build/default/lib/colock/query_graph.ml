@@ -1,0 +1,115 @@
+type granule = Whole_relation | Whole_object | Subtree of Nf2.Path.t
+
+type choice = {
+  access : Access.t;
+  granule : granule;
+  mode : Lockmgr.Lock_mode.t;
+  estimated_locks : float;
+  finest_estimate : float;
+  anticipated_escalation : bool;
+}
+
+type t = { threshold : int; choices : choice list }
+
+(* Fan-out above a path: every collection attribute at a proper prefix
+   multiplies the number of instance nodes covering the path. *)
+let estimate_at stats ~objects schema path =
+  let steps = Nf2.Path.to_list path in
+  let rec prefixes accu current = function
+    | [] -> List.rev accu
+    | step :: rest ->
+      let next = Nf2.Path.child current step in
+      prefixes (next :: accu) next rest
+  in
+  let all_prefixes = prefixes [] Nf2.Path.root steps in
+  let proper_prefixes =
+    match List.rev all_prefixes with
+    | [] -> []
+    | _self :: rev_front -> List.rev rev_front
+  in
+  List.fold_left
+    (fun count prefix ->
+      match Nf2.Schema.find_attr schema prefix with
+      | Some (Nf2.Schema.Set _ | Nf2.Schema.List _) ->
+        count *. Nf2.Statistics.avg_collection_size stats prefix
+      | Some (Nf2.Schema.Atomic _ | Nf2.Schema.Tuple _) | None -> count)
+    objects proper_prefixes
+
+let plan_access ~threshold catalog ~stats access =
+  let mode = Access.lock_mode access.Access.kind in
+  let relation_stats = stats access.Access.relation in
+  let objects =
+    Nf2.Statistics.estimate_matching relation_stats access.Access.predicate
+  in
+  let schema = Nf2.Catalog.find catalog access.Access.relation in
+  let subtree_estimate path =
+    match schema with
+    | Some schema -> estimate_at relation_stats ~objects schema path
+    | None -> objects
+  in
+  let target = access.Access.target in
+  let finest_estimate =
+    if Nf2.Path.equal target Nf2.Path.root then objects
+    else subtree_estimate target
+  in
+  (* Candidate granules, finest first: the target level, then each coarser
+     prefix level, then whole objects, then the whole relation. *)
+  let rec prefix_levels path accu =
+    match Nf2.Path.parent path with
+    | None -> accu  (* root reached: whole-object level handled separately *)
+    | Some parent ->
+      if Nf2.Path.equal parent Nf2.Path.root then accu
+      else prefix_levels parent (parent :: accu)
+  in
+  let path_levels =
+    if Nf2.Path.equal target Nf2.Path.root then []
+    else target :: List.rev (prefix_levels target [])
+    (* deepest first *)
+  in
+  let candidates =
+    List.map
+      (fun path -> (Subtree path, subtree_estimate path))
+      path_levels
+    @ [ (Whole_object, objects); (Whole_relation, 1.0) ]
+  in
+  let fits (_granule, estimate) = estimate <= float_of_int threshold in
+  let granule, estimated_locks =
+    match List.find_opt fits candidates with
+    | Some chosen -> chosen
+    | None -> (Whole_relation, 1.0)
+  in
+  let anticipated_escalation =
+    match granule, path_levels with
+    | Subtree path, finest :: _ -> not (Nf2.Path.equal path finest)
+    | (Whole_object | Whole_relation), _ :: _ -> true
+    | Whole_object, [] -> false
+    | Whole_relation, [] -> true
+    | Subtree _, [] -> false
+  in
+  { access; granule; mode; estimated_locks; finest_estimate;
+    anticipated_escalation }
+
+let build ~threshold catalog ~stats accesses =
+  { threshold;
+    choices = List.map (plan_access ~threshold catalog ~stats) accesses }
+
+let pp_granule formatter = function
+  | Whole_relation -> Format.pp_print_string formatter "relation"
+  | Whole_object -> Format.pp_print_string formatter "complex object"
+  | Subtree path -> Format.fprintf formatter "subtree %a" Nf2.Path.pp path
+
+let pp_choice formatter choice =
+  Format.fprintf formatter
+    "%a -> %a in %a (~%.1f locks%s; target level ~%.1f)" Access.pp
+    choice.access pp_granule choice.granule Lockmgr.Lock_mode.pp choice.mode
+    choice.estimated_locks
+    (if choice.anticipated_escalation then ", escalation anticipated" else "")
+    choice.finest_estimate
+
+let pp formatter { threshold; choices } =
+  Format.fprintf formatter "@[<v>query-specific lock graph (threshold %d):"
+    threshold;
+  List.iter
+    (fun choice -> Format.fprintf formatter "@,  %a" pp_choice choice)
+    choices;
+  Format.fprintf formatter "@]"

@@ -1,0 +1,48 @@
+(** Query-specific lock graphs: "optimal" lock requests by anticipation of
+    lock escalations (paper §4.5, after [HDKS89]).
+
+    During query analysis — before any data is touched — each access is
+    assigned a lock *granule* (a level of the object-specific lock graph) and
+    a mode. The granule is the finest level whose estimated lock count stays
+    at or below the escalation threshold; if even the object level is too
+    populous the whole relation is locked up front, so no run-time escalation
+    (with its overhead and deadlock risk) will be needed. Estimates come
+    from {!Nf2.Statistics}: matching-object counts from predicate
+    selectivities, fan-out from average collection sizes. *)
+
+type granule =
+  | Whole_relation  (** one lock on the relation node *)
+  | Whole_object  (** one lock per matching complex object *)
+  | Subtree of Nf2.Path.t
+      (** per matching object, one lock on each instance node at this
+          attribute path *)
+
+type choice = {
+  access : Access.t;
+  granule : granule;
+  mode : Lockmgr.Lock_mode.t;  (** data mode placed at the granule *)
+  estimated_locks : float;  (** at the chosen granule *)
+  finest_estimate : float;  (** at the access's own target level *)
+  anticipated_escalation : bool;
+      (** the chosen granule is coarser than the target level *)
+}
+
+type t = { threshold : int; choices : choice list }
+
+val estimate_at :
+  Nf2.Statistics.t -> objects:float -> Nf2.Schema.relation -> Nf2.Path.t ->
+  float
+(** Estimated number of instance locks when locking at attribute path level:
+    [objects] times the product of the average sizes of the collections
+    strictly above the path. *)
+
+val plan_access :
+  threshold:int -> Nf2.Catalog.t -> stats:(string -> Nf2.Statistics.t) ->
+  Access.t -> choice
+
+val build :
+  threshold:int -> Nf2.Catalog.t -> stats:(string -> Nf2.Statistics.t) ->
+  Access.t list -> t
+
+val pp_choice : Format.formatter -> choice -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lockmgr/deadlock.ml: Hashtbl Int List Map

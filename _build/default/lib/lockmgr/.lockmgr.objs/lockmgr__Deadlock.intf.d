@@ -1,0 +1,1 @@
+lib/lockmgr/deadlock.mli: Lock_table

@@ -1,0 +1,1 @@
+lib/lockmgr/lock_mode.ml: Format Int

@@ -1,0 +1,1 @@
+lib/lockmgr/lock_table.ml: Format Hashtbl Int List Lock_mode Lock_stats Logs Option Set String

@@ -1,0 +1,59 @@
+module Int_map = Map.Make (Int)
+
+let find_cycle ~edges =
+  let successors =
+    List.fold_left
+      (fun accu (source, target) ->
+        let known =
+          match Int_map.find_opt source accu with
+          | None -> []
+          | Some targets -> targets
+        in
+        Int_map.add source (target :: known) accu)
+      Int_map.empty edges
+  in
+  let successors_of node =
+    match Int_map.find_opt node successors with
+    | None -> []
+    | Some targets -> List.sort_uniq Int.compare targets
+  in
+  let nodes =
+    List.concat_map (fun (source, target) -> [ source; target ]) edges
+    |> List.sort_uniq Int.compare
+  in
+  let finished = Hashtbl.create 16 in
+  (* DFS keeping the trail (most recent first); a back edge into the trail
+     closes a cycle. *)
+  let rec visit trail node =
+    if List.mem node trail then
+      let rec cycle_from accu = function
+        | [] -> accu
+        | head :: rest ->
+          if head = node then head :: accu else cycle_from (head :: accu) rest
+      in
+      Some (cycle_from [] trail)
+    else if Hashtbl.mem finished node then None
+    else begin
+      Hashtbl.add finished node ();
+      let trail = node :: trail in
+      List.fold_left
+        (fun found successor ->
+          match found with Some _ -> found | None -> visit trail successor)
+        None (successors_of node)
+    end
+  in
+  List.fold_left
+    (fun found node ->
+      match found with Some _ -> found | None -> visit [] node)
+    None nodes
+
+let choose_victim ?(priority = fun txn -> -txn) cycle =
+  match cycle with
+  | [] -> invalid_arg "Deadlock.choose_victim: empty cycle"
+  | first :: rest ->
+    List.fold_left
+      (fun victim candidate ->
+        let victim_key = (priority victim, -victim) in
+        let candidate_key = (priority candidate, -candidate) in
+        if compare candidate_key victim_key < 0 then candidate else victim)
+      first rest

@@ -1,0 +1,64 @@
+type t = NL | IS | IX | S | SIX | X
+
+let all = [ NL; IS; IX; S; SIX; X ]
+
+let compatible a b =
+  match a, b with
+  | NL, _ | _, NL -> true
+  | IS, (IS | IX | S | SIX) | (IX | S | SIX), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | IS, X | X, IS -> false
+  | IX, (S | SIX | X) | (S | SIX | X), IX -> false
+  | S, (SIX | X) | (SIX | X), S -> false
+  | SIX, (SIX | X) | X, (SIX | X) -> false
+
+(* Lattice rank used for [compare]; the lattice itself is not a chain (IX and
+   S are incomparable), so [sup] is defined point-wise. *)
+let rank = function NL -> 0 | IS -> 1 | IX -> 2 | S -> 3 | SIX -> 4 | X -> 5
+
+let sup a b =
+  match a, b with
+  | NL, other | other, NL -> other
+  | IS, other | other, IS -> other
+  | X, _ | _, X -> X
+  | IX, IX -> IX
+  | S, S -> S
+  | IX, S | S, IX -> SIX
+  | (IX | S | SIX), SIX | SIX, (IX | S) -> SIX
+
+let equal a b = a = b
+let leq a b = equal (sup a b) b
+
+let is_intention = function
+  | IS | IX | SIX -> true
+  | NL | S | X -> false
+
+let grants_read = function S | SIX | X -> true | NL | IS | IX -> false
+let grants_write = function X -> true | NL | IS | IX | S | SIX -> false
+
+let intention_for = function
+  | NL -> NL
+  | IS | S -> IS
+  | IX | SIX | X -> IX
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let to_string = function
+  | NL -> "NL"
+  | IS -> "IS"
+  | IX -> "IX"
+  | S -> "S"
+  | SIX -> "SIX"
+  | X -> "X"
+
+let of_string = function
+  | "NL" -> Some NL
+  | "IS" -> Some IS
+  | "IX" -> Some IX
+  | "S" -> Some S
+  | "SIX" -> Some SIX
+  | "X" -> Some X
+  | _ -> None
+
+let pp formatter mode = Format.pp_print_string formatter (to_string mode)

@@ -1,0 +1,46 @@
+(** Lock modes and their algebra, after [GLP75, GLPT76].
+
+    The paper's protocol uses IS, IX, S and X (§3.1); SIX is included for
+    completeness since it is part of the System R family the technique
+    extends, and NL is the identity element. *)
+
+type t =
+  | NL  (** no lock *)
+  | IS  (** intention share *)
+  | IX  (** intention exclusive *)
+  | S  (** share *)
+  | SIX  (** share + intention exclusive *)
+  | X  (** exclusive *)
+
+val all : t list
+(** In increasing strength order: NL, IS, IX, S, SIX, X. *)
+
+val compatible : t -> t -> bool
+(** The classical compatibility matrix. Symmetric. *)
+
+val sup : t -> t -> t
+(** Least upper bound in the mode lattice (used for lock conversion): e.g.
+    [sup IX S = SIX]. *)
+
+val leq : t -> t -> bool
+(** [leq a b] holds when [b] is at least as restrictive as [a], i.e.
+    [sup a b = b]. This is the paper's "(or a more restrictive) mode". *)
+
+val is_intention : t -> bool
+(** IS, IX and SIX carry intentions. *)
+
+val grants_read : t -> bool
+(** S, SIX and X allow reading the node's data (explicitly). *)
+
+val grants_write : t -> bool
+(** Only X allows writing the node's data (explicitly). *)
+
+val intention_for : t -> t
+(** The intention mode a parent must carry before a child may be locked:
+    IS for IS/S requests, IX for IX/X/SIX requests (paper rules 1-4). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

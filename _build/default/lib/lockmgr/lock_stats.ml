@@ -1,0 +1,46 @@
+type t = {
+  mutable requests : int;
+  mutable immediate_grants : int;
+  mutable waits : int;
+  mutable conversions : int;
+  mutable conflict_tests : int;
+  mutable releases : int;
+  mutable escalations : int;
+  mutable deescalations : int;
+}
+
+let create () =
+  { requests = 0; immediate_grants = 0; waits = 0; conversions = 0;
+    conflict_tests = 0; releases = 0; escalations = 0; deescalations = 0 }
+
+let reset stats =
+  stats.requests <- 0;
+  stats.immediate_grants <- 0;
+  stats.waits <- 0;
+  stats.conversions <- 0;
+  stats.conflict_tests <- 0;
+  stats.releases <- 0;
+  stats.escalations <- 0;
+  stats.deescalations <- 0
+
+let copy stats =
+  { requests = stats.requests; immediate_grants = stats.immediate_grants;
+    waits = stats.waits; conversions = stats.conversions;
+    conflict_tests = stats.conflict_tests; releases = stats.releases;
+    escalations = stats.escalations; deescalations = stats.deescalations }
+
+let add a b =
+  { requests = a.requests + b.requests;
+    immediate_grants = a.immediate_grants + b.immediate_grants;
+    waits = a.waits + b.waits; conversions = a.conversions + b.conversions;
+    conflict_tests = a.conflict_tests + b.conflict_tests;
+    releases = a.releases + b.releases;
+    escalations = a.escalations + b.escalations;
+    deescalations = a.deescalations + b.deescalations }
+
+let pp formatter stats =
+  Format.fprintf formatter
+    "requests %d, immediate %d, waits %d, conversions %d, conflict tests %d, \
+     releases %d, escalations %d, de-escalations %d"
+    stats.requests stats.immediate_grants stats.waits stats.conversions
+    stats.conflict_tests stats.releases stats.escalations stats.deescalations

@@ -1,0 +1,24 @@
+(** Counters describing the work a lock table performed.
+
+    The paper's qualitative evaluation (§4.6) argues in terms of "overhead
+    caused by the administration of locks and conflict tests"; these counters
+    make that overhead measurable. *)
+
+type t = {
+  mutable requests : int;  (** lock requests received *)
+  mutable immediate_grants : int;  (** granted without waiting *)
+  mutable waits : int;  (** requests that had to queue *)
+  mutable conversions : int;  (** grants that upgraded an existing lock *)
+  mutable conflict_tests : int;  (** compatibility tests executed *)
+  mutable releases : int;  (** lock entries released *)
+  mutable escalations : int;  (** run-time lock escalations (set by clients) *)
+  mutable deescalations : int;  (** lock de-escalations (set by clients) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val add : t -> t -> t
+(** Component-wise sum (fresh record). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,441 @@
+let log_src = Logs.Src.create "lockmgr.table" ~doc:"lock table decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type txn_id = int
+type duration = Short | Long
+
+type waiter = {
+  w_txn : txn_id;
+  w_mode : Lock_mode.t;  (* target mode (for conversions: the converted mode) *)
+  w_duration : duration;
+  w_conversion : bool;
+}
+
+type entry = {
+  mutable granted : (txn_id * Lock_mode.t * duration) list;
+      (* at most one triple per transaction *)
+  mutable waiting : waiter list;  (* FIFO, head served first *)
+}
+
+module String_set = Set.Make (String)
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  by_txn : (txn_id, String_set.t) Hashtbl.t;
+      (* resources where the txn holds or waits *)
+  stats : Lock_stats.t;
+  mutable entry_count : int;
+  mutable peak_entry_count : int;
+}
+
+type outcome = Granted | Waiting of txn_id list
+type grant = { g_txn : txn_id; g_resource : string; g_mode : Lock_mode.t }
+
+let create () =
+  { entries = Hashtbl.create 256; by_txn = Hashtbl.create 64;
+    stats = Lock_stats.create (); entry_count = 0; peak_entry_count = 0 }
+
+let stats table = table.stats
+
+let entry_of table resource =
+  match Hashtbl.find_opt table.entries resource with
+  | Some entry -> entry
+  | None ->
+    let entry = { granted = []; waiting = [] } in
+    Hashtbl.replace table.entries resource entry;
+    entry
+
+let index_txn table txn resource =
+  let seen =
+    match Hashtbl.find_opt table.by_txn txn with
+    | None -> String_set.empty
+    | Some seen -> seen
+  in
+  Hashtbl.replace table.by_txn txn (String_set.add resource seen)
+
+let unindex_txn table txn resource entry =
+  let still_present =
+    List.exists (fun (holder, _mode, _duration) -> holder = txn) entry.granted
+    || List.exists (fun waiter -> waiter.w_txn = txn) entry.waiting
+  in
+  if not still_present then
+    match Hashtbl.find_opt table.by_txn txn with
+    | None -> ()
+    | Some seen ->
+      let seen = String_set.remove resource seen in
+      if String_set.is_empty seen then Hashtbl.remove table.by_txn txn
+      else Hashtbl.replace table.by_txn txn seen
+
+let drop_entry_if_empty table resource entry =
+  match entry.granted, entry.waiting with
+  | [], [] -> Hashtbl.remove table.entries resource
+  | _, _ -> ()
+
+let held_triple entry txn =
+  List.find_opt (fun (holder, _mode, _duration) -> holder = txn) entry.granted
+
+(* Conflict test against every *other* holder; counts each test. *)
+let compatible_with_others table entry txn mode =
+  List.for_all
+    (fun (holder, held_mode, _duration) ->
+      if holder = txn then true
+      else begin
+        table.stats.Lock_stats.conflict_tests <-
+          table.stats.Lock_stats.conflict_tests + 1;
+        Lock_mode.compatible mode held_mode
+      end)
+    entry.granted
+
+let incompatible_holders entry txn mode =
+  List.filter_map
+    (fun (holder, held_mode, _duration) ->
+      if holder <> txn && not (Lock_mode.compatible mode held_mode) then
+        Some holder
+      else None)
+    entry.granted
+
+let sup_duration a b =
+  match a, b with Long, _ | _, Long -> Long | Short, Short -> Short
+
+let install_grant table entry txn mode duration resource =
+  match held_triple entry txn with
+  | Some (_txn, old_mode, old_duration) ->
+    entry.granted <-
+      List.map
+        (fun ((holder, _m, _d) as triple) ->
+          if holder = txn then
+            (txn, Lock_mode.sup old_mode mode, sup_duration old_duration duration)
+          else triple)
+        entry.granted;
+    if not (Lock_mode.leq mode old_mode) then
+      table.stats.Lock_stats.conversions <-
+        table.stats.Lock_stats.conversions + 1
+  | None ->
+    entry.granted <- (txn, mode, duration) :: entry.granted;
+    table.entry_count <- table.entry_count + 1;
+    if table.entry_count > table.peak_entry_count then
+      table.peak_entry_count <- table.entry_count;
+    index_txn table txn resource
+
+(* Serve the queue head(s) after a release/downgrade.  Conversions were
+   enqueued in front, so plain head-of-queue draining preserves both upgrade
+   priority and FIFO fairness. *)
+let drain table resource entry =
+  let rec serve served =
+    match entry.waiting with
+    | [] -> served
+    | head :: rest ->
+      if compatible_with_others table entry head.w_txn head.w_mode then begin
+        entry.waiting <- rest;
+        install_grant table entry head.w_txn head.w_mode head.w_duration
+          resource;
+        serve
+          ({ g_txn = head.w_txn; g_resource = resource; g_mode = head.w_mode }
+          :: served)
+      end
+      else served
+  in
+  let served = List.rev (serve []) in
+  drop_entry_if_empty table resource entry;
+  served
+
+let enqueue entry waiter =
+  if waiter.w_conversion then begin
+    (* Conversions go before plain requests but after earlier conversions. *)
+    let conversions, plain =
+      List.partition (fun queued -> queued.w_conversion) entry.waiting
+    in
+    entry.waiting <- conversions @ [ waiter ] @ plain
+  end
+  else entry.waiting <- entry.waiting @ [ waiter ]
+
+let already_waiting entry txn =
+  List.exists (fun waiter -> waiter.w_txn = txn) entry.waiting
+
+let request table ~txn ?(duration = Short) ~resource mode =
+  table.stats.Lock_stats.requests <- table.stats.Lock_stats.requests + 1;
+  let entry = entry_of table resource in
+  let current =
+    match held_triple entry txn with
+    | Some (_txn, held_mode, _duration) -> held_mode
+    | None -> Lock_mode.NL
+  in
+  let target = Lock_mode.sup current mode in
+  if Lock_mode.equal target current then begin
+    (* Already covered; refresh duration (a long request must stick). *)
+    if duration = Long then
+      install_grant table entry txn current Long resource;
+    table.stats.Lock_stats.immediate_grants <-
+      table.stats.Lock_stats.immediate_grants + 1;
+    drop_entry_if_empty table resource entry;
+    Granted
+  end
+  else begin
+    let conversion = not (Lock_mode.equal current Lock_mode.NL) in
+    let fifo_blocked =
+      (not conversion) && entry.waiting <> [] && not (already_waiting entry txn)
+    in
+    if
+      (not fifo_blocked)
+      && (not (already_waiting entry txn))
+      && compatible_with_others table entry txn target
+    then begin
+      install_grant table entry txn target duration resource;
+      table.stats.Lock_stats.immediate_grants <-
+        table.stats.Lock_stats.immediate_grants + 1;
+      Log.debug (fun log ->
+          log "T%d granted %s on %s" txn (Lock_mode.to_string target) resource);
+      Granted
+    end
+    else begin
+      table.stats.Lock_stats.waits <- table.stats.Lock_stats.waits + 1;
+      Log.debug (fun log ->
+          log "T%d waits for %s on %s" txn (Lock_mode.to_string target)
+            resource);
+      if not (already_waiting entry txn) then begin
+        enqueue entry
+          { w_txn = txn; w_mode = target; w_duration = duration;
+            w_conversion = conversion };
+        index_txn table txn resource
+      end;
+      let blockers =
+        match incompatible_holders entry txn target with
+        | [] ->
+          (* Blocked by the FIFO rule only: we wait for whoever waits ahead. *)
+          List.filter_map
+            (fun waiter -> if waiter.w_txn <> txn then Some waiter.w_txn else None)
+            entry.waiting
+        | holders -> holders
+      in
+      Waiting (List.sort_uniq Int.compare blockers)
+    end
+  end
+
+let try_request table ~txn ?(duration = Short) ~resource mode =
+  table.stats.Lock_stats.requests <- table.stats.Lock_stats.requests + 1;
+  let entry = entry_of table resource in
+  let current =
+    match held_triple entry txn with
+    | Some (_txn, held_mode, _duration) -> held_mode
+    | None -> Lock_mode.NL
+  in
+  let target = Lock_mode.sup current mode in
+  if Lock_mode.equal target current then begin
+    table.stats.Lock_stats.immediate_grants <-
+      table.stats.Lock_stats.immediate_grants + 1;
+    drop_entry_if_empty table resource entry;
+    `Granted
+  end
+  else begin
+    let conversion = not (Lock_mode.equal current Lock_mode.NL) in
+    let fifo_blocked = (not conversion) && entry.waiting <> [] in
+    if (not fifo_blocked) && compatible_with_others table entry txn target
+    then begin
+      install_grant table entry txn target duration resource;
+      table.stats.Lock_stats.immediate_grants <-
+        table.stats.Lock_stats.immediate_grants + 1;
+      `Granted
+    end
+    else begin
+      let blockers =
+        match incompatible_holders entry txn target with
+        | [] ->
+          List.filter_map
+            (fun waiter -> if waiter.w_txn <> txn then Some waiter.w_txn else None)
+            entry.waiting
+        | holders -> holders
+      in
+      drop_entry_if_empty table resource entry;
+      `Would_block (List.sort_uniq Int.compare blockers)
+    end
+  end
+
+let release table ~txn ~resource =
+  match Hashtbl.find_opt table.entries resource with
+  | None -> []
+  | Some entry ->
+    let held_before = Option.is_some (held_triple entry txn) in
+    if held_before then begin
+      entry.granted <-
+        List.filter (fun (holder, _mode, _duration) -> holder <> txn)
+          entry.granted;
+      table.entry_count <- table.entry_count - 1;
+      table.stats.Lock_stats.releases <- table.stats.Lock_stats.releases + 1
+    end;
+    let served = drain table resource entry in
+    unindex_txn table txn resource entry;
+    served
+
+let downgrade table ~txn ~resource mode =
+  match Hashtbl.find_opt table.entries resource with
+  | None -> []
+  | Some entry -> (
+    match held_triple entry txn with
+    | None -> []
+    | Some (_txn, held_mode, duration) ->
+      if Lock_mode.leq held_mode mode then []
+      else begin
+        entry.granted <-
+          List.map
+            (fun ((holder, _m, _d) as triple) ->
+              if holder = txn then (txn, mode, duration) else triple)
+            entry.granted;
+        drain table resource entry
+      end)
+
+let resources_of table txn =
+  match Hashtbl.find_opt table.by_txn txn with
+  | None -> []
+  | Some seen -> String_set.elements seen
+
+let cancel_wait table ~txn =
+  List.concat_map
+    (fun resource ->
+      match Hashtbl.find_opt table.entries resource with
+      | None -> []
+      | Some entry ->
+        let was_waiting = already_waiting entry txn in
+        if was_waiting then begin
+          entry.waiting <-
+            List.filter (fun waiter -> waiter.w_txn <> txn) entry.waiting;
+          let served = drain table resource entry in
+          unindex_txn table txn resource entry;
+          served
+        end
+        else [])
+    (resources_of table txn)
+
+let release_matching table ~txn keep_long =
+  List.concat_map
+    (fun resource ->
+      match Hashtbl.find_opt table.entries resource with
+      | None -> []
+      | Some entry ->
+        let dropped_wait = already_waiting entry txn in
+        if dropped_wait then
+          entry.waiting <-
+            List.filter (fun waiter -> waiter.w_txn <> txn) entry.waiting;
+        let drop_grant =
+          match held_triple entry txn with
+          | None -> false
+          | Some (_txn, _mode, Long) -> not keep_long
+          | Some (_txn, _mode, Short) -> true
+        in
+        if drop_grant then begin
+          entry.granted <-
+            List.filter (fun (holder, _mode, _duration) -> holder <> txn)
+              entry.granted;
+          table.entry_count <- table.entry_count - 1;
+          table.stats.Lock_stats.releases <- table.stats.Lock_stats.releases + 1
+        end;
+        let served =
+          if drop_grant || dropped_wait then drain table resource entry else []
+        in
+        unindex_txn table txn resource entry;
+        served)
+    (resources_of table txn)
+
+let release_all table ~txn = release_matching table ~txn false
+let release_short table ~txn = release_matching table ~txn true
+
+let held table ~txn ~resource =
+  match Hashtbl.find_opt table.entries resource with
+  | None -> Lock_mode.NL
+  | Some entry -> (
+    match held_triple entry txn with
+    | Some (_txn, mode, _duration) -> mode
+    | None -> Lock_mode.NL)
+
+let holders table ~resource =
+  match Hashtbl.find_opt table.entries resource with
+  | None -> []
+  | Some entry ->
+    entry.granted
+    |> List.map (fun (holder, mode, _duration) -> (holder, mode))
+    |> List.sort compare
+
+let locks_of table ~txn =
+  resources_of table txn
+  |> List.filter_map (fun resource ->
+         match Hashtbl.find_opt table.entries resource with
+         | None -> None
+         | Some entry -> (
+           match held_triple entry txn with
+           | Some (_txn, mode, duration) -> Some (resource, mode, duration)
+           | None -> None))
+  |> List.sort compare
+
+let waiting_of table ~txn =
+  resources_of table txn
+  |> List.filter_map (fun resource ->
+         match Hashtbl.find_opt table.entries resource with
+         | None -> None
+         | Some entry -> (
+           match
+             List.find_opt (fun waiter -> waiter.w_txn = txn) entry.waiting
+           with
+           | Some waiter -> Some (resource, waiter.w_mode)
+           | None -> None))
+  |> List.sort compare
+
+let resources table =
+  Hashtbl.fold (fun resource _entry accu -> resource :: accu) table.entries []
+  |> List.sort String.compare
+
+let entry_count table = table.entry_count
+let peak_entry_count table = table.peak_entry_count
+
+let waits_for_edges table =
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun _resource entry ->
+      let rec per_waiter earlier = function
+        | [] -> ()
+        | waiter :: later ->
+          List.iter
+            (fun (holder, mode, _duration) ->
+              if
+                holder <> waiter.w_txn
+                && not (Lock_mode.compatible waiter.w_mode mode)
+              then edges := (waiter.w_txn, holder) :: !edges)
+            entry.granted;
+          List.iter
+            (fun ahead ->
+              if
+                ahead.w_txn <> waiter.w_txn
+                && not (Lock_mode.compatible waiter.w_mode ahead.w_mode)
+              then edges := (waiter.w_txn, ahead.w_txn) :: !edges)
+            earlier;
+          per_waiter (waiter :: earlier) later
+      in
+      per_waiter [] entry.waiting)
+    table.entries;
+  List.sort_uniq compare !edges
+
+let pp formatter table =
+  Format.fprintf formatter "@[<v>";
+  List.iter
+    (fun resource ->
+      match Hashtbl.find_opt table.entries resource with
+      | None -> ()
+      | Some entry ->
+        let pp_granted formatter (holder, mode, duration) =
+          Format.fprintf formatter "T%d:%a%s" holder Lock_mode.pp mode
+            (match duration with Long -> "(long)" | Short -> "")
+        in
+        let pp_waiter formatter waiter =
+          Format.fprintf formatter "T%d?%a" waiter.w_txn Lock_mode.pp
+            waiter.w_mode
+        in
+        Format.fprintf formatter "%s: granted [%a] waiting [%a]@," resource
+          (Format.pp_print_list
+             ~pp_sep:(fun formatter () -> Format.pp_print_string formatter ", ")
+             pp_granted)
+          entry.granted
+          (Format.pp_print_list
+             ~pp_sep:(fun formatter () -> Format.pp_print_string formatter ", ")
+             pp_waiter)
+          entry.waiting)
+    (resources table);
+  Format.fprintf formatter "@]"

@@ -1,0 +1,89 @@
+(** A transaction-oriented lock table with wait queues and conversions.
+
+    The table is protocol-agnostic: resources are opaque strings (the lock
+    technique of the paper maps its lockable units to hierarchical path
+    strings). It is a purely synchronous data structure — a request either is
+    granted or queues, and releases report which queued requests became
+    granted — so callers (tests, the discrete-event simulator, the
+    transaction manager) own time and scheduling, and runs stay
+    deterministic. *)
+
+type txn_id = int
+
+type duration =
+  | Short  (** released at end of (conventional) transaction *)
+  | Long  (** check-out lock that must survive shutdowns (§3.1) *)
+
+type t
+
+type outcome =
+  | Granted
+  | Waiting of txn_id list
+      (** enqueued; the listed transactions block this request *)
+
+type grant = { g_txn : txn_id; g_resource : string; g_mode : Lock_mode.t }
+(** A queued request that became granted after a release. *)
+
+val create : unit -> t
+val stats : t -> Lock_stats.t
+
+val request :
+  t -> txn:txn_id -> ?duration:duration -> resource:string -> Lock_mode.t ->
+  outcome
+(** Requests (or converts to) the supremum of the given mode and the mode
+    already held. FIFO fairness: a fresh request waits while the queue is
+    non-empty; conversions jump the queue (standard upgrade handling). A
+    request for a mode already covered is a no-op grant. *)
+
+val try_request :
+  t -> txn:txn_id -> ?duration:duration -> resource:string -> Lock_mode.t ->
+  [ `Granted | `Would_block of txn_id list ]
+(** Like {!request} but never enqueues: either grants immediately or reports
+    the blockers. *)
+
+val release : t -> txn:txn_id -> resource:string -> grant list
+(** Releases one lock (leaf-to-root release, de-escalation); returns the
+    requests newly granted from the queue. Releasing a lock that is not held
+    is a no-op. *)
+
+val downgrade : t -> txn:txn_id -> resource:string -> Lock_mode.t -> grant list
+(** Replaces the held mode by a weaker one (de-escalation support); no-op when
+    nothing stronger is held. Returns newly granted queued requests. *)
+
+val cancel_wait : t -> txn:txn_id -> grant list
+(** Withdraws every queued (not yet granted) request of the transaction, e.g.
+    on deadlock abort; returns requests that became grantable. *)
+
+val release_all : t -> txn:txn_id -> grant list
+(** End of transaction: drops every lock and queued request of [txn]. Long
+    locks are dropped too — keeping them across commits is the transaction
+    manager's job ({!val:release_short} below). *)
+
+val release_short : t -> txn:txn_id -> grant list
+(** Drops only the [Short]-duration locks of [txn] (commit of a check-out
+    transaction that keeps its long locks). *)
+
+val held : t -> txn:txn_id -> resource:string -> Lock_mode.t
+(** Mode held (NL when none). *)
+
+val holders : t -> resource:string -> (txn_id * Lock_mode.t) list
+val locks_of : t -> txn:txn_id -> (string * Lock_mode.t * duration) list
+(** Sorted by resource. *)
+
+val waiting_of : t -> txn:txn_id -> (string * Lock_mode.t) list
+val resources : t -> string list
+(** Resources with at least one granted or waiting entry, sorted. *)
+
+val entry_count : t -> int
+(** Currently granted lock entries. *)
+
+val peak_entry_count : t -> int
+(** High-water mark of {!entry_count} — "the number of the lock table
+    entries" of §4.4.2.1. *)
+
+val waits_for_edges : t -> (txn_id * txn_id) list
+(** Edges [waiter -> blocker] for deadlock detection: each queued request
+    waits for the incompatible holders and for incompatible earlier
+    waiters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/nf2/catalog.ml: Format Hashtbl List Map Path Result Schema String

@@ -1,0 +1,1 @@
+lib/nf2/catalog.mli: Format Path Schema

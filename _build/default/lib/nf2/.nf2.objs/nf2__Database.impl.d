@@ -1,0 +1,1 @@
+lib/nf2/database.ml: Catalog Format Index List Map Oid Option Path Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/nf2/database.mli: Catalog Format Oid Path Relation Schema Value

@@ -1,0 +1,1 @@
+lib/nf2/index.ml: List Map Path Printf Relation Schema Set String Value

@@ -1,0 +1,1 @@
+lib/nf2/index.mli: Path Relation Value

@@ -1,0 +1,1 @@
+lib/nf2/oid.ml: Format Hashtbl String

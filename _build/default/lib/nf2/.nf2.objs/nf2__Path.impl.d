@@ -1,0 +1,1 @@
+lib/nf2/path.ml: Format List String

@@ -1,0 +1,1 @@
+lib/nf2/relation.ml: Format List Map Oid Schema String Value

@@ -1,0 +1,1 @@
+lib/nf2/relation.mli: Format Oid Schema Value

@@ -1,0 +1,1 @@
+lib/nf2/schema.ml: Format List Path Result String

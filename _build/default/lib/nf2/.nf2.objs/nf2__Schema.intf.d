@@ -1,0 +1,1 @@
+lib/nf2/schema.mli: Format Path

@@ -1,0 +1,1 @@
+lib/nf2/statistics.ml: Float Format List Map Oid Path Relation Set String Value

@@ -1,0 +1,1 @@
+lib/nf2/statistics.mli: Format Path Relation

@@ -1,0 +1,1 @@
+lib/nf2/value.ml: Bool Float Format Int List Oid Path Result Schema String

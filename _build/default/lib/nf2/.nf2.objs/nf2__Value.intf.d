@@ -1,0 +1,1 @@
+lib/nf2/value.mli: Format Oid Path Schema

@@ -1,0 +1,119 @@
+module String_map = Map.Make (String)
+
+type t = { mutable schemas : Schema.relation String_map.t }
+
+type error =
+  | Duplicate_relation of string
+  | Unknown_target of { relation : string; path : Path.t; target : string }
+  | Recursive_reference of string list
+
+let pp_error formatter = function
+  | Duplicate_relation name ->
+    Format.fprintf formatter "relation %S already in catalog" name
+  | Unknown_target { relation; path; target } ->
+    Format.fprintf formatter
+      "relation %S references unknown relation %S at %a" relation target
+      Path.pp path
+  | Recursive_reference cycle ->
+    Format.fprintf formatter "recursive complex objects not supported: %s"
+      (String.concat " -> " cycle)
+
+let create () = { schemas = String_map.empty }
+
+let add catalog schema =
+  let name = schema.Schema.rel_name in
+  if String_map.mem name catalog.schemas then Error (Duplicate_relation name)
+  else begin
+    catalog.schemas <- String_map.add name schema catalog.schemas;
+    Ok ()
+  end
+
+let find catalog name = String_map.find_opt name catalog.schemas
+
+let relations catalog =
+  List.map snd (String_map.bindings catalog.schemas)
+
+let segments catalog =
+  let names =
+    List.map (fun schema -> schema.Schema.segment) (relations catalog)
+  in
+  List.sort_uniq String.compare names
+
+(* Reference edges between relations: [source -> targets]. *)
+let ref_edges catalog =
+  List.map
+    (fun schema ->
+      ( schema.Schema.rel_name,
+        List.map snd (Schema.reference_paths schema) ))
+    (relations catalog)
+
+let find_cycle catalog =
+  let edges = ref_edges catalog in
+  let targets_of name =
+    match List.assoc_opt name edges with None -> [] | Some targets -> targets
+  in
+  (* DFS with an explicit ancestor trail; the first back edge found yields the
+     cycle. *)
+  let visited = Hashtbl.create 16 in
+  let rec visit trail name =
+    if List.mem name trail then
+      (* [trail] is most-recent-first; rebuild the cycle name -> ... -> name. *)
+      let rec take_until accu = function
+        | [] -> accu
+        | head :: rest ->
+          if String.equal head name then head :: accu
+          else take_until (head :: accu) rest
+      in
+      Some (take_until [ name ] trail)
+    else if Hashtbl.mem visited name then None
+    else begin
+      Hashtbl.add visited name ();
+      let trail = name :: trail in
+      List.fold_left
+        (fun found target ->
+          match found with Some _ -> found | None -> visit trail target)
+        None (targets_of name)
+    end
+  in
+  List.fold_left
+    (fun found (name, _targets) ->
+      match found with Some _ -> found | None -> visit [] name)
+    None edges
+
+let validate catalog =
+  let ( let* ) = Result.bind in
+  let check_targets accu schema =
+    let* () = accu in
+    List.fold_left
+      (fun accu (path, target) ->
+        let* () = accu in
+        if String_map.mem target catalog.schemas then Ok ()
+        else
+          Error
+            (Unknown_target
+               { relation = schema.Schema.rel_name; path; target }))
+      (Ok ())
+      (Schema.reference_paths schema)
+  in
+  let* () = List.fold_left check_targets (Ok ()) (relations catalog) in
+  match find_cycle catalog with
+  | Some cycle -> Error (Recursive_reference cycle)
+  | None -> Ok ()
+
+let referencing catalog target =
+  List.concat_map
+    (fun schema ->
+      List.filter_map
+        (fun (path, ref_target) ->
+          if String.equal ref_target target then
+            Some (schema.Schema.rel_name, path)
+          else None)
+        (Schema.reference_paths schema))
+    (relations catalog)
+
+let is_shared catalog target =
+  match referencing catalog target with [] -> false | _ :: _ -> true
+
+let shared_relations catalog =
+  List.filter (is_shared catalog)
+    (List.map (fun schema -> schema.Schema.rel_name) (relations catalog))

@@ -1,0 +1,42 @@
+(** The catalog: all relation schemas of one database, plus the derived
+    sharing structure.
+
+    The protocol of the paper relies on catalog information in two places
+    (§4.4.2.1): finding the immediate parents of an entry point (always a
+    relation node, by the paper's §2 assumption), and knowing which relations
+    are "common data" — i.e. referenced by some relation and hence the homes
+    of inner units. *)
+
+type t
+
+type error =
+  | Duplicate_relation of string
+  | Unknown_target of { relation : string; path : Path.t; target : string }
+  | Recursive_reference of string list
+      (** cycle of relation names; the paper restricts itself to non-recursive
+          complex objects (§2), so reference cycles are rejected. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : unit -> t
+val add : t -> Schema.relation -> (unit, error) result
+val find : t -> string -> Schema.relation option
+val relations : t -> Schema.relation list
+(** Sorted by relation name. *)
+
+val segments : t -> string list
+(** Distinct segment names, sorted. *)
+
+val validate : t -> (unit, error) result
+(** Cross-relation checks: every [Ref] target exists; the reference graph
+    between relations is acyclic (non-recursive complex objects). *)
+
+val referencing : t -> string -> (string * Path.t) list
+(** [referencing catalog target] lists every (relation, path) whose schema
+    holds a reference to [target]. *)
+
+val is_shared : t -> string -> bool
+(** A relation is shared (its objects are entry points of inner units) when
+    some relation references it. *)
+
+val shared_relations : t -> string list

@@ -1,0 +1,70 @@
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+
+type t = {
+  relation : string;
+  path : Path.t;
+  mutable entries : String_set.t String_map.t;
+      (* rendered value -> object keys *)
+}
+
+let path index = index.path
+let relation index = index.relation
+
+let renderings value object_path =
+  List.filter_map Value.render_atomic (Value.project value object_path)
+
+let insert_entries index ~key value =
+  List.iter
+    (fun rendering ->
+      let keys =
+        match String_map.find_opt rendering index.entries with
+        | Some keys -> keys
+        | None -> String_set.empty
+      in
+      index.entries <-
+        String_map.add rendering (String_set.add key keys) index.entries)
+    (renderings value index.path)
+
+let remove_entries index ~key value =
+  List.iter
+    (fun rendering ->
+      match String_map.find_opt rendering index.entries with
+      | None -> ()
+      | Some keys ->
+        let keys = String_set.remove key keys in
+        index.entries <-
+          (if String_set.is_empty keys then
+             String_map.remove rendering index.entries
+           else String_map.add rendering keys index.entries))
+    (renderings value index.path)
+
+let build store index_path =
+  let schema = Relation.schema store in
+  match Schema.find_attr schema index_path with
+  | Some (Schema.Atomic _) ->
+    let index =
+      { relation = Relation.name store; path = index_path;
+        entries = String_map.empty }
+    in
+    Relation.fold
+      (fun key value () -> insert_entries index ~key value)
+      store ();
+    Ok index
+  | Some (Schema.Set _ | Schema.List _ | Schema.Tuple _) ->
+    Error
+      (Printf.sprintf "index path %s is not atomic" (Path.to_string index_path))
+  | None ->
+    Error
+      (Printf.sprintf "relation %s has no attribute %s" (Relation.name store)
+         (Path.to_string index_path))
+
+let lookup index probe =
+  match Value.render_atomic probe with
+  | None -> []
+  | Some rendering -> (
+    match String_map.find_opt rendering index.entries with
+    | None -> []
+    | Some keys -> String_set.elements keys)
+
+let cardinality index = String_map.cardinal index.entries

@@ -1,0 +1,35 @@
+(** Secondary indexes on atomic attribute paths.
+
+    An index maps the rendered values found at one atomic path of a relation
+    to the keys of the complex objects containing them (a path inside a
+    collection indexes every member, so one object can appear under several
+    index values). Indexes are maintained by {!Database} on every
+    insert/replace/delete.
+
+    Following the paper's §1, index synchronization itself is *action-
+    oriented* ([BaSc77]) and out of scope: index reads and updates here are
+    atomic operations; transaction-oriented locks protect only the data. The
+    integration of indexes into the lock technique proper is the paper's §5
+    future work. *)
+
+type t
+
+val build : Relation.t -> Path.t -> (t, string) result
+(** Scans the relation. Fails when the path does not resolve to an atomic
+    attribute of the relation's schema. *)
+
+val path : t -> Path.t
+val relation : t -> string
+
+val lookup : t -> Value.t -> string list
+(** Keys of the objects carrying the given atomic value at the indexed path,
+    ascending. Non-atomic probe values find nothing. *)
+
+val insert_entries : t -> key:string -> Value.t -> unit
+(** Registers one (new) object's values. *)
+
+val remove_entries : t -> key:string -> Value.t -> unit
+(** Unregisters one object's values (pass the stored value). *)
+
+val cardinality : t -> int
+(** Number of distinct indexed values. *)

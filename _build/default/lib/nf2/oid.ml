@@ -1,0 +1,26 @@
+type t = { relation : string; key : string }
+
+let make ~relation ~key = { relation; key }
+let relation oid = oid.relation
+let key oid = oid.key
+
+let equal a b = String.equal a.relation b.relation && String.equal a.key b.key
+
+let compare a b =
+  match String.compare a.relation b.relation with
+  | 0 -> String.compare a.key b.key
+  | order -> order
+
+let hash oid = Hashtbl.hash (oid.relation, oid.key)
+let to_string oid = oid.relation ^ "/" ^ oid.key
+
+let of_string text =
+  match String.index_opt text '/' with
+  | None -> None
+  | Some slash ->
+    let relation = String.sub text 0 slash in
+    let key = String.sub text (slash + 1) (String.length text - slash - 1) in
+    if String.equal relation "" || String.equal key "" then None
+    else Some { relation; key }
+
+let pp formatter oid = Format.pp_print_string formatter (to_string oid)

@@ -1,0 +1,24 @@
+(** Object identifiers for complex objects.
+
+    Following the paper's assumption that "a reference to common data always
+    references a complex object of a relation and never parts of any complex
+    object", an oid pairs a relation name with the (rendered) key value of one
+    of its complex objects. The paper makes no assumption on how references
+    are implemented (key values, surrogates, ...); this rendering-based oid is
+    one such implementation and the rest of the system never looks inside. *)
+
+type t = { relation : string; key : string }
+
+val make : relation:string -> key:string -> t
+val relation : t -> string
+val key : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** ["effectors/e1"]. *)
+
+val of_string : string -> t option
+(** Inverse of [to_string]; [None] when no ['/'] separator is present. *)

@@ -1,0 +1,33 @@
+type t = string list
+
+let root = []
+let of_list steps = steps
+let to_list path = path
+
+let of_string text =
+  if String.equal text "" then [] else String.split_on_char '.' text
+
+let to_string path = String.concat "." path
+let child path field = path @ [ field ]
+
+let parent path =
+  match List.rev path with
+  | [] -> None
+  | _last :: rev_front -> Some (List.rev rev_front)
+
+let last path =
+  match List.rev path with
+  | [] -> None
+  | final :: _ -> Some final
+
+let rec is_prefix ~prefix path =
+  match prefix, path with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | p :: prefix_rest, q :: path_rest ->
+    String.equal p q && is_prefix ~prefix:prefix_rest path_rest
+
+let length = List.length
+let equal = List.equal String.equal
+let compare = List.compare String.compare
+let pp formatter path = Format.pp_print_string formatter (to_string path)

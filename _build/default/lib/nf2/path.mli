@@ -1,0 +1,38 @@
+(** Attribute paths inside a complex-object schema.
+
+    A path names one attribute of a complex relation by the sequence of field
+    names traversed from the relation's (complex) tuple downwards, e.g.
+    ["c_objects"; "obj_id"] in the "cells" relation of the paper's Figure 1.
+    Collections (sets, lists) are traversed implicitly: a path step into a
+    set-of-tuples names a field of the member tuple. *)
+
+type t
+
+val root : t
+(** The empty path: the relation's own complex tuple. *)
+
+val of_list : string list -> t
+val to_list : t -> string list
+
+val of_string : string -> t
+(** Parses a dotted path, ["c_objects.obj_id"]. The empty string is [root]. *)
+
+val to_string : t -> string
+
+val child : t -> string -> t
+(** [child p f] extends [p] with one more field step. *)
+
+val parent : t -> t option
+(** [parent p] drops the last step; [None] on [root]. *)
+
+val last : t -> string option
+(** The final field name; [None] on [root]. *)
+
+val is_prefix : prefix:t -> t -> bool
+(** [is_prefix ~prefix p] holds when [prefix] is an ancestor of (or equal to)
+    [p]. *)
+
+val length : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

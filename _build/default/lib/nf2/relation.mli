@@ -1,0 +1,35 @@
+(** A stored complex relation: a keyed set of complex objects. *)
+
+type t
+
+type error =
+  | Schema_error of Schema.error
+  | Type_error of Value.type_error
+  | No_key of string  (** object value carries no renderable key *)
+  | Duplicate_key of string
+  | Unknown_key of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : Schema.relation -> (t, error) result
+(** Validates the schema and creates an empty relation. *)
+
+val schema : t -> Schema.relation
+val name : t -> string
+val insert : t -> Value.t -> (Oid.t, error) result
+val replace : t -> Value.t -> (Oid.t, error) result
+(** Like {!insert} but overwrites an existing object with the same key. *)
+
+val delete : t -> string -> (unit, error) result
+val find : t -> string -> Value.t option
+val mem : t -> string -> bool
+val cardinality : t -> int
+
+val fold : (string -> Value.t -> 'accu -> 'accu) -> t -> 'accu -> 'accu
+(** Iteration in ascending key order, so results are deterministic. *)
+
+val keys : t -> string list
+(** Ascending. *)
+
+val objects : t -> (string * Value.t) list
+(** Ascending by key. *)

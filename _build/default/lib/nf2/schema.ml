@@ -1,0 +1,179 @@
+type atomic = Str | Int | Real | Bool | Ref of string
+
+type attr_type =
+  | Atomic of atomic
+  | Set of attr_type
+  | List of attr_type
+  | Tuple of field list
+
+and field = { field_name : string; field_type : attr_type }
+
+type relation = {
+  rel_name : string;
+  segment : string;
+  key : string;
+  fields : field list;
+}
+
+let field field_name field_type = { field_name; field_type }
+
+let relation ~name ~segment ~key fields =
+  { rel_name = name; segment; key; fields }
+
+type error =
+  | Empty_relation_name
+  | Duplicate_field of Path.t
+  | Missing_key_field of string
+  | Key_not_atomic of string
+  | Key_is_reference of string
+  | Empty_tuple of Path.t
+  | Empty_field_name of Path.t
+
+let pp_error formatter = function
+  | Empty_relation_name -> Format.fprintf formatter "empty relation name"
+  | Duplicate_field path ->
+    Format.fprintf formatter "duplicate field name at %a" Path.pp path
+  | Missing_key_field key ->
+    Format.fprintf formatter "key field %S not among the relation's fields" key
+  | Key_not_atomic key ->
+    Format.fprintf formatter "key field %S is not atomic" key
+  | Key_is_reference key ->
+    Format.fprintf formatter "key field %S is a reference" key
+  | Empty_tuple path ->
+    Format.fprintf formatter "tuple with no fields at %a" Path.pp path
+  | Empty_field_name path ->
+    Format.fprintf formatter "empty field name under %a" Path.pp path
+
+(* Depth-first traversal over all fields, carrying the path to each field.
+   Collections are entered implicitly, matching [Path] semantics. *)
+let rec fold_fields visit accu path fields =
+  List.fold_left
+    (fun accu { field_name; field_type } ->
+      let field_path = Path.child path field_name in
+      let accu = visit accu field_path field_type in
+      fold_inner visit accu field_path field_type)
+    accu fields
+
+and fold_inner visit accu path = function
+  | Atomic _ -> accu
+  | Set inner | List inner -> fold_inner visit accu path inner
+  | Tuple fields -> fold_fields visit accu path fields
+
+let validate rel =
+  let ( let* ) = Result.bind in
+  let* () =
+    if String.equal rel.rel_name "" then Error Empty_relation_name else Ok ()
+  in
+  let rec check_fields path fields =
+    let* () =
+      let names = List.map (fun { field_name; _ } -> field_name) fields in
+      let sorted = List.sort String.compare names in
+      let rec first_dup = function
+        | a :: (b :: _ as rest) ->
+          if String.equal a b then Some a else first_dup rest
+        | [ _ ] | [] -> None
+      in
+      match first_dup sorted with
+      | Some name -> Error (Duplicate_field (Path.child path name))
+      | None -> Ok ()
+    in
+    let rec check_one accu { field_name; field_type } =
+      let* () = accu in
+      let* () =
+        if String.equal field_name "" then Error (Empty_field_name path)
+        else Ok ()
+      in
+      check_type (Path.child path field_name) field_type
+    and check_type path = function
+      | Atomic _ -> Ok ()
+      | Set inner | List inner -> check_type path inner
+      | Tuple [] -> Error (Empty_tuple path)
+      | Tuple fields -> check_fields path fields
+    in
+    List.fold_left check_one (Ok ()) fields
+  in
+  let* () = check_fields Path.root rel.fields in
+  match
+    List.find_opt
+      (fun { field_name; _ } -> String.equal field_name rel.key)
+      rel.fields
+  with
+  | None -> Error (Missing_key_field rel.key)
+  | Some { field_type = Atomic (Ref _); _ } -> Error (Key_is_reference rel.key)
+  | Some { field_type = Atomic (Str | Int | Real | Bool); _ } -> Ok ()
+  | Some { field_type = Set _ | List _ | Tuple _; _ } ->
+    Error (Key_not_atomic rel.key)
+
+(* [Set]/[List] are transparent to paths: a step below a collection of tuples
+   names a member-tuple field directly. *)
+let find_attr rel path =
+  let rec descend attr steps =
+    match steps with
+    | [] -> Some attr
+    | step :: rest -> (
+      match attr with
+      | Atomic _ -> None
+      | Set inner | List inner -> descend inner steps
+      | Tuple fields -> (
+        match
+          List.find_opt
+            (fun { field_name; _ } -> String.equal field_name step)
+            fields
+        with
+        | Some { field_type; _ } -> descend field_type rest
+        | None -> None))
+  in
+  descend (Tuple rel.fields) (Path.to_list path)
+
+(* A collection of references (e.g. the "effectors" set of Fig. 1) is itself
+   a reference-carrying path: collections are stripped before matching. *)
+let reference_paths rel =
+  let rec strip = function
+    | Set inner | List inner -> strip inner
+    | (Atomic _ | Tuple _) as base -> base
+  in
+  let visit accu path attr =
+    match strip attr with
+    | Atomic (Ref target) -> (path, target) :: accu
+    | Atomic (Str | Int | Real | Bool) | Tuple _ -> accu
+    | Set _ | List _ -> accu  (* unreachable after [strip] *)
+  in
+  List.rev (fold_fields visit [] Path.root rel.fields)
+
+let attr_paths rel =
+  let visit accu path _attr = path :: accu in
+  List.rev (fold_fields visit [] Path.root rel.fields)
+
+let depth rel =
+  let rec type_depth = function
+    | Atomic _ -> 0
+    | Set inner | List inner -> 1 + type_depth inner
+    | Tuple fields -> 1 + fields_depth fields
+  and fields_depth fields =
+    List.fold_left
+      (fun deepest { field_type; _ } -> max deepest (type_depth field_type))
+      0 fields
+  in
+  1 + fields_depth rel.fields
+
+let rec pp_attr_type formatter = function
+  | Atomic Str -> Format.pp_print_string formatter "str"
+  | Atomic Int -> Format.pp_print_string formatter "int"
+  | Atomic Real -> Format.pp_print_string formatter "real"
+  | Atomic Bool -> Format.pp_print_string formatter "bool"
+  | Atomic (Ref target) -> Format.fprintf formatter "ref(%s)" target
+  | Set inner -> Format.fprintf formatter "S<%a>" pp_attr_type inner
+  | List inner -> Format.fprintf formatter "L<%a>" pp_attr_type inner
+  | Tuple fields ->
+    let pp_field formatter { field_name; field_type } =
+      Format.fprintf formatter "%s: %a" field_name pp_attr_type field_type
+    in
+    Format.fprintf formatter "T(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun formatter () -> Format.pp_print_string formatter ", ")
+         pp_field)
+      fields
+
+let pp_relation formatter rel =
+  Format.fprintf formatter "relation %s (segment %s, key %s) %a" rel.rel_name
+    rel.segment rel.key pp_attr_type (Tuple rel.fields)

@@ -1,0 +1,71 @@
+(** Schemas of the extended NF² data model with references.
+
+    The paper (§1, §2) bases its discussion on the extended NF² data model
+    [PiAn86, ScSc86] plus a reference concept: an attribute of a relation may
+    again be table-valued (a set or a list), tuple-valued (a complex tuple),
+    atomic, or a reference to a complex object of another relation ("common
+    data"). Relations are sets of complex tuples. *)
+
+type atomic =
+  | Str
+  | Int
+  | Real
+  | Bool
+  | Ref of string
+      (** [Ref target] references a complex object of relation [target]. *)
+
+type attr_type =
+  | Atomic of atomic
+  | Set of attr_type  (** homogeneously structured, unordered *)
+  | List of attr_type  (** homogeneously structured, ordered *)
+  | Tuple of field list  (** heterogeneously structured *)
+
+and field = { field_name : string; field_type : attr_type }
+
+type relation = {
+  rel_name : string;
+  segment : string;  (** segment the relation is stored in *)
+  key : string;  (** name of the (atomic, non-reference) key field *)
+  fields : field list;  (** fields of the relation's complex tuples *)
+}
+
+val field : string -> attr_type -> field
+
+val relation :
+  name:string -> segment:string -> key:string -> field list -> relation
+
+type error =
+  | Empty_relation_name
+  | Duplicate_field of Path.t
+  | Missing_key_field of string
+  | Key_not_atomic of string
+  | Key_is_reference of string
+  | Empty_tuple of Path.t
+  | Empty_field_name of Path.t
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : relation -> (unit, error) result
+(** Structural well-formedness: non-empty names, unique sibling field names,
+    key present, atomic and not a reference, no empty tuples. Reference
+    targets are checked by {!Catalog.validate}, which sees all relations. *)
+
+val find_attr : relation -> Path.t -> attr_type option
+(** [find_attr rel path] resolves an attribute path, entering collections
+    implicitly (a step below a [Set]/[List] of tuples names a member field).
+    [Path.root] resolves to the relation's complex-tuple type. *)
+
+val reference_paths : relation -> (Path.t * string) list
+(** All paths to [Ref] attributes, with their target relations, in schema
+    (depth-first) order. *)
+
+val attr_paths : relation -> Path.t list
+(** All attribute paths of the relation in depth-first order, the root
+    excluded. *)
+
+val depth : relation -> int
+(** Nesting depth of the schema tree: 1 for a flat relation. *)
+
+val pp_attr_type : Format.formatter -> attr_type -> unit
+val pp_relation : Format.formatter -> relation -> unit
+(** Renders the schema tree in the S/L/T notation of the paper's Figure 1. *)

@@ -1,0 +1,106 @@
+type t = {
+  relation : string;
+  cardinality : int;
+  collection_sizes : (Path.t * float) list;
+  distinct_counts : (Path.t * int) list;
+}
+
+module Path_map = Map.Make (struct
+  type t = Path.t
+
+  let compare = Path.compare
+end)
+
+module String_set = Set.Make (String)
+
+let empty relation =
+  { relation; cardinality = 0; collection_sizes = []; distinct_counts = [] }
+
+let compute store =
+  let counts = ref Path_map.empty in
+  (* member count and instance count per collection path *)
+  let distincts = ref Path_map.empty in
+  let record_collection path members =
+    let members_before, instances_before =
+      match Path_map.find_opt path !counts with
+      | None -> 0, 0
+      | Some totals -> totals
+    in
+    counts :=
+      Path_map.add path (members_before + members, instances_before + 1) !counts
+  in
+  let record_atomic path rendering =
+    let seen =
+      match Path_map.find_opt path !distincts with
+      | None -> String_set.empty
+      | Some seen -> seen
+    in
+    distincts := Path_map.add path (String_set.add rendering seen) !distincts
+  in
+  let rec walk path value =
+    match value with
+    | Value.Str _ | Value.Int _ | Value.Real _ | Value.Bool _ -> (
+      match Value.render_atomic value with
+      | Some rendering -> record_atomic path rendering
+      | None -> ())
+    | Value.Ref oid -> record_atomic path (Oid.to_string oid)
+    | Value.Set members | Value.List members ->
+      record_collection path (List.length members);
+      List.iter (walk path) members
+    | Value.Tuple bindings ->
+      List.iter (fun (field, sub) -> walk (Path.child path field) sub) bindings
+  in
+  let cardinality =
+    Relation.fold
+      (fun _key value seen ->
+        walk Path.root value;
+        seen + 1)
+      store 0
+  in
+  let collection_sizes =
+    Path_map.bindings !counts
+    |> List.map (fun (path, (members, instances)) ->
+           (path, float_of_int members /. float_of_int (max 1 instances)))
+  in
+  let distinct_counts =
+    Path_map.bindings !distincts
+    |> List.map (fun (path, seen) -> (path, String_set.cardinal seen))
+  in
+  { relation = Relation.name store; cardinality; collection_sizes;
+    distinct_counts }
+
+let avg_collection_size stats path =
+  match
+    List.find_opt (fun (p, _size) -> Path.equal p path) stats.collection_sizes
+  with
+  | Some (_path, size) -> size
+  | None -> 1.0
+
+let selectivity_eq stats path =
+  match
+    List.find_opt (fun (p, _count) -> Path.equal p path) stats.distinct_counts
+  with
+  | Some (_path, count) when count > 0 -> 1.0 /. float_of_int count
+  | Some _ | None -> 1.0
+
+let estimate_matching stats predicate_path =
+  let cardinality = float_of_int stats.cardinality in
+  let matched =
+    match predicate_path with
+    | None -> cardinality
+    | Some path -> cardinality *. selectivity_eq stats path
+  in
+  if stats.cardinality = 0 then 0.0 else Float.max 1.0 matched
+
+let pp formatter stats =
+  Format.fprintf formatter "@[<v>stats(%s): cardinality %d" stats.relation
+    stats.cardinality;
+  List.iter
+    (fun (path, size) ->
+      Format.fprintf formatter "@,  |%a| ~ %.2f" Path.pp path size)
+    stats.collection_sizes;
+  List.iter
+    (fun (path, count) ->
+      Format.fprintf formatter "@,  #distinct(%a) = %d" Path.pp path count)
+    stats.distinct_counts;
+  Format.fprintf formatter "@]"

@@ -1,0 +1,148 @@
+type t =
+  | Str of string
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Ref of Oid.t
+  | Set of t list
+  | List of t list
+  | Tuple of (string * t) list
+
+let str text = Str text
+let int number = Int number
+let ref_to ~relation ~key = Ref (Oid.make ~relation ~key)
+
+type type_error = { at : Path.t; expected : Schema.attr_type; found : t }
+
+let rec pp formatter = function
+  | Str text -> Format.fprintf formatter "%S" text
+  | Int number -> Format.pp_print_int formatter number
+  | Real number -> Format.pp_print_float formatter number
+  | Bool flag -> Format.pp_print_bool formatter flag
+  | Ref oid -> Format.fprintf formatter "ref(%a)" Oid.pp oid
+  | Set members -> Format.fprintf formatter "{%a}" pp_members members
+  | List members -> Format.fprintf formatter "[%a]" pp_members members
+  | Tuple fields ->
+    let pp_field formatter (name, value) =
+      Format.fprintf formatter "%s: %a" name pp value
+    in
+    Format.fprintf formatter "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun formatter () -> Format.pp_print_string formatter ", ")
+         pp_field)
+      fields
+
+and pp_members formatter members =
+  Format.pp_print_list
+    ~pp_sep:(fun formatter () -> Format.pp_print_string formatter "; ")
+    pp formatter members
+
+let pp_type_error formatter { at; expected; found } =
+  Format.fprintf formatter "at %a: expected %a, found %a" Path.pp at
+    Schema.pp_attr_type expected pp found
+
+let typecheck attr value =
+  let ( let* ) = Result.bind in
+  let mismatch at expected found = Error { at; expected; found } in
+  let rec check path attr value =
+    match attr, value with
+    | Schema.Atomic Schema.Str, Str _
+    | Schema.Atomic Schema.Int, Int _
+    | Schema.Atomic Schema.Real, Real _
+    | Schema.Atomic Schema.Bool, Bool _ ->
+      Ok ()
+    | Schema.Atomic (Schema.Ref target), Ref oid ->
+      if String.equal (Oid.relation oid) target then Ok ()
+      else mismatch path attr value
+    | Schema.Set inner, Set members | Schema.List inner, List members ->
+      List.fold_left
+        (fun accu member ->
+          let* () = accu in
+          check path inner member)
+        (Ok ()) members
+    | Schema.Tuple fields, Tuple bindings ->
+      let rec check_fields fields bindings =
+        match fields, bindings with
+        | [], [] -> Ok ()
+        | { Schema.field_name; field_type } :: fields_rest,
+          (bound_name, bound_value) :: bindings_rest ->
+          if not (String.equal field_name bound_name) then
+            mismatch path attr value
+          else
+            let* () = check (Path.child path field_name) field_type bound_value in
+            check_fields fields_rest bindings_rest
+        | _ :: _, [] | [], _ :: _ -> mismatch path attr value
+      in
+      check_fields fields bindings
+    | Schema.Atomic _, (Str _ | Int _ | Real _ | Bool _ | Ref _ | Set _ | List _ | Tuple _)
+    | Schema.Set _, (Str _ | Int _ | Real _ | Bool _ | Ref _ | List _ | Tuple _)
+    | Schema.List _, (Str _ | Int _ | Real _ | Bool _ | Ref _ | Set _ | Tuple _)
+    | Schema.Tuple _, (Str _ | Int _ | Real _ | Bool _ | Ref _ | Set _ | List _)
+      ->
+      mismatch path attr value
+  in
+  check Path.root attr value
+
+let typecheck_object rel value =
+  typecheck (Schema.Tuple rel.Schema.fields) value
+
+let field value name =
+  match value with
+  | Tuple bindings -> List.assoc_opt name bindings
+  | Str _ | Int _ | Real _ | Bool _ | Ref _ | Set _ | List _ -> None
+
+let render_atomic = function
+  | Str text -> Some text
+  | Int number -> Some (string_of_int number)
+  | Real number -> Some (string_of_float number)
+  | Bool flag -> Some (string_of_bool flag)
+  | Ref _ | Set _ | List _ | Tuple _ -> None
+
+let key_of_object rel value =
+  match field value rel.Schema.key with
+  | None -> None
+  | Some key_value -> render_atomic key_value
+
+let project value path =
+  let rec walk values steps =
+    match steps with
+    | [] -> values
+    | step :: rest ->
+      let step_into value =
+        match value with
+        | Set members | List members -> walk members steps
+        | Tuple _ -> (
+          match field value step with
+          | Some sub -> walk [ sub ] rest
+          | None -> [])
+        | Str _ | Int _ | Real _ | Bool _ | Ref _ -> []
+      in
+      List.concat_map step_into values
+  in
+  walk [ value ] (Path.to_list path)
+
+let refs value =
+  let rec collect accu = function
+    | Ref oid -> oid :: accu
+    | Str _ | Int _ | Real _ | Bool _ -> accu
+    | Set members | List members -> List.fold_left collect accu members
+    | Tuple bindings ->
+      List.fold_left (fun accu (_name, sub) -> collect accu sub) accu bindings
+  in
+  List.rev (collect [] value)
+
+let rec equal a b =
+  match a, b with
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Real x, Real y -> Float.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Ref x, Ref y -> Oid.equal x y
+  | Set xs, Set ys | List xs, List ys -> List.equal equal xs ys
+  | Tuple xs, Tuple ys ->
+    List.equal
+      (fun (name_x, value_x) (name_y, value_y) ->
+        String.equal name_x name_y && equal value_x value_y)
+      xs ys
+  | (Str _ | Int _ | Real _ | Bool _ | Ref _ | Set _ | List _ | Tuple _), _ ->
+    false

@@ -1,0 +1,1 @@
+lib/query/analyzer.ml: Ast Colock Format List Nf2 Result String

@@ -1,0 +1,1 @@
+lib/query/analyzer.mli: Ast Colock Format Nf2

@@ -1,0 +1,1 @@
+lib/query/ast.ml: Colock Format Nf2

@@ -1,0 +1,1 @@
+lib/query/executor.ml: Analyzer Ast Colock Format List Lockmgr Nf2 Option Parser Printf String

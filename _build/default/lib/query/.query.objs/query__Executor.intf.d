@@ -1,0 +1,1 @@
+lib/query/executor.mli: Analyzer Ast Colock Format Lockmgr Nf2 Parser

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Char Format List Nf2 Printf String

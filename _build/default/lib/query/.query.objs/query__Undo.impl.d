@@ -1,0 +1,1 @@
+lib/query/undo.ml: Colock Executor Hashtbl List Lockmgr Nf2

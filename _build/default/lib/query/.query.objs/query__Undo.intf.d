@@ -1,0 +1,1 @@
+lib/query/undo.mli: Executor Lockmgr Nf2

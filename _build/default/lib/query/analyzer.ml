@@ -1,0 +1,115 @@
+type resolved_var = {
+  name : string;
+  relation : string;
+  path : Nf2.Path.t;
+}
+
+type analysis = {
+  ast : Ast.t;
+  vars : resolved_var list;
+  target : resolved_var;
+  object_conditions : (Nf2.Path.t * Ast.literal) list;
+  accesses : Colock.Access.t list;
+}
+
+type error =
+  | Unknown_relation of string
+  | Unknown_variable of string
+  | Unknown_attribute of { relation : string; path : Nf2.Path.t }
+  | Not_a_collection of { relation : string; path : Nf2.Path.t }
+  | Duplicate_variable of string
+
+let pp_error formatter = function
+  | Unknown_relation name ->
+    Format.fprintf formatter "unknown relation %S" name
+  | Unknown_variable name ->
+    Format.fprintf formatter "unknown variable %S" name
+  | Unknown_attribute { relation; path } ->
+    Format.fprintf formatter "relation %S has no attribute %a" relation
+      Nf2.Path.pp path
+  | Not_a_collection { relation; path } ->
+    Format.fprintf formatter "%s.%a is not a collection" relation Nf2.Path.pp
+      path
+  | Duplicate_variable name ->
+    Format.fprintf formatter "variable %S bound twice" name
+
+let join base extension =
+  Nf2.Path.of_list (Nf2.Path.to_list base @ Nf2.Path.to_list extension)
+
+let analyze catalog ast =
+  let ( let* ) = Result.bind in
+  let resolve_binding vars { Ast.var; source } =
+    let* vars = vars in
+    let* () =
+      if List.exists (fun resolved -> String.equal resolved.name var) vars then
+        Error (Duplicate_variable var)
+      else Ok ()
+    in
+    match source with
+    | Ast.From_relation relation -> (
+      match Nf2.Catalog.find catalog relation with
+      | None -> Error (Unknown_relation relation)
+      | Some _schema ->
+        Ok ({ name = var; relation; path = Nf2.Path.root } :: vars))
+    | Ast.From_path (base_var, extension) -> (
+      match
+        List.find_opt (fun resolved -> String.equal resolved.name base_var) vars
+      with
+      | None -> Error (Unknown_variable base_var)
+      | Some base -> (
+        let path = join base.path extension in
+        match Nf2.Catalog.find catalog base.relation with
+        | None -> Error (Unknown_relation base.relation)
+        | Some schema -> (
+          match Nf2.Schema.find_attr schema path with
+          | None ->
+            Error (Unknown_attribute { relation = base.relation; path })
+          | Some (Nf2.Schema.Set _ | Nf2.Schema.List _) ->
+            Ok ({ name = var; relation = base.relation; path } :: vars)
+          | Some (Nf2.Schema.Atomic _ | Nf2.Schema.Tuple _) ->
+            Error (Not_a_collection { relation = base.relation; path }))))
+  in
+  let* vars_reversed =
+    List.fold_left resolve_binding (Ok []) ast.Ast.bindings
+  in
+  let vars = List.rev vars_reversed in
+  let* target =
+    match
+      List.find_opt (fun resolved -> String.equal resolved.name ast.Ast.select) vars
+    with
+    | Some target -> Ok target
+    | None -> Error (Unknown_variable ast.Ast.select)
+  in
+  (* Resolve conditions to object-rooted paths and check they are atomic. *)
+  let resolve_condition conditions { Ast.cond_var; cond_path; value } =
+    let* conditions = conditions in
+    match
+      List.find_opt (fun resolved -> String.equal resolved.name cond_var) vars
+    with
+    | None -> Error (Unknown_variable cond_var)
+    | Some base -> (
+      let path = join base.path cond_path in
+      match Nf2.Catalog.find catalog base.relation with
+      | None -> Error (Unknown_relation base.relation)
+      | Some schema -> (
+        match Nf2.Schema.find_attr schema path with
+        | Some (Nf2.Schema.Atomic _) -> Ok ((path, value) :: conditions)
+        | Some (Nf2.Schema.Set _ | Nf2.Schema.List _ | Nf2.Schema.Tuple _) | None
+          ->
+          Error (Unknown_attribute { relation = base.relation; path })))
+  in
+  let* conditions_reversed =
+    List.fold_left resolve_condition (Ok []) ast.Ast.where
+  in
+  let object_conditions = List.rev conditions_reversed in
+  let predicate =
+    match object_conditions with
+    | (path, _value) :: _ -> Some path
+    | [] -> None
+  in
+  let accesses =
+    [ Colock.Access.make ?predicate ~target:target.path
+        (Ast.access_kind ast.Ast.clause)
+        target.relation ]
+  in
+  Ok { ast; vars; target; object_conditions; accesses }

@@ -1,0 +1,36 @@
+(** Query analysis: resolving variables against the catalog and deriving the
+    access specifications that drive lock planning (§4.1: "each query to be
+    processed is first analyzed to find out which attributes will be accessed
+    and which kind of access will be done"). *)
+
+type resolved_var = {
+  name : string;
+  relation : string;  (** root relation the variable ranges over *)
+  path : Nf2.Path.t;  (** path from the relation's objects; root for [c IN cells] *)
+}
+
+type analysis = {
+  ast : Ast.t;
+  vars : resolved_var list;
+  target : resolved_var;  (** the selected variable *)
+  object_conditions : (Nf2.Path.t * Ast.literal) list;
+      (** conditions restricting which complex objects qualify, as paths from
+          the object root *)
+  accesses : Colock.Access.t list;
+      (** what to lock: one access for the selected variable *)
+}
+
+type error =
+  | Unknown_relation of string
+  | Unknown_variable of string
+  | Unknown_attribute of { relation : string; path : Nf2.Path.t }
+  | Not_a_collection of { relation : string; path : Nf2.Path.t }
+  | Duplicate_variable of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val analyze : Nf2.Catalog.t -> Ast.t -> (analysis, error) result
+(** Variables bound by [v IN other.path] must range over collection
+    attributes; every condition path must resolve to an atomic attribute. The
+    access's predicate is the first condition path (used for selectivity
+    estimation). *)

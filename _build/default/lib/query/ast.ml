@@ -1,0 +1,68 @@
+type source = From_relation of string | From_path of string * Nf2.Path.t
+type binding = { var : string; source : source }
+
+type literal = L_str of string | L_int of int | L_real of float | L_bool of bool
+
+type condition = {
+  cond_var : string;
+  cond_path : Nf2.Path.t;
+  value : literal;
+}
+
+type access_clause = For_read | For_update | For_delete
+
+type t = {
+  select : string;
+  bindings : binding list;
+  where : condition list;
+  clause : access_clause;
+}
+
+let literal_to_value = function
+  | L_str text -> Nf2.Value.Str text
+  | L_int number -> Nf2.Value.Int number
+  | L_real number -> Nf2.Value.Real number
+  | L_bool flag -> Nf2.Value.Bool flag
+
+let access_kind = function
+  | For_read -> Colock.Access.Read
+  | For_update -> Colock.Access.Update
+  | For_delete -> Colock.Access.Delete
+
+let pp_literal formatter = function
+  | L_str text -> Format.fprintf formatter "'%s'" text
+  | L_int number -> Format.pp_print_int formatter number
+  | L_real number -> Format.pp_print_float formatter number
+  | L_bool flag -> Format.pp_print_bool formatter flag
+
+let pp_source formatter = function
+  | From_relation relation -> Format.pp_print_string formatter relation
+  | From_path (var, path) ->
+    Format.fprintf formatter "%s.%a" var Nf2.Path.pp path
+
+let pp formatter { select; bindings; where; clause } =
+  let pp_binding formatter { var; source } =
+    Format.fprintf formatter "%s IN %a" var pp_source source
+  in
+  let pp_condition formatter { cond_var; cond_path; value } =
+    Format.fprintf formatter "%s.%a = %a" cond_var Nf2.Path.pp cond_path
+      pp_literal value
+  in
+  Format.fprintf formatter "SELECT %s FROM %a" select
+    (Format.pp_print_list
+       ~pp_sep:(fun formatter () -> Format.pp_print_string formatter ", ")
+       pp_binding)
+    bindings;
+  (match where with
+   | [] -> ()
+   | _ :: _ ->
+     Format.fprintf formatter " WHERE %a"
+       (Format.pp_print_list
+          ~pp_sep:(fun formatter () -> Format.pp_print_string formatter " AND ")
+          pp_condition)
+       where);
+  Format.fprintf formatter " FOR %s"
+    (match clause with
+     | For_read -> "READ"
+     | For_update -> "UPDATE"
+     | For_delete -> "DELETE")

@@ -1,0 +1,48 @@
+(** Abstract syntax of the HDBL-like query dialect of the paper's Figure 3.
+
+    The dialect covers what the paper's examples need:
+
+    {v
+    SELECT o FROM c IN cells, o IN c.c_objects
+      WHERE c.cell_id = 'c1' FOR READ
+    SELECT r FROM c IN cells, r IN c.robots
+      WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE
+    v}
+
+    Variables range over relations or over (possibly nested) collection
+    attributes of other variables; WHERE is a conjunction of equality
+    comparisons between a variable path and a literal; the access clause is
+    FOR READ / FOR UPDATE / FOR DELETE. *)
+
+type source =
+  | From_relation of string  (** [c IN cells] *)
+  | From_path of string * Nf2.Path.t  (** [o IN c.c_objects] *)
+
+type binding = { var : string; source : source }
+
+type literal =
+  | L_str of string
+  | L_int of int
+  | L_real of float
+  | L_bool of bool
+
+type condition = {
+  cond_var : string;
+  cond_path : Nf2.Path.t;  (** non-empty: [c.cell_id] has path [cell_id] *)
+  value : literal;
+}
+
+type access_clause = For_read | For_update | For_delete
+
+type t = {
+  select : string;  (** the selected variable *)
+  bindings : binding list;
+  where : condition list;  (** conjunction; empty means all *)
+  clause : access_clause;
+}
+
+val literal_to_value : literal -> Nf2.Value.t
+val access_kind : access_clause -> Colock.Access.kind
+val pp_literal : Format.formatter -> literal -> unit
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints back to concrete syntax. *)

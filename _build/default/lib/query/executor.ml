@@ -1,0 +1,427 @@
+module Path = Nf2.Path
+module Value = Nf2.Value
+module Oid = Nf2.Oid
+module Node_id = Colock.Node_id
+module Graph = Colock.Instance_graph
+module Protocol = Colock.Protocol
+module Mode = Lockmgr.Lock_mode
+
+type write =
+  | Wrote_replace of { relation : string; before : Value.t }
+  | Wrote_insert of { oid : Oid.t }
+  | Wrote_delete of { relation : string; before : Value.t }
+
+type t = {
+  db : Nf2.Database.t;
+  threshold : int;
+  protocol : Protocol.t;
+  mutable stats : (string * Nf2.Statistics.t) list;
+  mutable write_hook :
+    (Lockmgr.Lock_table.txn_id -> write -> unit) option;
+}
+
+let compute_statistics db =
+  List.map
+    (fun store -> (Nf2.Relation.name store, Nf2.Statistics.compute store))
+    (Nf2.Database.relations db)
+
+let create ?(threshold = 16) db protocol =
+  { db; threshold; protocol; stats = compute_statistics db;
+    write_hook = None }
+
+let set_write_hook executor hook = executor.write_hook <- Some hook
+
+let notify_write executor ~txn write =
+  match executor.write_hook with
+  | Some hook -> hook txn write
+  | None -> ()
+
+let database executor = executor.db
+let protocol executor = executor.protocol
+let refresh_statistics executor = executor.stats <- compute_statistics executor.db
+
+let stats_for executor relation =
+  match List.assoc_opt relation executor.stats with
+  | Some stats -> stats
+  | None -> Nf2.Statistics.empty relation
+
+type row = { oid : Oid.t; node : Node_id.t; value : Value.t }
+
+type result_set = {
+  rows : row list;
+  plan : Colock.Query_graph.t;
+  locks_requested : int;
+  used_index : bool;
+}
+
+type error =
+  | Parse_error of Parser.error
+  | Analysis_error of Analyzer.error
+  | Blocked of {
+      node : Node_id.t;
+      blockers : Lockmgr.Lock_table.txn_id list;
+      waiting : bool;
+    }
+  | Database_error of Nf2.Database.error
+  | Graph_error of string
+
+let pp_error formatter = function
+  | Parse_error parse_error -> Parser.pp_error formatter parse_error
+  | Analysis_error analysis_error -> Analyzer.pp_error formatter analysis_error
+  | Blocked { node; blockers; waiting } ->
+    Format.fprintf formatter "blocked on %a by %s%s" Node_id.pp node
+      (String.concat ", "
+         (List.map (Printf.sprintf "T%d") blockers))
+      (if waiting then " (queued)" else "")
+  | Database_error db_error -> Nf2.Database.pp_error formatter db_error
+  | Graph_error message -> Format.pp_print_string formatter message
+
+(* Walk instance nodes and values in lockstep.  Instance children of a HoLU
+   were built in member order, so positional pairing is exact. *)
+let rec resolve_pairs graph (node_id, value) steps =
+  match steps with
+  | [] -> [ (node_id, value) ]
+  | step :: rest -> (
+    let node = Graph.node_exn graph node_id in
+    match node.Graph.kind, value with
+    | Colock.Lockable.Helu, Value.Tuple bindings -> (
+      match List.assoc_opt step bindings with
+      | Some sub -> resolve_pairs graph (Node_id.child node_id step, sub) rest
+      | None -> [])
+    | Colock.Lockable.Holu, (Value.Set members | Value.List members) ->
+      List.concat
+        (List.map2
+           (fun child member -> resolve_pairs graph (child, member) steps)
+           node.Graph.children members)
+    | (Colock.Lockable.Blu | Colock.Lockable.Helu | Colock.Lockable.Holu), _ ->
+      [])
+
+(* Members of the collections at [path]; for [path = root], the object
+   itself forms the single "member". *)
+let member_pairs graph (object_node, object_value) path =
+  if Path.equal path Path.root then [ (object_node, object_value) ]
+  else
+    let holus = resolve_pairs graph (object_node, object_value) (Path.to_list path) in
+    List.concat_map
+      (fun (holu_id, holu_value) ->
+        let node = Graph.node_exn graph holu_id in
+        match node.Graph.kind, holu_value with
+        | Colock.Lockable.Holu, (Value.Set members | Value.List members) ->
+          List.combine node.Graph.children members
+        | (Colock.Lockable.Blu | Colock.Lockable.Helu | Colock.Lockable.Holu), _
+          ->
+          (* selecting from a non-collection path yields the value itself *)
+          [ (holu_id, holu_value) ])
+      holus
+
+let literal_matches literal value = Value.equal (Ast.literal_to_value literal) value
+
+(* Existential semantics: the object qualifies if every condition is
+   satisfied by at least one value reached by its path. *)
+let object_qualifies object_value conditions =
+  List.for_all
+    (fun (path, literal) ->
+      List.exists (literal_matches literal) (Value.project object_value path))
+    conditions
+
+(* Conditions strictly below the target path, re-rooted at the member. *)
+let member_conditions target conditions =
+  List.filter_map
+    (fun (path, literal) ->
+      if
+        Path.is_prefix ~prefix:target path
+        && Path.length path > Path.length target
+      then
+        let relative =
+          Path.of_list
+            (let rec drop count steps =
+               if count = 0 then steps
+               else match steps with [] -> [] | _ :: rest -> drop (count - 1) rest
+             in
+             drop (Path.length target) (Path.to_list path))
+        in
+        Some (relative, literal)
+      else None)
+    conditions
+
+let member_matches relative_conditions member_value =
+  List.for_all
+    (fun (path, literal) ->
+      List.exists (literal_matches literal) (Value.project member_value path))
+    relative_conditions
+
+type lock_target = { lt_node : Node_id.t; lt_mode : Mode.t }
+
+exception Blocked_exception of {
+  node : Node_id.t;
+  blockers : Lockmgr.Lock_table.txn_id list;
+  waiting : bool;
+}
+
+let acquire_all executor ~txn ~wait targets =
+  List.iter
+    (fun { lt_node; lt_mode } ->
+      let outcome =
+        if wait then Protocol.acquire executor.protocol ~txn lt_node lt_mode
+        else Protocol.try_acquire executor.protocol ~txn lt_node lt_mode
+      in
+      match outcome with
+      | Protocol.Acquired _ -> ()
+      | Protocol.Blocked { step; blockers; _ } ->
+        raise
+          (Blocked_exception
+             { node = step.Protocol.node; blockers; waiting = wait }))
+    targets
+
+let run executor ~txn ?(wait = true) ast =
+  let graph = Protocol.graph executor.protocol in
+  let catalog = Nf2.Database.catalog executor.db in
+  match Analyzer.analyze catalog ast with
+  | Error analysis_error -> Error (Analysis_error analysis_error)
+  | Ok analysis -> (
+    let plan =
+      Colock.Query_graph.build ~threshold:executor.threshold catalog
+        ~stats:(stats_for executor) analysis.Analyzer.accesses
+    in
+    let choice =
+      match plan.Colock.Query_graph.choices with
+      | [ choice ] -> choice
+      | choices -> (
+        match choices with
+        | choice :: _ -> choice
+        | [] -> invalid_arg "Executor: no lock choice")
+    in
+    let target = analysis.Analyzer.target in
+    let mode = choice.Colock.Query_graph.mode in
+    let relative_conditions =
+      member_conditions target.Analyzer.path analysis.Analyzer.object_conditions
+    in
+    let store =
+      match Nf2.Database.relation executor.db target.Analyzer.relation with
+      | Some store -> store
+      | None -> invalid_arg "Executor: relation disappeared"
+    in
+    (* Qualifying complex objects with their instance nodes; an index on an
+       equality-condition path narrows the scan to its candidates. *)
+    let index_candidates =
+      List.find_map
+        (fun (path, literal) ->
+          Nf2.Database.index_lookup executor.db
+            ~relation:target.Analyzer.relation ~path
+            (Ast.literal_to_value literal))
+        analysis.Analyzer.object_conditions
+    in
+    let qualify key value accu =
+      if object_qualifies value analysis.Analyzer.object_conditions then
+        let oid = Oid.make ~relation:target.Analyzer.relation ~key in
+        match Graph.object_node graph oid with
+        | Some node -> (oid, node, value) :: accu
+        | None -> accu
+      else accu
+    in
+    let objects =
+      match index_candidates with
+      | Some keys ->
+        List.fold_left
+          (fun accu key ->
+            match Nf2.Relation.find store key with
+            | Some value -> qualify key value accu
+            | None -> accu)
+          [] keys
+        |> List.rev
+      | None -> List.rev (Nf2.Relation.fold qualify store [])
+    in
+    (* Rows: the members the selected variable ranges over. *)
+    let rows =
+      List.concat_map
+        (fun (oid, object_node, object_value) ->
+          member_pairs graph (object_node, object_value) target.Analyzer.path
+          |> List.filter (fun (_node, value) ->
+                 member_matches relative_conditions value)
+          |> List.map (fun (node, value) -> { oid; node; value }))
+        objects
+    in
+    (* Lock targets, per the paper's placement rules. *)
+    let lock_targets =
+      match relative_conditions with
+      | _ :: _ when List.length rows <= executor.threshold ->
+        (* member-pinning conditions: lock exactly the selected members *)
+        List.map (fun { node; _ } -> { lt_node = node; lt_mode = mode }) rows
+      | _ -> (
+        match choice.Colock.Query_graph.granule with
+        | Colock.Query_graph.Whole_relation -> (
+          match Graph.relation_node graph target.Analyzer.relation with
+          | Some node -> [ { lt_node = node; lt_mode = mode } ]
+          | None -> [])
+        | Colock.Query_graph.Whole_object ->
+          List.map
+            (fun (_oid, node, _value) -> { lt_node = node; lt_mode = mode })
+            objects
+        | Colock.Query_graph.Subtree path ->
+          List.concat_map
+            (fun (oid, _node, _value) ->
+              List.map
+                (fun node -> { lt_node = node; lt_mode = mode })
+                (Graph.nodes_at_path graph oid path))
+            objects)
+    in
+    match acquire_all executor ~txn ~wait lock_targets with
+    | () ->
+      Ok { rows; plan; locks_requested = List.length lock_targets;
+           used_index = Option.is_some index_candidates }
+    | exception Blocked_exception { node; blockers; waiting } ->
+      Error (Blocked { node; blockers; waiting }))
+
+let run_string executor ~txn ?wait text =
+  match Parser.parse text with
+  | Error parse_error -> Error (Parse_error parse_error)
+  | Ok ast -> run executor ~txn ?wait ast
+
+let insert_object executor ~txn ?(wait = true) relation value =
+  let graph = Protocol.graph executor.protocol in
+  let catalog = Nf2.Database.catalog executor.db in
+  match Nf2.Catalog.find catalog relation, Graph.relation_node graph relation with
+  | None, _ | _, None ->
+    Error (Database_error (Nf2.Database.Unknown_relation relation))
+  | Some schema, Some relation_node -> (
+    match Nf2.Value.key_of_object schema value with
+    | None ->
+      Error (Database_error (Nf2.Database.Relation_error (Nf2.Relation.No_key relation)))
+    | Some key -> (
+      (* IX down to the relation node, then X on the future object node (the
+         lock table is name-based, so locking a not-yet-existing node is
+         fine — this is exactly what keeps relation scans phantom-safe). *)
+      let lock_new_object () =
+        let candidate = Node_id.child relation_node key in
+        let table = Protocol.table executor.protocol in
+        let resource = Node_id.to_resource candidate in
+        if wait then
+          match Lockmgr.Lock_table.request table ~txn ~resource Mode.X with
+          | Lockmgr.Lock_table.Granted -> Ok ()
+          | Lockmgr.Lock_table.Waiting blockers ->
+            Error (Blocked { node = candidate; blockers; waiting = true })
+        else
+          match Lockmgr.Lock_table.try_request table ~txn ~resource Mode.X with
+          | `Granted -> Ok ()
+          | `Would_block blockers ->
+            Error (Blocked { node = candidate; blockers; waiting = false })
+      in
+      let chain =
+        if wait then Protocol.acquire executor.protocol ~txn relation_node Mode.IX
+        else Protocol.try_acquire executor.protocol ~txn relation_node Mode.IX
+      in
+      match chain with
+      | Protocol.Blocked { step; blockers; _ } ->
+        Error (Blocked { node = step.Protocol.node; blockers; waiting = wait })
+      | Protocol.Acquired _ -> (
+        match lock_new_object () with
+        | Error _ as error -> error
+        | Ok () -> (
+          match Nf2.Database.insert executor.db relation value with
+          | Error db_error -> Error (Database_error db_error)
+          | Ok oid -> (
+            match Graph.insert_object graph catalog schema ~key value with
+            | Error message -> Error (Graph_error message)
+            | Ok _node ->
+              notify_write executor ~txn (Wrote_insert { oid });
+              Ok oid)))))
+
+let delete_object executor ~txn ?(wait = true) oid =
+  let graph = Protocol.graph executor.protocol in
+  match Graph.object_node graph oid with
+  | None ->
+    Error (Database_error (Nf2.Database.Unknown_relation (Oid.relation oid)))
+  | Some object_node -> (
+    (* §4.5 semantics refinement: a plain delete never accesses the
+       referenced common data, so downward propagation is skipped ("no locks
+       on common data are necessary at all"). *)
+    let outcome =
+      if wait then
+        Protocol.acquire executor.protocol ~txn ~follow_references:false
+          object_node Mode.X
+      else
+        Protocol.try_acquire executor.protocol ~txn ~follow_references:false
+          object_node Mode.X
+    in
+    match outcome with
+    | Protocol.Blocked { step; blockers; _ } ->
+      Error (Blocked { node = step.Protocol.node; blockers; waiting = wait })
+    | Protocol.Acquired _ -> (
+      let before = Nf2.Database.deref executor.db oid in
+      (* graph first: it refuses while the object is still referenced *)
+      match Graph.delete_object graph oid with
+      | Error message -> Error (Graph_error message)
+      | Ok () -> (
+        match Nf2.Database.delete executor.db oid with
+        | Error db_error -> Error (Database_error db_error)
+        | Ok () ->
+          (match before with
+           | Some before ->
+             notify_write executor ~txn
+               (Wrote_delete { relation = Oid.relation oid; before })
+           | None -> ());
+          Ok ())))
+
+(* Rebuild the object value with the sub-value at the row's node replaced. *)
+let apply_update executor ~txn row update =
+  let graph = Protocol.graph executor.protocol in
+  let object_node =
+    match Graph.object_node graph row.oid with
+    | Some node -> node
+    | None -> invalid_arg "Executor.apply_update: unknown object"
+  in
+  let relative_steps =
+    let rec drop count steps =
+      if count = 0 then steps
+      else match steps with [] -> [] | _ :: rest -> drop (count - 1) rest
+    in
+    drop (Node_id.depth object_node) (Node_id.steps row.node)
+  in
+  let rec rebuild node_id value steps =
+    match steps with
+    | [] -> update value
+    | step :: rest -> (
+      let node = Graph.node_exn graph node_id in
+      match node.Graph.kind, value with
+      | Colock.Lockable.Helu, Value.Tuple bindings ->
+        Value.Tuple
+          (List.map
+             (fun (field, sub) ->
+               if String.equal field step then
+                 (field, rebuild (Node_id.child node_id step) sub rest)
+               else (field, sub))
+             bindings)
+      | Colock.Lockable.Holu, Value.Set members ->
+        Value.Set (rebuild_members node_id members (step :: rest))
+      | Colock.Lockable.Holu, Value.List members ->
+        Value.List (rebuild_members node_id members (step :: rest))
+      | (Colock.Lockable.Blu | Colock.Lockable.Helu | Colock.Lockable.Holu), _
+        ->
+        value)
+  and rebuild_members node_id members steps =
+    let node = Graph.node_exn graph node_id in
+    List.map2
+      (fun child member ->
+        match steps with
+        | step :: rest
+          when (match List.rev (Node_id.steps child) with
+                | leaf :: _ -> String.equal leaf step
+                | [] -> false) ->
+          rebuild child member rest
+        | _ :: _ | [] -> member)
+      node.Graph.children members
+  in
+  let store_value =
+    match Nf2.Database.deref executor.db row.oid with
+    | Some value -> value
+    | None -> invalid_arg "Executor.apply_update: object disappeared"
+  in
+  let updated = rebuild object_node store_value relative_steps in
+  match
+    Nf2.Database.replace executor.db (Oid.relation row.oid) updated
+  with
+  | Ok _oid ->
+    notify_write executor ~txn
+      (Wrote_replace { relation = Oid.relation row.oid; before = store_value });
+    Ok ()
+  | Error error -> Error error

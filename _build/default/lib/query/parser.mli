@@ -1,0 +1,9 @@
+(** Hand-written lexer and recursive-descent parser for the query dialect. *)
+
+type error = { position : int; message : string }
+(** [position] is a 0-based character offset into the input. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.t, error) result
+(** Keywords are case-insensitive; string literals are single-quoted. *)

@@ -1,0 +1,84 @@
+type t = {
+  db : Nf2.Database.t;
+  graph : Colock.Instance_graph.t;
+  table : Lockmgr.Lock_table.t;
+  rights : Authz.Rights.t;
+  protocol : Colock.Protocol.t;
+  executor : Query.Executor.t;
+  manager : Txn.Txn_manager.t;
+  undo : Query.Undo.t;
+}
+
+let create ?rule ?threshold db =
+  let graph = Colock.Instance_graph.build db in
+  let table = Lockmgr.Lock_table.create () in
+  let rights = Authz.Rights.create () in
+  let protocol = Colock.Protocol.create ?rule ~rights graph table in
+  let executor = Query.Executor.create ?threshold db protocol in
+  let manager = Txn.Txn_manager.create protocol in
+  let undo = Query.Undo.create () in
+  Query.Undo.attach undo executor;
+  { db; graph; table; rights; protocol; executor; manager; undo }
+
+let database session = session.db
+let executor session = session.executor
+let manager session = session.manager
+let rights session = session.rights
+let graph session = session.graph
+let lock_table session = session.table
+
+let begin_txn ?kind session = Txn.Txn_manager.begin_txn ?kind session.manager
+
+let set_library_read_only session ~relation =
+  Authz.Rights.set_relation_default session.rights ~relation false
+
+type 'result outcome = ('result, Query.Executor.error) result
+
+let query session txn text =
+  match
+    Query.Executor.run_string session.executor ~txn:txn.Txn.Transaction.id text
+  with
+  | Ok result -> Ok result.Query.Executor.rows
+  | Error _ as error -> error
+
+let update session txn text transform =
+  match
+    Query.Executor.run_string session.executor ~txn:txn.Txn.Transaction.id text
+  with
+  | Error _ as error -> error
+  | Ok result ->
+    let rec apply count = function
+      | [] -> Ok count
+      | row :: rest -> (
+        match
+          Query.Executor.apply_update session.executor
+            ~txn:txn.Txn.Transaction.id row transform
+        with
+        | Ok () -> apply (count + 1) rest
+        | Error db_error -> Error (Query.Executor.Database_error db_error))
+    in
+    apply 0 result.Query.Executor.rows
+
+let insert session txn relation value =
+  Query.Executor.insert_object session.executor ~txn:txn.Txn.Transaction.id
+    relation value
+
+let delete session txn oid =
+  Query.Executor.delete_object session.executor ~txn:txn.Txn.Transaction.id oid
+
+let commit session txn =
+  Query.Undo.forget session.undo ~txn:txn.Txn.Transaction.id;
+  let (_ : Lockmgr.Lock_table.grant list) =
+    Txn.Txn_manager.commit session.manager txn
+  in
+  ()
+
+let abort session txn =
+  let rolled_back =
+    Query.Undo.rollback session.undo ~txn:txn.Txn.Transaction.id
+      session.executor
+  in
+  let (_ : Lockmgr.Lock_table.grant list) =
+    Txn.Txn_manager.abort session.manager txn
+  in
+  rolled_back

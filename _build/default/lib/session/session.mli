@@ -1,0 +1,60 @@
+(** The front door: one object tying together the database, the instance
+    lock graph, the protocol (rule 4′ + authorization), the query executor,
+    the transaction manager and the undo log.
+
+    {[
+      let session = Session.create db in
+      let txn = Session.begin_txn session in
+      match Session.query session txn "SELECT ... FOR UPDATE" with
+      | Ok rows -> ...; Session.commit session txn
+      | Error _ -> Session.abort session txn   (* rolls data back too *)
+    ]}
+
+    For scripted demos and tests; components remain individually accessible
+    for anything the façade does not cover. *)
+
+type t
+
+val create :
+  ?rule:Colock.Protocol.rule -> ?threshold:int -> Nf2.Database.t -> t
+(** Builds the instance graph eagerly. Default rule 4′, threshold 16. *)
+
+val database : t -> Nf2.Database.t
+val executor : t -> Query.Executor.t
+val manager : t -> Txn.Txn_manager.t
+val rights : t -> Authz.Rights.t
+val graph : t -> Colock.Instance_graph.t
+val lock_table : t -> Lockmgr.Lock_table.t
+
+val begin_txn : ?kind:Txn.Transaction.kind -> t -> Txn.Transaction.t
+
+val set_library_read_only : t -> relation:string -> unit
+(** Marks a relation non-modifiable by default (rule 4′ weakening). *)
+
+type 'result outcome = ('result, Query.Executor.error) result
+
+val query :
+  t -> Txn.Transaction.t -> string -> Query.Executor.row list outcome
+(** Parses and executes; on a lock conflict the transaction queues
+    ([Blocked] with [waiting = true]) — commit/abort of the blocker, then
+    re-issue. *)
+
+val update :
+  t -> Txn.Transaction.t -> string ->
+  (Nf2.Value.t -> Nf2.Value.t) -> int outcome
+(** Runs the (FOR UPDATE) query and maps every returned row's sub-value
+    through the function, writing objects back under the X locks already
+    held; returns the number of rows updated. Undo-logged. *)
+
+val insert :
+  t -> Txn.Transaction.t -> string -> Nf2.Value.t -> Nf2.Oid.t outcome
+
+val delete : t -> Txn.Transaction.t -> Nf2.Oid.t -> unit outcome
+
+val commit : t -> Txn.Transaction.t -> unit
+(** Releases locks (keeping long ones for long transactions) and forgets the
+    undo log. *)
+
+val abort : t -> Txn.Transaction.t -> (int, Query.Executor.error) result
+(** Rolls back every write of the transaction (LIFO), then releases its
+    locks; returns the number of records undone. *)

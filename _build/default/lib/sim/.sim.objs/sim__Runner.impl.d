@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Baselines Colock Event_queue List Lockmgr Metrics String

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Array Baselines Colock List Lockmgr Nf2 Random Runner

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Colock Nf2 Runner

@@ -1,0 +1,31 @@
+module Key = struct
+  type t = int * int  (* time, sequence *)
+
+  let compare = compare
+end
+
+module Key_map = Map.Make (Key)
+
+type 'event t = {
+  mutable events : 'event Key_map.t;
+  mutable sequence : int;
+  mutable count : int;
+}
+
+let create () = { events = Key_map.empty; sequence = 0; count = 0 }
+
+let schedule queue ~time event =
+  queue.sequence <- queue.sequence + 1;
+  queue.events <- Key_map.add (time, queue.sequence) event queue.events;
+  queue.count <- queue.count + 1
+
+let pop queue =
+  match Key_map.min_binding_opt queue.events with
+  | None -> None
+  | Some (((time, _sequence) as key), event) ->
+    queue.events <- Key_map.remove key queue.events;
+    queue.count <- queue.count - 1;
+    Some (time, event)
+
+let is_empty queue = Key_map.is_empty queue.events
+let size queue = queue.count

@@ -1,0 +1,12 @@
+(** A deterministic discrete-event queue: events fire in (time, insertion)
+    order. *)
+
+type 'event t
+
+val create : unit -> 'event t
+val schedule : 'event t -> time:int -> 'event -> unit
+val pop : 'event t -> (int * 'event) option
+(** Earliest event, FIFO among equal times; [None] when empty. *)
+
+val is_empty : 'event t -> bool
+val size : 'event t -> int

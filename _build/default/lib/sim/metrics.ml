@@ -1,0 +1,42 @@
+type t = {
+  committed : int;
+  deadlock_aborts : int;
+  gave_up : int;
+  makespan : int;
+  total_response : int;
+  total_wait : int;
+  lock_requests : int;
+  conflict_tests : int;
+  peak_lock_entries : int;
+  escalations : int;
+}
+
+let throughput metrics =
+  if metrics.makespan = 0 then 0.0
+  else 1000.0 *. float_of_int metrics.committed /. float_of_int metrics.makespan
+
+let avg_response metrics =
+  if metrics.committed = 0 then 0.0
+  else float_of_int metrics.total_response /. float_of_int metrics.committed
+
+let pp formatter metrics =
+  Format.fprintf formatter
+    "committed %d, deadlock aborts %d, gave up %d, makespan %d, avg response \
+     %.1f, wait %d, lock requests %d, conflict tests %d, peak entries %d, \
+     escalations %d"
+    metrics.committed metrics.deadlock_aborts metrics.gave_up metrics.makespan
+    (avg_response metrics) metrics.total_wait metrics.lock_requests
+    metrics.conflict_tests metrics.peak_lock_entries metrics.escalations
+
+let row metrics =
+  [ ("committed", float_of_int metrics.committed);
+    ("deadlock_aborts", float_of_int metrics.deadlock_aborts);
+    ("gave_up", float_of_int metrics.gave_up);
+    ("makespan", float_of_int metrics.makespan);
+    ("throughput", throughput metrics);
+    ("avg_response", avg_response metrics);
+    ("total_wait", float_of_int metrics.total_wait);
+    ("lock_requests", float_of_int metrics.lock_requests);
+    ("conflict_tests", float_of_int metrics.conflict_tests);
+    ("peak_lock_entries", float_of_int metrics.peak_lock_entries);
+    ("escalations", float_of_int metrics.escalations) ]

@@ -1,0 +1,24 @@
+(** Aggregated results of one simulation run. *)
+
+type t = {
+  committed : int;
+  deadlock_aborts : int;  (** victim aborts (the work restarts) *)
+  gave_up : int;  (** jobs that exhausted their restart budget *)
+  makespan : int;  (** completion time of the last commit *)
+  total_response : int;  (** sum over committed jobs of commit - arrival *)
+  total_wait : int;  (** total time spent blocked *)
+  lock_requests : int;
+  conflict_tests : int;
+  peak_lock_entries : int;
+  escalations : int;
+}
+
+val throughput : t -> float
+(** committed jobs per 1000 time units. *)
+
+val avg_response : t -> float
+val pp : Format.formatter -> t -> unit
+
+val row :
+  t -> (string * float) list
+(** Stable key-value view for tabular output. *)

@@ -1,0 +1,193 @@
+module Table = Lockmgr.Lock_table
+module Technique = Baselines.Technique
+
+type step = {
+  plan : Table.txn_id -> Technique.request list;
+  access_cost : int;
+}
+
+type job = { arrival : int; steps : step list }
+
+type config = { deadlock_backoff : int; max_restarts : int }
+
+let default_config = { deadlock_backoff = 50; max_restarts = 20 }
+
+type status = Idle | Locking | Waiting | Accessing | Committed | Gave_up
+
+type job_state = {
+  txn : Table.txn_id;
+  job : job;
+  mutable step_index : int;
+  mutable pending : Technique.request list;
+  mutable waiting_on : string option;
+  mutable blocked_since : int;
+  mutable total_wait : int;
+  mutable restarts : int;
+  mutable status : status;
+  mutable commit_time : int;
+}
+
+type event = Begin of job_state | Resume of job_state | Finish of job_state | Restart of job_state
+
+type sim = {
+  table : Table.t;
+  queue : event Event_queue.t;
+  config : config;
+  states : job_state array;
+  mutable deadlock_aborts : int;
+}
+
+let state_of sim txn = sim.states.(txn - 1)
+
+(* Wake every job whose queued request was just granted. *)
+let rec process_grants sim time grants =
+  List.iter
+    (fun grant ->
+      let state = state_of sim grant.Table.g_txn in
+      match state.status, state.waiting_on with
+      | Waiting, Some resource when String.equal resource grant.Table.g_resource ->
+        state.status <- Locking;
+        state.waiting_on <- None;
+        state.total_wait <- state.total_wait + (time - state.blocked_since);
+        Event_queue.schedule sim.queue ~time (Resume state)
+      | (Idle | Locking | Waiting | Accessing | Committed | Gave_up), _ -> ())
+    grants
+
+and abort_and_restart sim time state =
+  let cancel_grants = Table.cancel_wait sim.table ~txn:state.txn in
+  let release_grants = Table.release_all sim.table ~txn:state.txn in
+  state.waiting_on <- None;
+  state.pending <- [];
+  state.step_index <- 0;
+  state.restarts <- state.restarts + 1;
+  sim.deadlock_aborts <- sim.deadlock_aborts + 1;
+  if state.restarts > sim.config.max_restarts then state.status <- Gave_up
+  else begin
+    state.status <- Idle;
+    Event_queue.schedule sim.queue
+      ~time:(time + sim.config.deadlock_backoff)
+      (Restart state)
+  end;
+  process_grants sim time (cancel_grants @ release_grants)
+
+(* Returns [true] when [requester] itself was sacrificed. *)
+and resolve_deadlocks sim time requester =
+  match Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges sim.table) with
+  | None -> false
+  | Some cycle ->
+    (* youngest (largest id) dies *)
+    let victim_txn = Lockmgr.Deadlock.choose_victim cycle in
+    let victim = state_of sim victim_txn in
+    abort_and_restart sim time victim;
+    if victim_txn = requester then true else resolve_deadlocks sim time requester
+
+let rec continue_locking sim time state =
+  match state.pending with
+  | [] -> begin
+    match List.nth_opt state.job.steps state.step_index with
+    | None ->
+      (* all steps done: commit *)
+      state.status <- Committed;
+      state.commit_time <- time;
+      process_grants sim time (Table.release_all sim.table ~txn:state.txn)
+    | Some step ->
+      state.status <- Accessing;
+      Event_queue.schedule sim.queue ~time:(time + step.access_cost)
+        (Finish state)
+  end
+  | request :: rest -> (
+    let resource = Technique.(Colock.Node_id.to_resource request.node) in
+    match
+      Table.request sim.table ~txn:state.txn ~resource
+        request.Technique.mode
+    with
+    | Table.Granted ->
+      state.pending <- rest;
+      continue_locking sim time state
+    | Table.Waiting _blockers ->
+      state.status <- Waiting;
+      state.waiting_on <- Some resource;
+      state.pending <- rest;
+      state.blocked_since <- time;
+      let self_aborted = resolve_deadlocks sim time state.txn in
+      if not self_aborted then ()  (* stays queued; a grant will resume it *))
+
+let start_step sim time state =
+  match List.nth_opt state.job.steps state.step_index with
+  | None -> continue_locking sim time state  (* zero-step job commits *)
+  | Some step ->
+    state.status <- Locking;
+    state.pending <- step.plan state.txn;
+    continue_locking sim time state
+
+let handle sim time = function
+  | Begin state | Restart state -> (
+    match state.status with
+    | Idle -> start_step sim time state
+    | Locking | Waiting | Accessing | Committed | Gave_up -> ())
+  | Resume state -> (
+    match state.status with
+    | Locking -> continue_locking sim time state
+    | Idle | Waiting | Accessing | Committed | Gave_up -> ())
+  | Finish state -> (
+    match state.status with
+    | Accessing ->
+      state.step_index <- state.step_index + 1;
+      state.pending <- [];
+      start_step sim time state
+    | Idle | Locking | Waiting | Committed | Gave_up -> ())
+
+let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ~table jobs =
+  let states =
+    Array.of_list
+      (List.mapi
+         (fun index job ->
+           { txn = index + 1; job; step_index = 0; pending = [];
+             waiting_on = None; blocked_since = 0; total_wait = 0;
+             restarts = 0; status = Idle; commit_time = 0 })
+         jobs)
+  in
+  let sim =
+    { table; queue = Event_queue.create (); config; states;
+      deadlock_aborts = 0 }
+  in
+  Array.iter
+    (fun state ->
+      on_begin state.txn;
+      Event_queue.schedule sim.queue ~time:state.job.arrival (Begin state))
+    states;
+  let last_time = ref 0 in
+  let rec drain () =
+    match Event_queue.pop sim.queue with
+    | None -> ()
+    | Some (time, event) ->
+      last_time := max !last_time time;
+      handle sim time event;
+      drain ()
+  in
+  drain ();
+  let committed = ref 0 and gave_up = ref 0 in
+  let total_response = ref 0 and total_wait = ref 0 in
+  let makespan = ref 0 in
+  Array.iter
+    (fun state ->
+      (match state.status with
+       | Committed ->
+         incr committed;
+         total_response := !total_response + (state.commit_time - state.job.arrival);
+         makespan := max !makespan state.commit_time
+       | Gave_up -> incr gave_up
+       | Idle | Locking | Waiting | Accessing -> ());
+      total_wait := !total_wait + state.total_wait)
+    states;
+  let stats = Table.stats table in
+  { Metrics.committed = !committed;
+    deadlock_aborts = sim.deadlock_aborts;
+    gave_up = !gave_up;
+    makespan = !makespan;
+    total_response = !total_response;
+    total_wait = !total_wait;
+    lock_requests = stats.Lockmgr.Lock_stats.requests;
+    conflict_tests = stats.Lockmgr.Lock_stats.conflict_tests;
+    peak_lock_entries = Table.peak_entry_count table;
+    escalations = stats.Lockmgr.Lock_stats.escalations }

@@ -1,0 +1,38 @@
+(** The discrete-event concurrency simulator.
+
+    Jobs are transactions described as sequences of steps; a step acquires a
+    lock plan and then holds the locks while "accessing data" for a fixed
+    simulated duration. Strict 2PL: everything is released at commit.
+    Blocked jobs sit in the lock table's queues; releases wake them. Waits-
+    for cycles abort a victim, which restarts after a back-off with the same
+    transaction id (so authorization assignments are stable). The run is
+    fully deterministic.
+
+    Plans are transaction-id-indexed functions, so the same scenario runs
+    unchanged under the proposed protocol (whose plans depend on the
+    transaction's rights) and under the baselines. *)
+
+type step = {
+  plan : Lockmgr.Lock_table.txn_id -> Baselines.Technique.request list;
+  access_cost : int;
+}
+
+type job = {
+  arrival : int;
+  steps : step list;
+}
+
+type config = {
+  deadlock_backoff : int;  (** delay before a victim restarts *)
+  max_restarts : int;  (** per job; exhausted jobs count as [gave_up] *)
+}
+
+val default_config : config
+(** backoff 50, max 20 restarts. *)
+
+val run :
+  ?config:config -> ?on_begin:(Lockmgr.Lock_table.txn_id -> unit) ->
+  table:Lockmgr.Lock_table.t -> job list -> Metrics.t
+(** [on_begin] fires once per job with its transaction id before its first
+    step (e.g. to install authorization rights). Job [i] (0-based) gets
+    transaction id [i + 1]. *)

@@ -1,0 +1,127 @@
+module Mode = Lockmgr.Lock_mode
+module Graph = Colock.Instance_graph
+module Node_id = Colock.Node_id
+module Technique = Baselines.Technique
+
+type technique =
+  | Proposed of Colock.Protocol.t
+  | Whole_object
+  | Tuple_level
+
+let technique_name = function
+  | Proposed protocol -> (
+    match Colock.Protocol.rule protocol with
+    | Colock.Protocol.Rule_4 -> "proposed (rule 4)"
+    | Colock.Protocol.Rule_4_prime -> "proposed (rule 4')")
+  | Whole_object -> "whole-object (XSQL)"
+  | Tuple_level -> "tuple-level"
+
+type op = Node_read of Node_id.t | Node_update of Node_id.t
+
+type job_spec = { arrival : int; ops : op list; access_cost : int }
+
+let op_node_mode = function
+  | Node_read node -> (node, Mode.S)
+  | Node_update node -> (node, Mode.X)
+
+(* The complex object containing an instance node (self included). *)
+let containing_object graph node_id =
+  let rec climb node_id =
+    let node = Graph.node_exn graph node_id in
+    match node.Graph.oid with
+    | Some oid -> Some oid
+    | None -> (
+      match node.Graph.parent with
+      | Some parent -> climb parent
+      | None -> None)
+  in
+  climb node_id
+
+let compile_op graph technique op txn =
+  let node, mode = op_node_mode op in
+  match technique with
+  | Proposed protocol ->
+    List.map
+      (fun { Colock.Protocol.node; mode; _ } ->
+        { Technique.node; mode })
+      (Colock.Protocol.plan protocol ~txn node mode)
+  | Whole_object -> (
+    match containing_object graph node with
+    | Some oid -> Baselines.Whole_object.plan graph ~oid mode
+    | None -> Technique.with_ancestors graph node mode)
+  | Tuple_level -> Baselines.Tuple_level.plan_node graph node mode
+
+let compile graph technique specs =
+  List.map
+    (fun spec ->
+      { Runner.arrival = spec.arrival;
+        steps =
+          List.map
+            (fun op ->
+              { Runner.plan = compile_op graph technique op;
+                access_cost = spec.access_cost })
+            spec.ops })
+    specs
+
+type mix = {
+  jobs : int;
+  read_fraction : float;
+  library_update_fraction : float;
+  arrival_gap : int;
+  access_cost : int;
+  steps_per_job : int;
+  seed : int;
+}
+
+let default_mix =
+  { jobs = 40; read_fraction = 0.5; library_update_fraction = 0.0;
+    arrival_gap = 10; access_cost = 100; steps_per_job = 1; seed = 17 }
+
+let manufacturing_mix db graph mix =
+  let state = Random.State.make [| mix.seed |] in
+  let cells_store =
+    match Nf2.Database.relation db "cells" with
+    | Some store -> store
+    | None -> invalid_arg "Scenario: no cells relation"
+  in
+  let cell_keys = Array.of_list (Nf2.Relation.keys cells_store) in
+  let effector_keys =
+    match Nf2.Database.relation db "effectors" with
+    | Some store -> Array.of_list (Nf2.Relation.keys store)
+    | None -> [||]
+  in
+  let random_cell () =
+    cell_keys.(Random.State.int state (Array.length cell_keys))
+  in
+  let cell_node key =
+    match
+      Graph.object_node graph (Nf2.Oid.make ~relation:"cells" ~key)
+    with
+    | Some node -> node
+    | None -> invalid_arg "Scenario: unknown cell"
+  in
+  let random_robot_node () =
+    let holu = Node_id.child (cell_node (random_cell ())) "robots" in
+    let members = (Graph.node_exn graph holu).Graph.children in
+    List.nth members (Random.State.int state (List.length members))
+  in
+  let random_op () =
+    let dice = Random.State.float state 1.0 in
+    if dice < mix.library_update_fraction && Array.length effector_keys > 0
+    then
+      let key =
+        effector_keys.(Random.State.int state (Array.length effector_keys))
+      in
+      match
+        Graph.object_node graph (Nf2.Oid.make ~relation:"effectors" ~key)
+      with
+      | Some node -> Node_update node
+      | None -> invalid_arg "Scenario: unknown effector"
+    else if dice < mix.library_update_fraction +. ((1.0 -. mix.library_update_fraction) *. mix.read_fraction)
+    then Node_read (Node_id.child (cell_node (random_cell ())) "c_objects")
+    else Node_update (random_robot_node ())
+  in
+  List.init mix.jobs (fun index ->
+      { arrival = index * mix.arrival_gap;
+        ops = List.init mix.steps_per_job (fun _step -> random_op ());
+        access_cost = mix.access_cost })

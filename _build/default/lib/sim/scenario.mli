@@ -1,0 +1,54 @@
+(** Scenario construction: compiles technique-independent operation scripts
+    into {!Runner} jobs for one concrete technique.
+
+    Operations name instance nodes (what the transaction touches); each
+    technique turns them into its own lock plan:
+
+    - [Proposed]: the paper's protocol (plan through
+      {!Colock.Protocol.plan}, so rule 4/4′ and the propagations apply);
+    - [Whole_object]: XSQL-style — the containing complex object, plus the
+      check-out closure over referenced objects;
+    - [Tuple_level]: every leaf tuple under the touched node, references
+      chased. *)
+
+type technique =
+  | Proposed of Colock.Protocol.t
+  | Whole_object
+  | Tuple_level
+
+val technique_name : technique -> string
+
+type op =
+  | Node_read of Colock.Node_id.t
+  | Node_update of Colock.Node_id.t
+
+type job_spec = {
+  arrival : int;
+  ops : op list;  (** one step per op *)
+  access_cost : int;  (** per step *)
+}
+
+val compile :
+  Colock.Instance_graph.t -> technique -> job_spec list -> Runner.job list
+
+(** {2 Ready-made workload mixes on the manufacturing database} *)
+
+type mix = {
+  jobs : int;
+  read_fraction : float;  (** Q1-like reads vs Q2-like robot updates *)
+  library_update_fraction : float;
+      (** fraction of jobs that instead update a random effector *)
+  arrival_gap : int;
+  access_cost : int;
+  steps_per_job : int;  (** >1 simulates longer transactions *)
+  seed : int;
+}
+
+val default_mix : mix
+(** 40 jobs, 50% reads, no library updates, gap 10, cost 100, 1 step. *)
+
+val manufacturing_mix :
+  Nf2.Database.t -> Colock.Instance_graph.t -> mix -> job_spec list
+(** Random Q1-like (read the c_objects of a cell) / Q2-like (update one robot
+    of a cell) / library-update operations over the generated cells,
+    deterministic in [mix.seed]. *)

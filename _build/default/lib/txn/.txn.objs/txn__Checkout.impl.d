@@ -1,0 +1,1 @@
+lib/txn/checkout.ml: Colock Format Fun Hashtbl List Lockmgr Nf2 Option Printf String Sys Transaction Txn_manager

@@ -1,0 +1,1 @@
+lib/txn/checkout.mli: Colock Format Lockmgr Nf2 Transaction Txn_manager

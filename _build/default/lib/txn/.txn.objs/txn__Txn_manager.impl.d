@@ -1,0 +1,1 @@
+lib/txn/txn_manager.ml: Colock Hashtbl Int List Lockmgr Option Transaction

@@ -1,0 +1,41 @@
+type kind = Short | Long
+type abort_reason = Deadlock_victim | User_abort
+
+type status =
+  | Active
+  | Waiting of {
+      node : Colock.Node_id.t;
+      blockers : Lockmgr.Lock_table.txn_id list;
+    }
+  | Committed
+  | Aborted of abort_reason
+
+type t = {
+  id : Lockmgr.Lock_table.txn_id;
+  kind : kind;
+  started_at : int;
+  mutable status : status;
+  mutable restarts : int;
+}
+
+let is_active txn =
+  match txn.status with
+  | Active | Waiting _ -> true
+  | Committed | Aborted _ -> false
+
+let is_finished txn = not (is_active txn)
+
+let pp_status formatter = function
+  | Active -> Format.pp_print_string formatter "active"
+  | Waiting { node; blockers } ->
+    Format.fprintf formatter "waiting on %a for %s" Colock.Node_id.pp node
+      (String.concat "," (List.map string_of_int blockers))
+  | Committed -> Format.pp_print_string formatter "committed"
+  | Aborted Deadlock_victim ->
+    Format.pp_print_string formatter "aborted (deadlock victim)"
+  | Aborted User_abort -> Format.pp_print_string formatter "aborted (user)"
+
+let pp formatter txn =
+  Format.fprintf formatter "T%d[%s, %a]" txn.id
+    (match txn.kind with Short -> "short" | Long -> "long")
+    pp_status txn.status

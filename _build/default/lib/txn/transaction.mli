@@ -1,0 +1,30 @@
+(** Transactions: the paper's §1 notion (degree-3 consistency, strict
+    two-phase locking), in short and long ("conversational") flavours. *)
+
+type kind =
+  | Short  (** conventional transaction in the central database *)
+  | Long  (** workstation check-out transaction: locks survive shutdowns *)
+
+type abort_reason = Deadlock_victim | User_abort
+
+type status =
+  | Active
+  | Waiting of {
+      node : Colock.Node_id.t;
+      blockers : Lockmgr.Lock_table.txn_id list;
+    }
+  | Committed
+  | Aborted of abort_reason
+
+type t = {
+  id : Lockmgr.Lock_table.txn_id;
+  kind : kind;
+  started_at : int;  (** logical begin timestamp *)
+  mutable status : status;
+  mutable restarts : int;  (** deadlock-abort restarts of this work unit *)
+}
+
+val is_active : t -> bool
+val is_finished : t -> bool
+val pp_status : Format.formatter -> status -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+module Table = Lockmgr.Lock_table
+module Protocol = Colock.Protocol
+
+type t = {
+  protocol : Protocol.t;
+  clock : unit -> int;
+  mutable next_id : int;
+  txns : (Table.txn_id, Transaction.t) Hashtbl.t;
+}
+
+let create ?clock protocol =
+  let counter = ref 0 in
+  let default_clock () =
+    incr counter;
+    !counter
+  in
+  { protocol; clock = Option.value ~default:default_clock clock;
+    next_id = 1; txns = Hashtbl.create 64 }
+
+let protocol manager = manager.protocol
+
+let begin_txn ?(kind = Transaction.Short) manager =
+  let id = manager.next_id in
+  manager.next_id <- id + 1;
+  let txn =
+    { Transaction.id; kind; started_at = manager.clock ();
+      status = Transaction.Active; restarts = 0 }
+  in
+  Hashtbl.replace manager.txns id txn;
+  txn
+
+let find manager id = Hashtbl.find_opt manager.txns id
+
+let active_txns manager =
+  Hashtbl.fold
+    (fun _id txn accu -> if Transaction.is_active txn then txn :: accu else accu)
+    manager.txns []
+  |> List.sort (fun a b -> Int.compare a.Transaction.id b.Transaction.id)
+
+type acquire_outcome =
+  | Granted
+  | Waiting of {
+      node : Colock.Node_id.t;
+      blockers : Table.txn_id list;
+    }
+  | Deadlock_victim
+
+let abort manager ?(reason = Transaction.User_abort) txn =
+  let table = Protocol.table manager.protocol in
+  let woken_by_cancel = Table.cancel_wait table ~txn:txn.Transaction.id in
+  let woken_by_release =
+    Protocol.end_of_transaction manager.protocol ~txn:txn.Transaction.id
+  in
+  txn.Transaction.status <- Transaction.Aborted reason;
+  woken_by_cancel @ woken_by_release
+
+(* Resolve deadlocks after [txn] started waiting.  Returns [true] when [txn]
+   itself was sacrificed. *)
+let resolve_deadlock manager txn =
+  let table = Protocol.table manager.protocol in
+  let rec resolve () =
+    match Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) with
+    | None -> false
+    | Some cycle ->
+      (* Older transactions (earlier start) survive: the victim is the one
+         with the smallest priority, so the youngest start must rank
+         lowest. *)
+      let priority id =
+        match find manager id with
+        | Some candidate -> -candidate.Transaction.started_at
+        | None -> max_int
+      in
+      let victim_id = Lockmgr.Deadlock.choose_victim ~priority cycle in
+      let victim =
+        match find manager victim_id with
+        | Some victim -> victim
+        | None -> invalid_arg "Txn_manager: unknown victim"
+      in
+      let (_ : Table.grant list) =
+        abort manager ~reason:Transaction.Deadlock_victim victim
+      in
+      if victim_id = txn.Transaction.id then true else resolve ()
+  in
+  resolve ()
+
+let acquire manager txn ?duration node mode =
+  if Transaction.is_finished txn then
+    invalid_arg "Txn_manager.acquire: transaction is finished";
+  match Protocol.acquire manager.protocol ~txn:txn.Transaction.id ?duration node mode with
+  | Protocol.Acquired _steps ->
+    txn.Transaction.status <- Transaction.Active;
+    Granted
+  | Protocol.Blocked { step; blockers; _ } ->
+    txn.Transaction.status <-
+      Transaction.Waiting { node = step.Protocol.node; blockers };
+    if resolve_deadlock manager txn then Deadlock_victim
+    else begin
+      (* the victim (if any) was someone else; we may have been granted in
+         the meantime — report the wait either way, the caller re-acquires *)
+      Waiting { node = step.Protocol.node; blockers }
+    end
+
+let commit ?(release_long = false) manager txn =
+  if Transaction.is_finished txn then
+    invalid_arg "Txn_manager.commit: transaction is finished";
+  let grants =
+    match txn.Transaction.kind, release_long with
+    | Transaction.Short, _ | Transaction.Long, true ->
+      Protocol.end_of_transaction manager.protocol ~txn:txn.Transaction.id
+    | Transaction.Long, false ->
+      Protocol.commit_keeping_long_locks manager.protocol
+        ~txn:txn.Transaction.id
+  in
+  txn.Transaction.status <- Transaction.Committed;
+  grants
+
+let unblocked manager grants =
+  List.filter_map
+    (fun grant ->
+      match find manager grant.Table.g_txn with
+      | Some txn -> (
+        match txn.Transaction.status with
+        | Transaction.Waiting _ ->
+          (* only flip once even if several grants landed *)
+          txn.Transaction.status <- Transaction.Active;
+          Some txn
+        | Transaction.Active | Transaction.Committed | Transaction.Aborted _ ->
+          None)
+      | None -> None)
+    grants

@@ -1,0 +1,48 @@
+(** The transaction manager: strict 2PL over the paper's protocol, with
+    deadlock detection and victim abort. *)
+
+type t
+
+val create : ?clock:(unit -> int) -> Colock.Protocol.t -> t
+(** [clock] supplies logical begin timestamps (default: a counter). *)
+
+val protocol : t -> Colock.Protocol.t
+val begin_txn : ?kind:Transaction.kind -> t -> Transaction.t
+val find : t -> Lockmgr.Lock_table.txn_id -> Transaction.t option
+val active_txns : t -> Transaction.t list
+
+type acquire_outcome =
+  | Granted
+  | Waiting of {
+      node : Colock.Node_id.t;
+      blockers : Lockmgr.Lock_table.txn_id list;
+    }
+      (** enqueued; re-call {!acquire} after a blocker finishes *)
+  | Deadlock_victim
+      (** this transaction was chosen as the victim and has been aborted *)
+
+val acquire :
+  t -> Transaction.t -> ?duration:Lockmgr.Lock_table.duration ->
+  Colock.Node_id.t -> Lockmgr.Lock_mode.t -> acquire_outcome
+(** Runs the protocol plan. On a wait, deadlock detection runs on the
+    waits-for graph; if a cycle exists its victim is aborted — either this
+    transaction ({!Deadlock_victim}) or another (whose demise may already
+    have unblocked us; the wait stands otherwise). Aborted or committed
+    transactions may not acquire ([Invalid_argument]). *)
+
+val commit :
+  ?release_long:bool -> t -> Transaction.t -> Lockmgr.Lock_table.grant list
+(** Releases the transaction's locks — all of them for short transactions;
+    for long transactions only the short-duration ones (check-out locks
+    persist across commits, §3.1) unless [release_long] is set (end of the
+    whole conversational session). Returns the queued requests that became
+    granted. *)
+
+val abort :
+  t -> ?reason:Transaction.abort_reason -> Transaction.t ->
+  Lockmgr.Lock_table.grant list
+(** Cancels waits and releases every lock (long ones included). *)
+
+val unblocked : t -> Lockmgr.Lock_table.grant list -> Transaction.t list
+(** Maps grant notifications to the transactions that stopped waiting,
+    updating their status back to [Active]. *)

@@ -1,0 +1,1 @@
+lib/workload/figure1.ml: Format List Nf2 Printf

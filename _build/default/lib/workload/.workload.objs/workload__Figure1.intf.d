@@ -1,0 +1,1 @@
+lib/workload/figure1.mli: Nf2

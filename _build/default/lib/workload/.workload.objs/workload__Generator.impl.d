@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Figure1 Format List Nf2 Printf Random

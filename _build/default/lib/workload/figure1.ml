@@ -1,0 +1,80 @@
+module Schema = Nf2.Schema
+module Value = Nf2.Value
+
+let cells_schema =
+  Schema.relation ~name:"cells" ~segment:"seg1" ~key:"cell_id"
+    [ Schema.field "cell_id" (Schema.Atomic Schema.Str);
+      Schema.field "c_objects"
+        (Schema.Set
+           (Schema.Tuple
+              [ Schema.field "obj_id" (Schema.Atomic Schema.Int);
+                Schema.field "obj_name" (Schema.Atomic Schema.Str) ]));
+      Schema.field "robots"
+        (Schema.List
+           (Schema.Tuple
+              [ Schema.field "robot_id" (Schema.Atomic Schema.Str);
+                Schema.field "trajectory" (Schema.Atomic Schema.Str);
+                Schema.field "effectors"
+                  (Schema.Set (Schema.Atomic (Schema.Ref "effectors"))) ])) ]
+
+let effectors_schema =
+  Schema.relation ~name:"effectors" ~segment:"seg2" ~key:"eff_id"
+    [ Schema.field "eff_id" (Schema.Atomic Schema.Str);
+      Schema.field "tool" (Schema.Atomic Schema.Str) ]
+
+let effector ~key ~tool =
+  Value.Tuple [ ("eff_id", Value.Str key); ("tool", Value.Str tool) ]
+
+let cell_object ~id ~name =
+  Value.Tuple [ ("obj_id", Value.Int id); ("obj_name", Value.Str name) ]
+
+let robot ~key ~trajectory ~effectors =
+  Value.Tuple
+    [ ("robot_id", Value.Str key);
+      ("trajectory", Value.Str trajectory);
+      ("effectors",
+       Value.Set
+         (List.map
+            (fun eff_key -> Value.ref_to ~relation:"effectors" ~key:eff_key)
+            effectors)) ]
+
+let cell ~key ~objects ~robots =
+  Value.Tuple
+    [ ("cell_id", Value.Str key);
+      ("c_objects", Value.Set objects);
+      ("robots", Value.List robots) ]
+
+let insert_exn db relation value =
+  match Nf2.Database.insert db relation value with
+  | Ok _oid -> ()
+  | Error error ->
+    invalid_arg
+      (Format.asprintf "Figure1: cannot insert into %s: %a" relation
+         Nf2.Database.pp_error error)
+
+let create_relation_exn db schema =
+  match Nf2.Database.create_relation db schema with
+  | Ok _store -> ()
+  | Error error ->
+    invalid_arg
+      (Format.asprintf "Figure1: cannot create relation: %a"
+         Nf2.Database.pp_error error)
+
+let database ?(c_objects = 3) () =
+  let db = Nf2.Database.create "db1" in
+  create_relation_exn db effectors_schema;
+  create_relation_exn db cells_schema;
+  List.iter
+    (fun (key, tool) -> insert_exn db "effectors" (effector ~key ~tool))
+    [ ("e1", "t1"); ("e2", "t2"); ("e3", "t3") ];
+  let objects =
+    List.init c_objects (fun position ->
+        cell_object ~id:(position + 1)
+          ~name:(Printf.sprintf "o%d" (position + 1)))
+  in
+  let robots =
+    [ robot ~key:"r1" ~trajectory:"tr1" ~effectors:[ "e1"; "e2" ];
+      robot ~key:"r2" ~trajectory:"tr2" ~effectors:[ "e2"; "e3" ] ]
+  in
+  insert_exn db "cells" (cell ~key:"c1" ~objects ~robots);
+  db

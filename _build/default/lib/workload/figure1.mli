@@ -1,0 +1,32 @@
+(** The paper's running example: relations "cells" and "effectors" (Fig. 1)
+    and the concrete complex object "cell c1" of Figs. 6/7.
+
+    The relation "cells" models a manufacturing cell containing cell-objects
+    which can be manufactured by robots; the effectors (tools) a robot may
+    use live in the shared relation "effectors" — a library, so different
+    robots may share one effector. *)
+
+val cells_schema : Nf2.Schema.relation
+(** cells(cell_id: str, c_objects: S<T(obj_id: int, obj_name: str)>,
+    robots: L<T(robot_id: str, trajectory: str, effectors: S<ref>)>)
+    in segment "seg1". *)
+
+val effectors_schema : Nf2.Schema.relation
+(** effectors(eff_id: str, tool: str) in segment "seg2". *)
+
+val database : ?c_objects:int -> unit -> Nf2.Database.t
+(** The database "db1" of Figs. 6/7: effectors e1..e3 (tools t1..t3) and cell
+    "c1" with [c_objects] cell-objects (default 3) and robots r1 (using e1,
+    e2) and r2 (using e2, e3). Reference pattern exactly as in Fig. 7: Q2
+    touching r1 and Q3 touching r2 both reach e2. *)
+
+val effector : key:string -> tool:string -> Nf2.Value.t
+val cell_object : id:int -> name:string -> Nf2.Value.t
+
+val robot :
+  key:string -> trajectory:string -> effectors:string list -> Nf2.Value.t
+(** [effectors] are keys into the "effectors" relation. *)
+
+val cell :
+  key:string -> objects:Nf2.Value.t list -> robots:Nf2.Value.t list ->
+  Nf2.Value.t

@@ -1,0 +1,288 @@
+module Schema = Nf2.Schema
+module Value = Nf2.Value
+
+type manufacturing = {
+  cells : int;
+  objects_per_cell : int;
+  robots_per_cell : int;
+  effectors : int;
+  effectors_per_robot : int;
+  seed : int;
+}
+
+let default_manufacturing =
+  { cells = 4; objects_per_cell = 20; robots_per_cell = 4; effectors = 16;
+    effectors_per_robot = 2; seed = 7 }
+
+let create_relation_exn db schema =
+  match Nf2.Database.create_relation db schema with
+  | Ok _store -> ()
+  | Error error ->
+    invalid_arg
+      (Format.asprintf "Generator: cannot create relation: %a"
+         Nf2.Database.pp_error error)
+
+let insert_exn db relation value =
+  match Nf2.Database.insert db relation value with
+  | Ok _oid -> ()
+  | Error error ->
+    invalid_arg
+      (Format.asprintf "Generator: cannot insert into %s: %a" relation
+         Nf2.Database.pp_error error)
+
+(* [count] distinct samples from e1..eN, deterministic in [state]. *)
+let sample_effectors state ~available ~count =
+  let count = min count available in
+  let rec draw chosen =
+    if List.length chosen >= count then chosen
+    else
+      let candidate = 1 + Random.State.int state available in
+      if List.mem candidate chosen then draw chosen
+      else draw (candidate :: chosen)
+  in
+  List.rev_map (Printf.sprintf "e%d") (draw [])
+
+let manufacturing parameters =
+  let state = Random.State.make [| parameters.seed |] in
+  let db = Nf2.Database.create "db1" in
+  create_relation_exn db Figure1.effectors_schema;
+  create_relation_exn db Figure1.cells_schema;
+  for position = 1 to parameters.effectors do
+    insert_exn db "effectors"
+      (Figure1.effector
+         ~key:(Printf.sprintf "e%d" position)
+         ~tool:(Printf.sprintf "t%d" position))
+  done;
+  for cell_position = 1 to parameters.cells do
+    let objects =
+      List.init parameters.objects_per_cell (fun position ->
+          Figure1.cell_object ~id:(position + 1)
+            ~name:(Printf.sprintf "o%d" (position + 1)))
+    in
+    let robots =
+      List.init parameters.robots_per_cell (fun position ->
+          Figure1.robot
+            ~key:(Printf.sprintf "r%d" (position + 1))
+            ~trajectory:(Printf.sprintf "tr%d" (position + 1))
+            ~effectors:
+              (sample_effectors state ~available:parameters.effectors
+                 ~count:parameters.effectors_per_robot))
+    in
+    insert_exn db "cells"
+      (Figure1.cell
+         ~key:(Printf.sprintf "c%d" cell_position)
+         ~objects ~robots)
+  done;
+  db
+
+let shared_effector ~robots =
+  let db = Nf2.Database.create "db1" in
+  create_relation_exn db Figure1.effectors_schema;
+  create_relation_exn db Figure1.cells_schema;
+  insert_exn db "effectors" (Figure1.effector ~key:"e1" ~tool:"t1");
+  let robot_values =
+    List.init robots (fun position ->
+        Figure1.robot
+          ~key:(Printf.sprintf "r%d" (position + 1))
+          ~trajectory:(Printf.sprintf "tr%d" (position + 1))
+          ~effectors:[ "e1" ])
+  in
+  insert_exn db "cells"
+    (Figure1.cell ~key:"c1"
+       ~objects:[ Figure1.cell_object ~id:1 ~name:"o1" ]
+       ~robots:robot_values);
+  db
+
+type deep = {
+  depth : int;
+  fanout : int;
+  objects : int;
+  share : bool;
+  parts : int;
+  seed : int;
+}
+
+let default_deep =
+  { depth = 3; fanout = 3; objects = 4; share = true; parts = 8; seed = 11 }
+
+let parts_schema =
+  Schema.relation ~name:"parts" ~segment:"seg_parts" ~key:"part_id"
+    [ Schema.field "part_id" (Schema.Atomic Schema.Str);
+      Schema.field "material" (Schema.Atomic Schema.Str) ]
+
+(* Nested schema: level d > 0 is a set of tuples with a node id, a payload
+   and the next level; level 0 is the leaf tuple (payload + optional ref). *)
+let rec deep_level ~share depth =
+  if depth = 0 then
+    Schema.Tuple
+      (Schema.field "leaf_id" (Schema.Atomic Schema.Str)
+       :: Schema.field "payload" (Schema.Atomic Schema.Str)
+       ::
+       (if share then
+          [ Schema.field "part" (Schema.Atomic (Schema.Ref "parts")) ]
+        else []))
+  else
+    Schema.Set
+      (Schema.Tuple
+         [ Schema.field "node_id" (Schema.Atomic Schema.Str);
+           Schema.field "children" (deep_level ~share (depth - 1)) ])
+
+let deep_schema ~share ~depth =
+  Schema.relation ~name:"assemblies" ~segment:"seg_asm" ~key:"asm_id"
+    [ Schema.field "asm_id" (Schema.Atomic Schema.Str);
+      Schema.field "tree" (deep_level ~share depth) ]
+
+let deep_leaf_path ~depth =
+  let rec extend path remaining =
+    if remaining = 0 then Nf2.Path.child path "payload"
+    else extend (Nf2.Path.child path "children") (remaining - 1)
+  in
+  extend (Nf2.Path.of_list [ "tree" ]) depth
+
+let deep parameters =
+  let state = Random.State.make [| parameters.seed |] in
+  let db = Nf2.Database.create "db1" in
+  if parameters.share then begin
+    create_relation_exn db parts_schema;
+    for position = 1 to parameters.parts do
+      insert_exn db "parts"
+        (Value.Tuple
+           [ ("part_id", Value.Str (Printf.sprintf "p%d" position));
+             ("material", Value.Str (Printf.sprintf "m%d" (position mod 5)))
+           ])
+    done
+  end;
+  create_relation_exn db
+    (deep_schema ~share:parameters.share ~depth:parameters.depth);
+  let rec deep_value prefix depth =
+    if depth = 0 then
+      Value.Tuple
+        (("leaf_id", Value.Str prefix)
+         :: ("payload", Value.Str ("pay_" ^ prefix))
+         ::
+         (if parameters.share then
+            let part =
+              Printf.sprintf "p%d"
+                (1 + Random.State.int state (max 1 parameters.parts))
+            in
+            [ ("part", Value.ref_to ~relation:"parts" ~key:part) ]
+          else []))
+    else
+      Value.Set
+        (List.init parameters.fanout (fun position ->
+             let name = Printf.sprintf "%s_%d" prefix (position + 1) in
+             Value.Tuple
+               [ ("node_id", Value.Str name);
+                 ("children", deep_value name (depth - 1)) ]))
+  in
+  for position = 1 to parameters.objects do
+    let key = Printf.sprintf "a%d" position in
+    insert_exn db "assemblies"
+      (Value.Tuple
+         [ ("asm_id", Value.Str key);
+           ("tree", deep_value key parameters.depth) ])
+  done;
+  db
+
+type nested_libraries = {
+  levels : int;
+  per_level : int;
+  refs_per_object : int;
+  nested_seed : int;
+}
+
+let default_nested =
+  { levels = 3; per_level = 4; refs_per_object = 2; nested_seed = 21 }
+
+let nested_library_schema ~level ~deepest =
+  let name = Printf.sprintf "lib%d" level in
+  let fields =
+    Schema.field "item_id" (Schema.Atomic Schema.Str)
+    :: Schema.field "spec" (Schema.Atomic Schema.Str)
+    ::
+    (if deepest then []
+     else
+       [ Schema.field "components"
+           (Schema.Set (Schema.Atomic (Schema.Ref (Printf.sprintf "lib%d" (level + 1))))) ])
+  in
+  Schema.relation ~name ~segment:(Printf.sprintf "seg_lib%d" level)
+    ~key:"item_id" fields
+
+let products_schema =
+  Schema.relation ~name:"products" ~segment:"seg_prod" ~key:"prod_id"
+    [ Schema.field "prod_id" (Schema.Atomic Schema.Str);
+      Schema.field "title" (Schema.Atomic Schema.Str);
+      Schema.field "parts" (Schema.Set (Schema.Atomic (Schema.Ref "lib1"))) ]
+
+let nested parameters =
+  if parameters.levels < 1 then invalid_arg "Generator.nested: levels >= 1";
+  let state = Random.State.make [| parameters.nested_seed |] in
+  let db = Nf2.Database.create "db1" in
+  (* deepest level first, so reference targets exist for validation *)
+  for level = parameters.levels downto 1 do
+    let deepest = level = parameters.levels in
+    create_relation_exn db (nested_library_schema ~level ~deepest);
+    for position = 1 to parameters.per_level do
+      let key = Printf.sprintf "lib%d_%d" level position in
+      let refs =
+        if deepest then []
+        else
+          let next = level + 1 in
+          let rec draw chosen =
+            if List.length chosen >= min parameters.refs_per_object parameters.per_level
+            then chosen
+            else
+              let candidate =
+                Printf.sprintf "lib%d_%d" next
+                  (1 + Random.State.int state parameters.per_level)
+              in
+              if List.mem candidate chosen then draw chosen
+              else draw (candidate :: chosen)
+          in
+          List.rev (draw [])
+      in
+      let fields =
+        ("item_id", Value.Str key)
+        :: ("spec", Value.Str (Printf.sprintf "spec_%s" key))
+        ::
+        (if deepest then []
+         else
+           [ ("components",
+              Value.Set
+                (List.map
+                   (fun target ->
+                     Value.ref_to
+                       ~relation:(Printf.sprintf "lib%d" (level + 1))
+                       ~key:target)
+                   refs)) ])
+      in
+      insert_exn db (Printf.sprintf "lib%d" level) (Value.Tuple fields)
+    done
+  done;
+  create_relation_exn db products_schema;
+  for position = 1 to parameters.per_level do
+    let refs =
+      let rec draw chosen =
+        if List.length chosen >= min parameters.refs_per_object parameters.per_level
+        then chosen
+        else
+          let candidate =
+            Printf.sprintf "lib1_%d"
+              (1 + Random.State.int state parameters.per_level)
+          in
+          if List.mem candidate chosen then draw chosen
+          else draw (candidate :: chosen)
+      in
+      List.rev (draw [])
+    in
+    insert_exn db "products"
+      (Value.Tuple
+         [ ("prod_id", Value.Str (Printf.sprintf "prod%d" position));
+           ("title", Value.Str (Printf.sprintf "product %d" position));
+           ("parts",
+            Value.Set
+              (List.map
+                 (fun target -> Value.ref_to ~relation:"lib1" ~key:target)
+                 refs)) ])
+  done;
+  db

@@ -1,0 +1,61 @@
+(** Parameterized synthetic databases for the experiments.
+
+    All generators are deterministic in their [seed]. *)
+
+type manufacturing = {
+  cells : int;
+  objects_per_cell : int;
+  robots_per_cell : int;
+  effectors : int;
+  effectors_per_robot : int;
+  seed : int;
+}
+
+val default_manufacturing : manufacturing
+(** 4 cells, 20 objects, 4 robots, 16 effectors, 2 refs per robot, seed 7. *)
+
+val manufacturing : manufacturing -> Nf2.Database.t
+(** A Fig. 1-shaped database: cells "c1".."cN" over a shared effector library
+    "e1".."eM"; each robot references [effectors_per_robot] distinct random
+    effectors. *)
+
+val shared_effector : robots:int -> Nf2.Database.t
+(** E5's worst case: one cell whose [robots] robots all reference the single
+    effector "e1" — the sharing degree of that effector is exactly
+    [robots]. *)
+
+type deep = {
+  depth : int;  (** nesting levels of collections below the object root *)
+  fanout : int;  (** members per collection *)
+  objects : int;  (** complex objects in the "assemblies" relation *)
+  share : bool;  (** leaves reference a shared "parts" library *)
+  parts : int;  (** size of the parts library (when [share]) *)
+  seed : int;
+}
+
+val default_deep : deep
+
+val deep : deep -> Nf2.Database.t
+(** The E9 depth sweep: relation "assemblies" whose objects nest [depth]
+    levels of sets of tuples, [fanout] members each; when [share], every leaf
+    tuple references a random part of the shared "parts" relation. *)
+
+val deep_leaf_path : depth:int -> Nf2.Path.t
+(** Path from an assembly root to the leaf payload attribute at the given
+    depth (the deepest BLU level of {!deep}). *)
+
+type nested_libraries = {
+  levels : int;  (** number of stacked library relations (≥ 1) *)
+  per_level : int;  (** objects per library relation *)
+  refs_per_object : int;  (** references into the next level *)
+  nested_seed : int;
+}
+
+val default_nested : nested_libraries
+
+val nested : nested_libraries -> Nf2.Database.t
+(** "Common data may again contain common data" (§2): relation "products"
+    references library "lib1", whose objects reference "lib2", and so on for
+    [levels] levels. Exercises transitive downward propagation across
+    superunit boundaries. Products are named "prod1".."prodN" (N =
+    [per_level]); library objects are "lib<level>_<i>". *)

@@ -1,0 +1,10 @@
+  $ colock graph
+  $ colock plan "SELECT o FROM c IN cells, o IN c.c_objects WHERE c.cell_id = 'c1' FOR READ"
+  $ colock plan "SELECT c FROM c IN cells FOR UPDATE"
+  $ colock query \
+  >   "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE" \
+  >   "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE"
+  $ colock query --library-writable \
+  >   "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE" \
+  >   "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE"
+  $ colock plan "SELECT FROM cells FOR READ"

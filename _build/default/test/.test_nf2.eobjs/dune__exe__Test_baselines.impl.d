@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Authz Baselines Colock List Lockmgr Nf2 Option String Workload

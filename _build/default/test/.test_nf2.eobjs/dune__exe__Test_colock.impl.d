@@ -1,0 +1,1 @@
+test/test_colock.ml: Alcotest Colock List Lockmgr Nf2 Option String Workload

@@ -1,0 +1,1 @@
+test/test_dml.ml: Alcotest Colock Format List Lockmgr Nf2 Option Query Workload

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Colock Format List Lockmgr Nf2 Query Workload

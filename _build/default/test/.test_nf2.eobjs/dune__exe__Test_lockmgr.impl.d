@@ -1,0 +1,1 @@
+test/test_lockmgr.ml: Alcotest List Lockmgr Printf QCheck QCheck_alcotest

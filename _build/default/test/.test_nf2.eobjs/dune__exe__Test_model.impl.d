@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Colock List Map Nf2 Option Printf QCheck QCheck_alcotest Session String Workload

@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Authz Baselines Colock Fun List Lockmgr Nf2 Option Printf String Workload

@@ -1,0 +1,1 @@
+test/test_nf2.ml: Alcotest Format List Nf2 Option Result Workload

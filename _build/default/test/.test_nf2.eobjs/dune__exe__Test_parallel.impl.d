@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Atomic Colock Domain List Lockmgr Option Workload

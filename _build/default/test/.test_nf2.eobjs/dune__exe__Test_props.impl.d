@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Authz Colock Filename Format Fun Hashtbl Lazy List Lockmgr Nf2 Option Printf QCheck QCheck_alcotest Query Sim String Sys Txn Workload

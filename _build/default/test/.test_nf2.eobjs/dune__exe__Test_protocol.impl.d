@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Authz Colock Format Hashtbl List Lockmgr Nf2 Option Printf QCheck QCheck_alcotest String Workload

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Authz Colock Format List Lockmgr Nf2 Option Query String Workload

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Format List Lockmgr Nf2 Option Query Session String Txn Workload

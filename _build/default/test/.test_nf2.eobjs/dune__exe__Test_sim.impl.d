@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Authz Baselines Colock List Lockmgr Option Sim Workload

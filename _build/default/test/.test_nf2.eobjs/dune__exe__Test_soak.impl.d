@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Colock List Lockmgr Nf2 Option Sim Workload

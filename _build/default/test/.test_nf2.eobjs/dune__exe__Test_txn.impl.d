@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Authz Colock Filename Format List Lockmgr Nf2 Option String Txn Workload

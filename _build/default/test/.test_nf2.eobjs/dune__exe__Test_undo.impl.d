@@ -1,0 +1,1 @@
+test/test_undo.ml: Alcotest Colock Format List Lockmgr Nf2 Option Query String Workload

@@ -1,0 +1,93 @@
+The object-specific lock graph of the Figure 1 relations (paper Figure 5):
+
+  $ colock graph
+  HeLU (Database "db1")
+    HeLU (Segment "seg1")
+      HoLU (Relation "cells")
+        HeLU (C.O. "cells")
+          BLU ("cell_id")
+          HoLU ("c_objects")
+            HeLU (C.O. "c_objects")
+              BLU ("obj_id")
+              BLU ("obj_name")
+          HoLU ("robots")
+            HeLU (C.O. "robots")
+              BLU ("robot_id")
+              BLU ("trajectory")
+              HoLU ("effectors")
+                BLU ("effectors member" ("..ref.."))  - - -> HeLU (C.O. "effectors")
+  
+  HeLU (Database "db1")
+    HeLU (Segment "seg2")
+      HoLU (Relation "effectors")
+        HeLU (C.O. "effectors")
+          BLU ("eff_id")
+          BLU ("tool")
+  
+
+Query-specific lock graphs (escalation anticipation, paper 4.5):
+
+  $ colock plan "SELECT o FROM c IN cells, o IN c.c_objects WHERE c.cell_id = 'c1' FOR READ"
+  query-specific lock graph (threshold 16):
+    read cells.c_objects where cell_id = ? -> subtree c_objects in S (~1.0 locks; target level ~1.0)
+
+  $ colock plan "SELECT c FROM c IN cells FOR UPDATE"
+  query-specific lock graph (threshold 16):
+    update cells. -> complex object in X (~1.0 locks; target level ~1.0)
+
+Executing the Figure 3 queries reproduces the Figure 7 lock table:
+
+  $ colock query \
+  >   "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE" \
+  >   "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE"
+  T1: SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE
+    1 row(s), 1 lock request(s)
+  T2: SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE
+    1 row(s), 1 lock request(s)
+  
+  lock table:
+  db1: granted [T2:IX, T1:IX] waiting []
+  db1/seg1: granted [T2:IX, T1:IX] waiting []
+  db1/seg1/cells: granted [T2:IX, T1:IX] waiting []
+  db1/seg1/cells/c1: granted [T2:IX, T1:IX] waiting []
+  db1/seg1/cells/c1/robots: granted [T2:IX, T1:IX] waiting []
+  db1/seg1/cells/c1/robots/r1: granted [T1:X] waiting []
+  db1/seg1/cells/c1/robots/r2: granted [T2:X] waiting []
+  db1/seg2: granted [T2:IS, T1:IS] waiting []
+  db1/seg2/effectors: granted [T2:IS, T1:IS] waiting []
+  db1/seg2/effectors/e1: granted [T1:S] waiting []
+  db1/seg2/effectors/e2: granted [T2:S, T1:S] waiting []
+  db1/seg2/effectors/e3: granted [T2:S] waiting []
+  
+
+With a writable library (rule 4' behaves like rule 4) the second update
+conflicts on the shared effector e2:
+
+  $ colock query --library-writable \
+  >   "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE" \
+  >   "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE"
+  T1: SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE
+    1 row(s), 1 lock request(s)
+  T2: SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE
+    blocked on db1/seg2/effectors/e2 by T1
+  
+  lock table:
+  db1: granted [T2:IX, T1:IX] waiting []
+  db1/seg1: granted [T2:IX, T1:IX] waiting []
+  db1/seg1/cells: granted [T2:IX, T1:IX] waiting []
+  db1/seg1/cells/c1: granted [T2:IX, T1:IX] waiting []
+  db1/seg1/cells/c1/robots: granted [T2:IX, T1:IX] waiting []
+  db1/seg1/cells/c1/robots/r1: granted [T1:X] waiting []
+  db1/seg1/cells/c1/robots/r2: granted [T2:X] waiting []
+  db1/seg2: granted [T2:IX, T1:IX] waiting []
+  db1/seg2/effectors: granted [T2:IX, T1:IX] waiting []
+  db1/seg2/effectors/e1: granted [T1:X] waiting []
+  db1/seg2/effectors/e2: granted [T1:X] waiting []
+  
+  [1]
+
+Parse errors are reported with a position:
+
+  $ colock plan "SELECT FROM cells FOR READ"
+  parse error at offset 7: "FROM" is a reserved word
+  [1]

@@ -1,0 +1,393 @@
+(* Unit and property tests for the generic lock manager. *)
+
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mode_testable = Alcotest.testable Mode.pp Mode.equal
+
+(* ------------------------------------------------------------- Lock_mode *)
+
+let test_mode_compat_matrix () =
+  (* The classical matrix, spelled out row by row (NL row/column all true). *)
+  let expect = [
+    (Mode.IS, Mode.IS, true); (Mode.IS, Mode.IX, true);
+    (Mode.IS, Mode.S, true); (Mode.IS, Mode.SIX, true);
+    (Mode.IS, Mode.X, false);
+    (Mode.IX, Mode.IX, true); (Mode.IX, Mode.S, false);
+    (Mode.IX, Mode.SIX, false); (Mode.IX, Mode.X, false);
+    (Mode.S, Mode.S, true); (Mode.S, Mode.SIX, false);
+    (Mode.S, Mode.X, false);
+    (Mode.SIX, Mode.SIX, false); (Mode.SIX, Mode.X, false);
+    (Mode.X, Mode.X, false);
+  ] in
+  List.iter
+    (fun (a, b, compatible) ->
+      check_bool
+        (Printf.sprintf "%s/%s" (Mode.to_string a) (Mode.to_string b))
+        compatible (Mode.compatible a b))
+    expect;
+  List.iter
+    (fun mode ->
+      check_bool "NL compatible with all" true (Mode.compatible Mode.NL mode))
+    Mode.all
+
+let test_mode_sup_cases () =
+  Alcotest.check mode_testable "IX+S=SIX" Mode.SIX (Mode.sup Mode.IX Mode.S);
+  Alcotest.check mode_testable "IS+IX=IX" Mode.IX (Mode.sup Mode.IS Mode.IX);
+  Alcotest.check mode_testable "S+X=X" Mode.X (Mode.sup Mode.S Mode.X);
+  Alcotest.check mode_testable "SIX+IX=SIX" Mode.SIX (Mode.sup Mode.SIX Mode.IX);
+  Alcotest.check mode_testable "NL+S=S" Mode.S (Mode.sup Mode.NL Mode.S)
+
+let test_mode_leq () =
+  check_bool "IS <= S" true (Mode.leq Mode.IS Mode.S);
+  check_bool "IS <= IX" true (Mode.leq Mode.IS Mode.IX);
+  check_bool "IX <= SIX" true (Mode.leq Mode.IX Mode.SIX);
+  check_bool "S <= SIX" true (Mode.leq Mode.S Mode.SIX);
+  check_bool "everything <= X" true (List.for_all (fun m -> Mode.leq m Mode.X) Mode.all);
+  check_bool "NL <= everything" true
+    (List.for_all (fun m -> Mode.leq Mode.NL m) Mode.all);
+  check_bool "S not <= IX" false (Mode.leq Mode.S Mode.IX);
+  check_bool "IX not <= S" false (Mode.leq Mode.IX Mode.S)
+
+let test_mode_intention_for () =
+  Alcotest.check mode_testable "for S" Mode.IS (Mode.intention_for Mode.S);
+  Alcotest.check mode_testable "for IS" Mode.IS (Mode.intention_for Mode.IS);
+  Alcotest.check mode_testable "for X" Mode.IX (Mode.intention_for Mode.X);
+  Alcotest.check mode_testable "for IX" Mode.IX (Mode.intention_for Mode.IX);
+  Alcotest.check mode_testable "for SIX" Mode.IX (Mode.intention_for Mode.SIX);
+  Alcotest.check mode_testable "for NL" Mode.NL (Mode.intention_for Mode.NL)
+
+let test_mode_strings () =
+  List.iter
+    (fun mode ->
+      Alcotest.check (Alcotest.option mode_testable) "roundtrip" (Some mode)
+        (Mode.of_string (Mode.to_string mode)))
+    Mode.all;
+  check_bool "bogus" true (Mode.of_string "bogus" = None)
+
+let mode_gen = QCheck.Gen.oneofl Mode.all
+let arbitrary_mode = QCheck.make ~print:Mode.to_string mode_gen
+
+let prop_compat_symmetric =
+  QCheck.Test.make ~name:"compatibility is symmetric" ~count:200
+    (QCheck.pair arbitrary_mode arbitrary_mode)
+    (fun (a, b) -> Mode.compatible a b = Mode.compatible b a)
+
+let prop_sup_commutative =
+  QCheck.Test.make ~name:"sup is commutative" ~count:200
+    (QCheck.pair arbitrary_mode arbitrary_mode)
+    (fun (a, b) -> Mode.equal (Mode.sup a b) (Mode.sup b a))
+
+let prop_sup_associative =
+  QCheck.Test.make ~name:"sup is associative" ~count:500
+    (QCheck.triple arbitrary_mode arbitrary_mode arbitrary_mode)
+    (fun (a, b, c) ->
+      Mode.equal (Mode.sup a (Mode.sup b c)) (Mode.sup (Mode.sup a b) c))
+
+let prop_sup_idempotent =
+  QCheck.Test.make ~name:"sup is idempotent" ~count:50 arbitrary_mode
+    (fun a -> Mode.equal (Mode.sup a a) a)
+
+let prop_sup_upper_bound =
+  QCheck.Test.make ~name:"sup is an upper bound" ~count:200
+    (QCheck.pair arbitrary_mode arbitrary_mode)
+    (fun (a, b) -> Mode.leq a (Mode.sup a b) && Mode.leq b (Mode.sup a b))
+
+let prop_stronger_conflicts_more =
+  (* If a is compatible with c, any mode below a is compatible with c. *)
+  QCheck.Test.make ~name:"compatibility is downward closed" ~count:500
+    (QCheck.triple arbitrary_mode arbitrary_mode arbitrary_mode)
+    (fun (a, b, c) ->
+      QCheck.assume (Mode.leq b a);
+      (not (Mode.compatible a c)) || Mode.compatible b c)
+
+(* ------------------------------------------------------------ Lock_table *)
+
+let test_table_grant_and_conflict () =
+  let table = Table.create () in
+  check_bool "T1 S" true (Table.request table ~txn:1 ~resource:"r" Mode.S = Table.Granted);
+  check_bool "T2 S shares" true
+    (Table.request table ~txn:2 ~resource:"r" Mode.S = Table.Granted);
+  (match Table.request table ~txn:3 ~resource:"r" Mode.X with
+   | Table.Waiting blockers ->
+     Alcotest.(check (list int)) "blocked by both" [ 1; 2 ] blockers
+   | Table.Granted -> Alcotest.fail "X should block");
+  check_int "two granted entries" 2 (Table.entry_count table)
+
+let test_table_release_grants_waiter () =
+  let table = Table.create () in
+  check_bool "T1 X" true (Table.request table ~txn:1 ~resource:"r" Mode.X = Table.Granted);
+  (match Table.request table ~txn:2 ~resource:"r" Mode.S with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  let grants = Table.release table ~txn:1 ~resource:"r" in
+  (match grants with
+   | [ { Table.g_txn = 2; g_mode; _ } ] ->
+     Alcotest.check mode_testable "granted S" Mode.S g_mode
+   | _ -> Alcotest.fail "expected T2 granted");
+  Alcotest.check mode_testable "T2 holds S" Mode.S
+    (Table.held table ~txn:2 ~resource:"r")
+
+let test_table_fifo_fairness () =
+  (* S1 granted; X2 waits; a later S3 must not overtake X2. *)
+  let table = Table.create () in
+  check_bool "T1 S" true (Table.request table ~txn:1 ~resource:"r" Mode.S = Table.Granted);
+  (match Table.request table ~txn:2 ~resource:"r" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "X should wait");
+  (match Table.request table ~txn:3 ~resource:"r" Mode.S with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "S3 must queue behind X2");
+  let grants = Table.release table ~txn:1 ~resource:"r" in
+  (match grants with
+   | [ { Table.g_txn = 2; _ } ] -> ()
+   | _ -> Alcotest.fail "X2 first");
+  let grants = Table.release table ~txn:2 ~resource:"r" in
+  match grants with
+  | [ { Table.g_txn = 3; _ } ] -> ()
+  | _ -> Alcotest.fail "S3 after X2"
+
+let test_table_conversion () =
+  let table = Table.create () in
+  check_bool "T1 S" true (Table.request table ~txn:1 ~resource:"r" Mode.S = Table.Granted);
+  check_bool "T1 upgrades to X" true
+    (Table.request table ~txn:1 ~resource:"r" Mode.X = Table.Granted);
+  Alcotest.check mode_testable "holds X" Mode.X
+    (Table.held table ~txn:1 ~resource:"r");
+  check_int "one entry only" 1 (Table.entry_count table)
+
+let test_table_conversion_blocks_then_jumps_queue () =
+  let table = Table.create () in
+  check_bool "T1 S" true (Table.request table ~txn:1 ~resource:"r" Mode.S = Table.Granted);
+  check_bool "T2 S" true (Table.request table ~txn:2 ~resource:"r" Mode.S = Table.Granted);
+  (* T3 queues for X; then T1's upgrade must be served before T3. *)
+  (match Table.request table ~txn:3 ~resource:"r" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "T3 should wait");
+  (match Table.request table ~txn:1 ~resource:"r" Mode.X with
+   | Table.Waiting blockers -> Alcotest.(check (list int)) "blocked by T2" [ 2 ] blockers
+   | Table.Granted -> Alcotest.fail "upgrade must wait for T2");
+  let grants = Table.release table ~txn:2 ~resource:"r" in
+  (match grants with
+   | [ { Table.g_txn = 1; g_mode; _ } ] ->
+     Alcotest.check mode_testable "T1 upgraded" Mode.X g_mode
+   | _ -> Alcotest.fail "conversion must jump the queue");
+  Alcotest.check mode_testable "T1 holds X" Mode.X
+    (Table.held table ~txn:1 ~resource:"r")
+
+let test_table_covered_request_noop () =
+  let table = Table.create () in
+  check_bool "T1 X" true (Table.request table ~txn:1 ~resource:"r" Mode.X = Table.Granted);
+  check_bool "S under X is covered" true
+    (Table.request table ~txn:1 ~resource:"r" Mode.S = Table.Granted);
+  Alcotest.check mode_testable "still X" Mode.X
+    (Table.held table ~txn:1 ~resource:"r")
+
+let test_table_intention_sharing () =
+  let table = Table.create () in
+  check_bool "T1 IX" true (Table.request table ~txn:1 ~resource:"r" Mode.IX = Table.Granted);
+  check_bool "T2 IX shares" true
+    (Table.request table ~txn:2 ~resource:"r" Mode.IX = Table.Granted);
+  check_bool "T3 IS shares" true
+    (Table.request table ~txn:3 ~resource:"r" Mode.IS = Table.Granted);
+  match Table.request table ~txn:4 ~resource:"r" Mode.S with
+  | Table.Waiting _ -> ()
+  | Table.Granted -> Alcotest.fail "S conflicts with IX"
+
+let test_table_six () =
+  let table = Table.create () in
+  check_bool "T1 IX+S = SIX" true
+    (Table.request table ~txn:1 ~resource:"r" Mode.IX = Table.Granted
+     && Table.request table ~txn:1 ~resource:"r" Mode.S = Table.Granted);
+  Alcotest.check mode_testable "holds SIX" Mode.SIX
+    (Table.held table ~txn:1 ~resource:"r");
+  (match Table.request table ~txn:2 ~resource:"r" Mode.IS with
+   | Table.Granted -> ()
+   | Table.Waiting _ -> Alcotest.fail "IS compatible with SIX");
+  match Table.request table ~txn:3 ~resource:"r" Mode.IX with
+  | Table.Waiting _ -> ()
+  | Table.Granted -> Alcotest.fail "IX conflicts with SIX"
+
+let test_table_release_all () =
+  let table = Table.create () in
+  check_bool "a" true (Table.request table ~txn:1 ~resource:"a" Mode.IX = Table.Granted);
+  check_bool "b" true (Table.request table ~txn:1 ~resource:"b" Mode.X = Table.Granted);
+  (match Table.request table ~txn:2 ~resource:"b" Mode.S with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  let grants = Table.release_all table ~txn:1 in
+  check_int "T2 unblocked" 1 (List.length grants);
+  check_int "only T2's entry remains" 1 (Table.entry_count table);
+  check_bool "T1 holds nothing" true (Table.locks_of table ~txn:1 = [])
+
+let test_table_release_short_keeps_long () =
+  let table = Table.create () in
+  check_bool "short" true
+    (Table.request table ~txn:1 ~resource:"a" Mode.IX = Table.Granted);
+  check_bool "long" true
+    (Table.request table ~txn:1 ~duration:Table.Long ~resource:"b" Mode.X
+     = Table.Granted);
+  let (_ : Table.grant list) = Table.release_short table ~txn:1 in
+  check_bool "short gone" true
+    (Mode.equal Mode.NL (Table.held table ~txn:1 ~resource:"a"));
+  Alcotest.check mode_testable "long kept" Mode.X
+    (Table.held table ~txn:1 ~resource:"b")
+
+let test_table_cancel_wait () =
+  let table = Table.create () in
+  check_bool "T1 X" true (Table.request table ~txn:1 ~resource:"r" Mode.X = Table.Granted);
+  (match Table.request table ~txn:2 ~resource:"r" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  (match Table.request table ~txn:3 ~resource:"r" Mode.S with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  (* T2 gives up; T3 still cannot run (T1 holds X), but when T1 releases, T3
+     gets the lock directly. *)
+  let grants = Table.cancel_wait table ~txn:2 in
+  check_int "nothing granted yet" 0 (List.length grants);
+  let grants = Table.release table ~txn:1 ~resource:"r" in
+  match grants with
+  | [ { Table.g_txn = 3; _ } ] -> ()
+  | _ -> Alcotest.fail "T3 should be granted after cancel"
+
+let test_table_downgrade () =
+  let table = Table.create () in
+  check_bool "T1 X" true (Table.request table ~txn:1 ~resource:"r" Mode.X = Table.Granted);
+  (match Table.request table ~txn:2 ~resource:"r" Mode.S with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  let grants = Table.downgrade table ~txn:1 ~resource:"r" Mode.S in
+  (match grants with
+   | [ { Table.g_txn = 2; _ } ] -> ()
+   | _ -> Alcotest.fail "downgrade to S should admit T2");
+  Alcotest.check mode_testable "T1 now S" Mode.S
+    (Table.held table ~txn:1 ~resource:"r")
+
+let test_table_stats () =
+  let table = Table.create () in
+  let (_ : Table.outcome) = Table.request table ~txn:1 ~resource:"r" Mode.S in
+  let (_ : Table.outcome) = Table.request table ~txn:2 ~resource:"r" Mode.X in
+  let stats = Table.stats table in
+  check_int "requests" 2 stats.Lockmgr.Lock_stats.requests;
+  check_int "immediate" 1 stats.Lockmgr.Lock_stats.immediate_grants;
+  check_int "waits" 1 stats.Lockmgr.Lock_stats.waits;
+  check_bool "conflict tests happened" true
+    (stats.Lockmgr.Lock_stats.conflict_tests > 0)
+
+let test_table_peak_entries () =
+  let table = Table.create () in
+  List.iter
+    (fun resource ->
+      match Table.request table ~txn:1 ~resource Mode.S with
+      | Table.Granted -> ()
+      | Table.Waiting _ -> Alcotest.fail "grant expected")
+    [ "a"; "b"; "c" ];
+  let (_ : Table.grant list) = Table.release_all table ~txn:1 in
+  check_int "entries back to 0" 0 (Table.entry_count table);
+  check_int "peak saw 3" 3 (Table.peak_entry_count table)
+
+let test_table_waits_for_edges () =
+  let table = Table.create () in
+  check_bool "T1 X a" true (Table.request table ~txn:1 ~resource:"a" Mode.X = Table.Granted);
+  check_bool "T2 X b" true (Table.request table ~txn:2 ~resource:"b" Mode.X = Table.Granted);
+  (match Table.request table ~txn:1 ~resource:"b" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  (match Table.request table ~txn:2 ~resource:"a" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  let edges = Table.waits_for_edges table in
+  check_bool "1 waits for 2" true (List.mem (1, 2) edges);
+  check_bool "2 waits for 1" true (List.mem (2, 1) edges)
+
+(* ---------------------------------------------------------------- Deadlock *)
+
+let test_deadlock_simple_cycle () =
+  match Lockmgr.Deadlock.find_cycle ~edges:[ (1, 2); (2, 1) ] with
+  | Some cycle ->
+    check_bool "both in cycle" true (List.mem 1 cycle && List.mem 2 cycle)
+  | None -> Alcotest.fail "cycle expected"
+
+let test_deadlock_no_cycle () =
+  check_bool "acyclic" true
+    (Lockmgr.Deadlock.find_cycle ~edges:[ (1, 2); (2, 3); (1, 3) ] = None)
+
+let test_deadlock_long_cycle () =
+  match
+    Lockmgr.Deadlock.find_cycle ~edges:[ (1, 2); (2, 3); (3, 4); (4, 1); (2, 5) ]
+  with
+  | Some cycle -> check_int "cycle of 4" 4 (List.length cycle)
+  | None -> Alcotest.fail "cycle expected"
+
+let test_deadlock_victim () =
+  check_int "youngest dies" 9 (Lockmgr.Deadlock.choose_victim [ 3; 9; 1 ]);
+  check_int "priority override" 1
+    (Lockmgr.Deadlock.choose_victim ~priority:(fun txn -> txn) [ 3; 9; 1 ])
+
+let test_deadlock_via_table () =
+  (* Classic AB-BA through the real table. *)
+  let table = Table.create () in
+  let granted outcome = outcome = Table.Granted in
+  check_bool "T1 a" true (granted (Table.request table ~txn:1 ~resource:"a" Mode.X));
+  check_bool "T2 b" true (granted (Table.request table ~txn:2 ~resource:"b" Mode.X));
+  check_bool "T1 waits b" false (granted (Table.request table ~txn:1 ~resource:"b" Mode.X));
+  check_bool "T2 waits a" false (granted (Table.request table ~txn:2 ~resource:"a" Mode.X));
+  (match Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) with
+   | Some _ -> ()
+   | None -> Alcotest.fail "deadlock expected");
+  (* abort the victim: cancel waits + release; survivor proceeds *)
+  let (_ : Table.grant list) = Table.cancel_wait table ~txn:2 in
+  let grants = Table.release_all table ~txn:2 in
+  check_bool "T1 granted b" true
+    (List.exists (fun grant -> grant.Table.g_txn = 1) grants);
+  check_bool "no more cycle" true
+    (Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) = None)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_compat_symmetric; prop_sup_commutative; prop_sup_associative;
+      prop_sup_idempotent; prop_sup_upper_bound; prop_stronger_conflicts_more ]
+
+let () =
+  Alcotest.run "lockmgr"
+    [ ("lock_mode",
+       [ Alcotest.test_case "compatibility matrix" `Quick
+           test_mode_compat_matrix;
+         Alcotest.test_case "sup cases" `Quick test_mode_sup_cases;
+         Alcotest.test_case "leq" `Quick test_mode_leq;
+         Alcotest.test_case "intention_for" `Quick test_mode_intention_for;
+         Alcotest.test_case "strings" `Quick test_mode_strings ]);
+      ("lock_mode_properties", qcheck_cases);
+      ("lock_table",
+       [ Alcotest.test_case "grant and conflict" `Quick
+           test_table_grant_and_conflict;
+         Alcotest.test_case "release grants waiter" `Quick
+           test_table_release_grants_waiter;
+         Alcotest.test_case "fifo fairness" `Quick test_table_fifo_fairness;
+         Alcotest.test_case "conversion" `Quick test_table_conversion;
+         Alcotest.test_case "conversion jumps queue" `Quick
+           test_table_conversion_blocks_then_jumps_queue;
+         Alcotest.test_case "covered request" `Quick
+           test_table_covered_request_noop;
+         Alcotest.test_case "intention sharing" `Quick
+           test_table_intention_sharing;
+         Alcotest.test_case "SIX" `Quick test_table_six;
+         Alcotest.test_case "release_all" `Quick test_table_release_all;
+         Alcotest.test_case "release_short keeps long" `Quick
+           test_table_release_short_keeps_long;
+         Alcotest.test_case "cancel_wait" `Quick test_table_cancel_wait;
+         Alcotest.test_case "downgrade" `Quick test_table_downgrade;
+         Alcotest.test_case "stats" `Quick test_table_stats;
+         Alcotest.test_case "peak entries" `Quick test_table_peak_entries;
+         Alcotest.test_case "waits_for edges" `Quick
+           test_table_waits_for_edges ]);
+      ("deadlock",
+       [ Alcotest.test_case "simple cycle" `Quick test_deadlock_simple_cycle;
+         Alcotest.test_case "no cycle" `Quick test_deadlock_no_cycle;
+         Alcotest.test_case "long cycle" `Quick test_deadlock_long_cycle;
+         Alcotest.test_case "victim" `Quick test_deadlock_victim;
+         Alcotest.test_case "via table" `Quick test_deadlock_via_table ]) ]

@@ -1,0 +1,200 @@
+(* Model-based testing: random sequences of transactions (updates, inserts,
+   deletes, each randomly committed or aborted) run through the Session
+   façade, while a pure shadow model replays only the committed ones. After
+   every transaction the database must equal the model exactly, and the
+   instance graph must stay consistent with the database. *)
+
+module Path = Nf2.Path
+module Oid = Nf2.Oid
+module Value = Nf2.Value
+module String_map = Map.Make (String)
+
+type model = Value.t String_map.t String_map.t  (* relation -> key -> value *)
+
+let model_of_db db : model =
+  List.fold_left
+    (fun model store ->
+      String_map.add
+        (Nf2.Relation.name store)
+        (List.fold_left
+           (fun objects (key, value) -> String_map.add key value objects)
+           String_map.empty (Nf2.Relation.objects store))
+        model)
+    String_map.empty
+    (Nf2.Database.relations db)
+
+let model_equal (a : model) (b : model) =
+  String_map.equal (String_map.equal Value.equal) a b
+
+(* one operation of a transaction *)
+type op =
+  | Set_trajectory of int * string  (* robot picked by parity, new text *)
+  | Insert_cell of int
+  | Delete_cell of int
+
+type txn_spec = { ops : op list; commits : bool }
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [ map2 (fun robot text -> Set_trajectory (robot, text))
+          (int_range 0 1)
+          (oneofl [ "alpha"; "beta"; "gamma" ]);
+        map (fun n -> Insert_cell n) (int_range 2 5);
+        map (fun n -> Delete_cell n) (int_range 1 5) ])
+
+let txn_gen =
+  QCheck.Gen.(
+    map2
+      (fun ops commits -> { ops; commits })
+      (list_size (int_range 1 4) op_gen)
+      bool)
+
+let print_op = function
+  | Set_trajectory (robot, text) -> Printf.sprintf "set r%d %s" (robot + 1) text
+  | Insert_cell n -> Printf.sprintf "ins c%d" n
+  | Delete_cell n -> Printf.sprintf "del c%d" n
+
+let print_txn { ops; commits } =
+  Printf.sprintf "[%s]%s"
+    (String.concat "," (List.map print_op ops))
+    (if commits then "+" else "-")
+
+let fresh_cell key =
+  Workload.Figure1.cell ~key
+    ~objects:[ Workload.Figure1.cell_object ~id:1 ~name:"m" ]
+    ~robots:
+      [ Workload.Figure1.robot ~key:"r1" ~trajectory:"t0" ~effectors:[ "e1" ] ]
+
+(* Apply one op through the session (ignore expected failures like missing
+   keys); mirror successful ops in the candidate model. *)
+let apply_op session txn model op =
+  match op with
+  | Set_trajectory (robot, text) -> (
+    let robot_key = Printf.sprintf "r%d" (robot + 1) in
+    let query =
+      Printf.sprintf
+        "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND \
+         r.robot_id = '%s' FOR UPDATE"
+        robot_key
+    in
+    let transform value =
+      match value with
+      | Value.Tuple fields ->
+        Value.Tuple
+          (List.map
+             (fun (name, sub) ->
+               if String.equal name "trajectory" then (name, Value.Str text)
+               else (name, sub))
+             fields)
+      | other -> other
+    in
+    match Session.update session txn query transform with
+    | Ok _count -> (
+      (* mirror in the model when cell c1 still exists *)
+      match String_map.find_opt "cells" model with
+      | None -> model
+      | Some cells -> (
+        match String_map.find_opt "c1" cells with
+        | None -> model
+        | Some cell ->
+          let updated =
+            match cell with
+            | Value.Tuple fields ->
+              Value.Tuple
+                (List.map
+                   (fun (name, sub) ->
+                     if String.equal name "robots" then
+                       match sub with
+                       | Value.List robots ->
+                         ( name,
+                           Value.List
+                             (List.map
+                                (fun robot_value ->
+                                  match robot_value with
+                                  | Value.Tuple robot_fields
+                                    when List.exists
+                                           (fun (f, v) ->
+                                             String.equal f "robot_id"
+                                             && Value.equal v
+                                                  (Value.Str robot_key))
+                                           robot_fields ->
+                                    transform robot_value
+                                  | other -> other)
+                                robots) )
+                       | other -> (name, other)
+                     else (name, sub))
+                   fields)
+            | other -> other
+          in
+          String_map.add "cells" (String_map.add "c1" updated cells) model))
+    | Error _ -> model)
+  | Insert_cell n -> (
+    let key = Printf.sprintf "c%d" n in
+    match Session.insert session txn "cells" (fresh_cell key) with
+    | Ok _oid ->
+      let cells =
+        Option.value ~default:String_map.empty
+          (String_map.find_opt "cells" model)
+      in
+      String_map.add "cells" (String_map.add key (fresh_cell key) cells) model
+    | Error _ -> model)
+  | Delete_cell n -> (
+    let key = Printf.sprintf "c%d" n in
+    match Session.delete session txn (Oid.make ~relation:"cells" ~key) with
+    | Ok () -> (
+      match String_map.find_opt "cells" model with
+      | None -> model
+      | Some cells -> String_map.add "cells" (String_map.remove key cells) model)
+    | Error _ -> model)
+
+let graph_consistent session =
+  (* every database object has a graph node and vice versa *)
+  let db = Session.database session in
+  let graph = Session.graph session in
+  List.for_all
+    (fun store ->
+      let relation = Nf2.Relation.name store in
+      List.for_all
+        (fun key ->
+          Option.is_some
+            (Colock.Instance_graph.object_node graph (Oid.make ~relation ~key)))
+        (Nf2.Relation.keys store))
+    (Nf2.Database.relations db)
+
+let prop_session_matches_model =
+  QCheck.Test.make ~name:"random committed work matches the shadow model"
+    ~count:120
+    (QCheck.make
+       ~print:(fun txns -> String.concat " " (List.map print_txn txns))
+       QCheck.Gen.(list_size (int_range 1 6) txn_gen))
+    (fun txns ->
+      let session = Session.create (Workload.Figure1.database ()) in
+      Session.set_library_read_only session ~relation:"effectors";
+      let committed_model = ref (model_of_db (Session.database session)) in
+      List.for_all
+        (fun spec ->
+          let txn = Session.begin_txn session in
+          let candidate =
+            List.fold_left
+              (fun model op -> apply_op session txn model op)
+              !committed_model spec.ops
+          in
+          if spec.commits then begin
+            Session.commit session txn;
+            committed_model := candidate
+          end
+          else begin
+            match Session.abort session txn with
+            | Ok _count -> ()
+            | Error _ -> Alcotest.fail "rollback failed"
+          end;
+          model_equal !committed_model (model_of_db (Session.database session))
+          && graph_consistent session
+          && Nf2.Database.check_ref_integrity (Session.database session) = [])
+        txns)
+
+let () =
+  Alcotest.run "model"
+    [ ("shadow",
+       [ QCheck_alcotest.to_alcotest prop_session_matches_model ]) ]

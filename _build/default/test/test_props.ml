@@ -1,0 +1,556 @@
+(* Property-based tests (QCheck) on the core invariants of the system:
+   protocol plan structure, conflict-freedom oracle, lock-table consistency,
+   parser roundtrips, graph/value agreement, statistics sanity, escalation
+   coverage preservation, checkout persistence, simulator accounting. *)
+
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+module Node_id = Colock.Node_id
+module Graph = Colock.Instance_graph
+module Protocol = Colock.Protocol
+module Oid = Nf2.Oid
+module Path = Nf2.Path
+module Value = Nf2.Value
+
+let data_modes = [ Mode.S; Mode.X ]
+let request_modes = [ Mode.IS; Mode.IX; Mode.S; Mode.X ]
+
+(* A deterministic family of generated databases, selected by index. *)
+let database_pool =
+  lazy
+    (Array.of_list
+       [ Workload.Figure1.database ();
+         Workload.Figure1.database ~c_objects:10 ();
+         Workload.Generator.manufacturing
+           { Workload.Generator.cells = 3; objects_per_cell = 5;
+             robots_per_cell = 3; effectors = 4; effectors_per_robot = 2;
+             seed = 13 };
+         Workload.Generator.manufacturing
+           { Workload.Generator.cells = 2; objects_per_cell = 2;
+             robots_per_cell = 2; effectors = 2; effectors_per_robot = 2;
+             seed = 5 };
+         Workload.Generator.deep
+           { Workload.Generator.depth = 2; fanout = 2; objects = 3;
+             share = true; parts = 3; seed = 3 };
+         Workload.Generator.deep
+           { Workload.Generator.depth = 3; fanout = 2; objects = 2;
+             share = false; parts = 0; seed = 9 } ])
+
+let graph_pool =
+  lazy (Array.map Graph.build (Lazy.force database_pool))
+
+let pick_graph index =
+  let pool = Lazy.force graph_pool in
+  pool.(index mod Array.length pool)
+
+let all_nodes graph =
+  let nodes = Graph.fold (fun node accu -> node.Graph.id :: accu) graph [] in
+  let array = Array.of_list nodes in
+  Array.sort Node_id.compare array;
+  array
+
+(* ------------------------------------------------------ plan invariants *)
+
+let plan_case_gen =
+  QCheck.Gen.(
+    quad (int_range 0 100) (int_range 0 10_000)
+      (oneofl request_modes) (int_range 0 3))
+
+let arbitrary_plan_case =
+  QCheck.make
+    ~print:(fun (db, pick, mode, rule) ->
+      Printf.sprintf "db=%d pick=%d mode=%s rule=%d" db pick
+        (Mode.to_string mode) rule)
+    plan_case_gen
+
+let protocol_for graph rule_index =
+  let table = Table.create () in
+  let rule =
+    if rule_index mod 2 = 0 then Protocol.Rule_4_prime else Protocol.Rule_4
+  in
+  Protocol.create ~rule graph table
+
+let prop_plan_parents_before_children =
+  QCheck.Test.make ~name:"plan lists parents before children" ~count:300
+    arbitrary_plan_case
+    (fun (db, pick, mode, rule) ->
+      let graph = pick_graph db in
+      let nodes = all_nodes graph in
+      let target = nodes.(pick mod Array.length nodes) in
+      let protocol = protocol_for graph rule in
+      let steps = Protocol.plan protocol ~txn:1 target mode in
+      let seen = Hashtbl.create 32 in
+      List.for_all
+        (fun { Protocol.node; _ } ->
+          let parent_ok =
+            match Node_id.parent node with
+            | None -> true
+            | Some parent -> Hashtbl.mem seen (Node_id.to_resource parent)
+          in
+          Hashtbl.replace seen (Node_id.to_resource node) ();
+          parent_ok)
+        steps)
+
+let prop_plan_parent_modes_cover_intentions =
+  QCheck.Test.make
+    ~name:"every planned node's parent carries the needed intention"
+    ~count:300 arbitrary_plan_case
+    (fun (db, pick, mode, rule) ->
+      let graph = pick_graph db in
+      let nodes = all_nodes graph in
+      let target = nodes.(pick mod Array.length nodes) in
+      let protocol = protocol_for graph rule in
+      let steps = Protocol.plan protocol ~txn:1 target mode in
+      let planned = Hashtbl.create 32 in
+      List.iter
+        (fun { Protocol.node; mode; _ } ->
+          Hashtbl.replace planned (Node_id.to_resource node) mode)
+        steps;
+      List.for_all
+        (fun { Protocol.node; mode; _ } ->
+          match Node_id.parent node with
+          | None -> true
+          | Some parent -> (
+            match Hashtbl.find_opt planned (Node_id.to_resource parent) with
+            | None -> false
+            | Some parent_mode ->
+              Mode.leq (Mode.intention_for mode) parent_mode))
+        steps)
+
+let prop_plan_covers_reachable_entry_points =
+  QCheck.Test.make
+    ~name:"downward propagation reaches every dependent entry point"
+    ~count:300 arbitrary_plan_case
+    (fun (db, pick, mode, rule) ->
+      QCheck.assume (List.mem mode data_modes);
+      let graph = pick_graph db in
+      let nodes = all_nodes graph in
+      let target = nodes.(pick mod Array.length nodes) in
+      let protocol = protocol_for graph rule in
+      let steps = Protocol.plan protocol ~txn:1 target mode in
+      let planned = Hashtbl.create 32 in
+      List.iter
+        (fun { Protocol.node; mode; _ } ->
+          Hashtbl.replace planned (Node_id.to_resource node) mode)
+        steps;
+      (* transitively collect reachable entry points *)
+      let rec reachable accu node =
+        List.fold_left
+          (fun accu entry ->
+            let key = Node_id.to_resource entry in
+            if List.mem key accu then accu
+            else reachable (key :: accu) entry)
+          accu
+          (Colock.Units.entry_points_below graph node)
+      in
+      List.for_all
+        (fun key ->
+          match Hashtbl.find_opt planned key with
+          | Some planned_mode -> Mode.grants_read planned_mode
+          | None -> false)
+        (reachable [] target))
+
+let prop_plan_disjoint_is_system_r =
+  QCheck.Test.make ~name:"disjoint data: plan is the System R chain"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (pick, mode) ->
+         Printf.sprintf "pick=%d mode=%s" pick (Mode.to_string mode))
+       QCheck.Gen.(pair (int_range 0 10_000) (oneofl request_modes)))
+    (fun (pick, mode) ->
+      let graph = pick_graph 5 (* the share=false deep database *) in
+      let nodes = all_nodes graph in
+      let target = nodes.(pick mod Array.length nodes) in
+      let protocol = protocol_for graph 0 in
+      let steps = Protocol.plan protocol ~txn:1 target mode in
+      let expected =
+        List.map
+          (fun ancestor -> (ancestor, Mode.intention_for mode))
+          (Graph.ancestors graph target)
+        @ [ (target, mode) ]
+      in
+      List.length steps = List.length expected
+      && List.for_all2
+           (fun { Protocol.node; mode; _ } (expected_node, expected_mode) ->
+             Node_id.equal node expected_node && Mode.equal mode expected_mode)
+           steps expected)
+
+(* ----------------------------------------------------------- oracle *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    pair (int_range 0 100)
+      (list_size (int_range 1 15)
+         (triple (int_range 1 5) (int_range 0 10_000) (oneofl request_modes))))
+
+let arbitrary_scenario =
+  QCheck.make
+    ~print:(fun (db, ops) ->
+      Printf.sprintf "db=%d ops=%s" db
+        (String.concat ";"
+           (List.map
+              (fun (txn, pick, mode) ->
+                Printf.sprintf "T%d:%d:%s" txn pick (Mode.to_string mode))
+              ops)))
+    scenario_gen
+
+let prop_no_hidden_conflicts_ever =
+  QCheck.Test.make
+    ~name:"granted locks never hide an effective conflict (any database)"
+    ~count:150 arbitrary_scenario
+    (fun (db, operations) ->
+      let graph = pick_graph db in
+      let nodes = all_nodes graph in
+      let table = Table.create () in
+      let rights = Authz.Rights.create () in
+      let protocol = Protocol.create ~rights graph table in
+      (* txn 2 may not modify the effector library (rule 4' diversity) *)
+      Authz.Rights.revoke_modify rights ~txn:2 ~relation:"effectors";
+      List.iter
+        (fun (txn, pick, mode) ->
+          let target = nodes.(pick mod Array.length nodes) in
+          match Protocol.try_acquire protocol ~txn target mode with
+          | Protocol.Acquired _ -> ()
+          | Protocol.Blocked _ -> ())
+        operations;
+      let txns = [ 1; 2; 3; 4; 5 ] in
+      Array.for_all
+        (fun id ->
+          let effective =
+            List.map (fun txn -> Protocol.effective_mode protocol ~txn id) txns
+          in
+          let writers =
+            List.length (List.filter Mode.grants_write effective)
+          in
+          let readers = List.length (List.filter Mode.grants_read effective) in
+          writers = 0 || (writers = 1 && readers = 1))
+        nodes)
+
+(* ------------------------------------------------------------ lock table *)
+
+let table_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (triple (int_range 1 6) (int_range 0 7)
+         (oneofl (Mode.NL :: request_modes @ [ Mode.SIX ]))))
+
+let arbitrary_table_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (fun (txn, res, mode) ->
+             Printf.sprintf "T%d:r%d:%s" txn res (Mode.to_string mode))
+           ops))
+    table_ops_gen
+
+let prop_granted_groups_compatible =
+  QCheck.Test.make
+    ~name:"lock table: granted groups stay pairwise compatible" ~count:300
+    arbitrary_table_ops
+    (fun operations ->
+      let table = Table.create () in
+      List.iter
+        (fun (txn, res, mode) ->
+          let resource = Printf.sprintf "r%d" res in
+          (* mix requests and occasional releases *)
+          if Mode.equal mode Mode.NL then
+            ignore (Table.release_all table ~txn)
+          else ignore (Table.request table ~txn ~resource mode))
+        operations;
+      List.for_all
+        (fun resource ->
+          let holders = Table.holders table ~resource in
+          List.for_all
+            (fun (txn_a, mode_a) ->
+              List.for_all
+                (fun (txn_b, mode_b) ->
+                  txn_a = txn_b || Mode.compatible mode_a mode_b)
+                holders)
+            holders)
+        (Table.resources table))
+
+let prop_entry_count_consistent =
+  QCheck.Test.make ~name:"lock table: entry count matches holders" ~count:300
+    arbitrary_table_ops
+    (fun operations ->
+      let table = Table.create () in
+      List.iter
+        (fun (txn, res, mode) ->
+          let resource = Printf.sprintf "r%d" res in
+          if Mode.equal mode Mode.NL then ignore (Table.release_all table ~txn)
+          else ignore (Table.request table ~txn ~resource mode))
+        operations;
+      let counted =
+        List.fold_left
+          (fun total resource ->
+            total + List.length (Table.holders table ~resource))
+          0 (Table.resources table)
+      in
+      Table.entry_count table = counted
+      && Table.peak_entry_count table >= Table.entry_count table)
+
+(* ---------------------------------------------------------------- parser *)
+
+let ident_gen =
+  QCheck.Gen.(
+    let* first = oneofl [ "c"; "r"; "o"; "e"; "part"; "cell_id"; "x1" ] in
+    return first)
+
+let path_gen =
+  QCheck.Gen.(
+    let* steps = list_size (int_range 1 3) ident_gen in
+    return (Path.of_list steps))
+
+let literal_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun s -> Query.Ast.L_str s) (oneofl [ "c1"; "r2"; "abc"; "" ]);
+        map (fun i -> Query.Ast.L_int i) (int_range 0 9999);
+        map (fun b -> Query.Ast.L_bool b) bool ])
+
+let ast_gen =
+  QCheck.Gen.(
+    let* first_var = oneofl [ "c"; "q" ] in
+    let* relation = oneofl [ "cells"; "effectors"; "parts" ] in
+    let* extra_vars = int_range 0 2 in
+    let vars =
+      first_var :: List.init extra_vars (fun index -> Printf.sprintf "v%d" index)
+    in
+    let* bindings =
+      let rec build accu = function
+        | [] -> return (List.rev accu)
+        | var :: rest ->
+          let* binding =
+            if accu = [] then
+              return { Query.Ast.var; source = Query.Ast.From_relation relation }
+            else
+              let* base =
+                oneofl (List.map (fun b -> b.Query.Ast.var) accu)
+              in
+              let* path = path_gen in
+              return { Query.Ast.var; source = Query.Ast.From_path (base, path) }
+          in
+          build (binding :: accu) rest
+      in
+      build [] vars
+    in
+    let* select = oneofl vars in
+    let* conditions =
+      list_size (int_range 0 2)
+        (let* var = oneofl vars in
+         let* path = path_gen in
+         let* value = literal_gen in
+         return { Query.Ast.cond_var = var; cond_path = path; value })
+    in
+    let* clause =
+      oneofl [ Query.Ast.For_read; Query.Ast.For_update; Query.Ast.For_delete ]
+    in
+    return { Query.Ast.select; bindings; where = conditions; clause })
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~name:"parser: parse (pp ast) = ast" ~count:300
+    (QCheck.make
+       ~print:(fun ast -> Format.asprintf "%a" Query.Ast.pp ast)
+       ast_gen)
+    (fun ast ->
+      (* string literals with quotes/newlines are out of the dialect *)
+      let printable = Format.asprintf "%a" Query.Ast.pp ast in
+      match Query.Parser.parse printable with
+      | Ok reparsed -> reparsed = ast
+      | Error _ -> false)
+
+(* ------------------------------------------------- graph/value agreement *)
+
+let prop_nodes_at_path_matches_projection =
+  QCheck.Test.make
+    ~name:"instance nodes at a path agree with value projection" ~count:200
+    (QCheck.make
+       ~print:(fun (db, pick) -> Printf.sprintf "db=%d pick=%d" db pick)
+       QCheck.Gen.(pair (int_range 0 100) (int_range 0 1000)))
+    (fun (db_index, pick) ->
+      let pool = Lazy.force database_pool in
+      let db = pool.(db_index mod Array.length pool) in
+      let graph = pick_graph db_index in
+      let stores = Nf2.Database.relations db in
+      let store = List.nth stores (pick mod List.length stores) in
+      let schema = Nf2.Relation.schema store in
+      let paths = Nf2.Schema.attr_paths schema in
+      QCheck.assume (paths <> []);
+      let path = List.nth paths (pick mod List.length paths) in
+      List.for_all
+        (fun (key, value) ->
+          let oid = Oid.make ~relation:(Nf2.Relation.name store) ~key in
+          let node_count = List.length (Graph.nodes_at_path graph oid path) in
+          let value_count = List.length (Value.project value path) in
+          node_count = value_count)
+        (Nf2.Relation.objects store))
+
+(* ------------------------------------------------------------- statistics *)
+
+let prop_statistics_sane =
+  QCheck.Test.make ~name:"statistics: estimates stay within bounds" ~count:100
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100))
+    (fun db_index ->
+      let pool = Lazy.force database_pool in
+      let db = pool.(db_index mod Array.length pool) in
+      List.for_all
+        (fun store ->
+          let stats = Nf2.Statistics.compute store in
+          let cardinality = float_of_int stats.Nf2.Statistics.cardinality in
+          List.for_all
+            (fun (_path, size) -> size >= 0.0)
+            stats.Nf2.Statistics.collection_sizes
+          && List.for_all
+               (fun (_path, count) -> count >= 0)
+               stats.Nf2.Statistics.distinct_counts
+          && Nf2.Statistics.estimate_matching stats None <= cardinality +. 0.01
+          && List.for_all
+               (fun (path, _count) ->
+                 let estimate =
+                   Nf2.Statistics.estimate_matching stats (Some path)
+                 in
+                 estimate >= 0.0 && estimate <= cardinality +. 0.01)
+               stats.Nf2.Statistics.distinct_counts)
+        (Nf2.Database.relations db))
+
+(* ------------------------------------------------------------- escalation *)
+
+let prop_escalation_preserves_coverage =
+  QCheck.Test.make
+    ~name:"escalation: members stay effectively covered" ~count:100
+    (QCheck.make
+       ~print:(fun (members, threshold) ->
+         Printf.sprintf "members=%d threshold=%d" members threshold)
+       QCheck.Gen.(pair (int_range 2 20) (int_range 1 10)))
+    (fun (members, threshold) ->
+      let db = Workload.Figure1.database ~c_objects:members () in
+      let graph = Graph.build db in
+      let table = Table.create () in
+      let protocol = Protocol.create graph table in
+      let c1 = Option.get (Graph.object_node graph (Oid.make ~relation:"cells" ~key:"c1")) in
+      let holu = Node_id.child c1 "c_objects" in
+      let member_nodes = (Graph.node_exn graph holu).Graph.children in
+      List.iter
+        (fun member ->
+          match Protocol.acquire protocol ~txn:1 member Mode.S with
+          | Protocol.Acquired _ -> ()
+          | Protocol.Blocked _ -> ())
+        member_nodes;
+      let (_ : Colock.Escalation.escalation_result) =
+        Colock.Escalation.maybe_escalate protocol ~txn:1 ~threshold
+          ~parent:holu
+      in
+      List.for_all
+        (fun member ->
+          Mode.grants_read (Protocol.effective_mode protocol ~txn:1 member))
+        member_nodes)
+
+(* --------------------------------------------------------------- checkout *)
+
+let prop_checkout_persistence_roundtrip =
+  QCheck.Test.make
+    ~name:"checkout: long locks survive save/restore exactly" ~count:50
+    (QCheck.make
+       ~print:(fun picks -> String.concat "," (List.map string_of_int picks))
+       QCheck.Gen.(list_size (int_range 1 3) (int_range 0 100)))
+    (fun picks ->
+      let db = Workload.Figure1.database () in
+      let graph = Graph.build db in
+      let lock_file = Filename.temp_file "colock_prop_locks" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove lock_file with Sys_error _ -> ())
+        (fun () ->
+          let table = Table.create () in
+          let protocol = Protocol.create graph table in
+          let manager = Txn.Txn_manager.create protocol in
+          let checkout = Txn.Checkout.create ~lock_file manager db in
+          let txn = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long manager in
+          let oids =
+            [ Oid.make ~relation:"cells" ~key:"c1";
+              Oid.make ~relation:"effectors" ~key:"e1";
+              Oid.make ~relation:"effectors" ~key:"e3" ]
+          in
+          List.iter
+            (fun pick ->
+              let oid = List.nth oids (pick mod List.length oids) in
+              let mode = if pick mod 2 = 0 then `Read else `Update in
+              ignore (Txn.Checkout.check_out checkout txn oid ~mode))
+            picks;
+          let before =
+            List.filter
+              (fun (_resource, _mode, duration) -> duration = Table.Long)
+              (Table.locks_of table ~txn:txn.Txn.Transaction.id)
+          in
+          Txn.Checkout.save_locks checkout;
+          let table2 = Table.create () in
+          let protocol2 = Protocol.create graph table2 in
+          let manager2 = Txn.Txn_manager.create protocol2 in
+          let checkout2 = Txn.Checkout.create ~lock_file manager2 db in
+          let restored = Txn.Checkout.restore_locks checkout2 in
+          let after =
+            List.filter
+              (fun (_resource, _mode, duration) -> duration = Table.Long)
+              (Table.locks_of table2 ~txn:txn.Txn.Transaction.id)
+          in
+          restored = List.length before && before = after))
+
+(* -------------------------------------------------------------- simulator *)
+
+let prop_sim_accounting =
+  QCheck.Test.make ~name:"simulator: accounting identities hold" ~count:60
+    (QCheck.make
+       ~print:(fun (jobs, read_pct, seed) ->
+         Printf.sprintf "jobs=%d read=%d%% seed=%d" jobs read_pct seed)
+       QCheck.Gen.(triple (int_range 1 25) (int_range 0 100) (int_range 0 999)))
+    (fun (jobs, read_pct, seed) ->
+      let db =
+        Workload.Generator.manufacturing
+          { Workload.Generator.default_manufacturing with cells = 3; seed = 7 }
+      in
+      let graph = Graph.build db in
+      let mix =
+        { Sim.Scenario.default_mix with
+          jobs; read_fraction = float_of_int read_pct /. 100.0; seed }
+      in
+      let specs = Sim.Scenario.manufacturing_mix db graph mix in
+      let table = Table.create () in
+      let protocol = Protocol.create graph table in
+      let sim_jobs =
+        Sim.Scenario.compile graph (Sim.Scenario.Proposed protocol) specs
+      in
+      let metrics = Sim.Runner.run ~table sim_jobs in
+      metrics.Sim.Metrics.committed + metrics.Sim.Metrics.gave_up = jobs
+      && metrics.Sim.Metrics.total_response
+         >= metrics.Sim.Metrics.committed * mix.Sim.Scenario.access_cost
+      && metrics.Sim.Metrics.makespan >= mix.Sim.Scenario.access_cost
+      && Table.entry_count table = 0)
+
+let () =
+  Alcotest.run "properties"
+    [ ("plan",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_plan_parents_before_children;
+           prop_plan_parent_modes_cover_intentions;
+           prop_plan_covers_reachable_entry_points;
+           prop_plan_disjoint_is_system_r ]);
+      ("oracle",
+       List.map QCheck_alcotest.to_alcotest [ prop_no_hidden_conflicts_ever ]);
+      ("lock_table",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_granted_groups_compatible; prop_entry_count_consistent ]);
+      ("parser",
+       List.map QCheck_alcotest.to_alcotest [ prop_parser_roundtrip ]);
+      ("graph",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_nodes_at_path_matches_projection ]);
+      ("statistics",
+       List.map QCheck_alcotest.to_alcotest [ prop_statistics_sane ]);
+      ("escalation",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_escalation_preserves_coverage ]);
+      ("checkout",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_checkout_persistence_roundtrip ]);
+      ("simulator",
+       List.map QCheck_alcotest.to_alcotest [ prop_sim_accounting ]) ]

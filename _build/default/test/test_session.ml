@@ -1,0 +1,165 @@
+(* Tests for the Session façade: queries, updates, inserts, deletes,
+   commit/abort with rollback, and the Figure 7 behaviour end to end through
+   the public front door. *)
+
+module Path = Nf2.Path
+module Oid = Nf2.Oid
+module Value = Nf2.Value
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_session () =
+  let session = Session.create (Workload.Figure1.database ()) in
+  Session.set_library_read_only session ~relation:"effectors";
+  session
+
+let q2 =
+  "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND \
+   r.robot_id = 'r1' FOR UPDATE"
+
+let q3 =
+  "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND \
+   r.robot_id = 'r2' FOR UPDATE"
+
+let ok = function
+  | Ok value -> value
+  | Error error ->
+    Alcotest.failf "unexpected error: %s"
+      (Format.asprintf "%a" Query.Executor.pp_error error)
+
+let trajectory_of session =
+  let cell =
+    Option.get
+      (Nf2.Database.deref (Session.database session)
+         (Oid.make ~relation:"cells" ~key:"c1"))
+  in
+  List.hd (Value.project cell (Path.of_string "robots.trajectory"))
+
+let test_query_and_commit () =
+  let session = make_session () in
+  let txn = Session.begin_txn session in
+  let rows = ok (Session.query session txn q2) in
+  check_int "one row" 1 (List.length rows);
+  Session.commit session txn;
+  check_int "locks released" 0
+    (List.length
+       (Table.locks_of (Session.lock_table session) ~txn:txn.Txn.Transaction.id))
+
+let test_figure7_through_facade () =
+  let session = make_session () in
+  let t2 = Session.begin_txn session in
+  let t3 = Session.begin_txn session in
+  let (_ : Query.Executor.row list) = ok (Session.query session t2 q2) in
+  let (_ : Query.Executor.row list) = ok (Session.query session t3 q3) in
+  check_int "T2 holds 10 locks" 10
+    (List.length
+       (Table.locks_of (Session.lock_table session) ~txn:t2.Txn.Transaction.id));
+  check_int "T3 holds 10 locks" 10
+    (List.length
+       (Table.locks_of (Session.lock_table session) ~txn:t3.Txn.Transaction.id))
+
+let test_update_commit_persists () =
+  let session = make_session () in
+  let txn = Session.begin_txn session in
+  let updated =
+    ok
+      (Session.update session txn q2 (fun robot ->
+           match robot with
+           | Value.Tuple fields ->
+             Value.Tuple
+               (List.map
+                  (fun (name, sub) ->
+                    if String.equal name "trajectory" then
+                      (name, Value.Str "replanned")
+                    else (name, sub))
+                  fields)
+           | other -> other))
+  in
+  check_int "one row updated" 1 updated;
+  Session.commit session txn;
+  check_bool "persisted" true
+    (Value.equal (trajectory_of session) (Value.Str "replanned"))
+
+let test_abort_rolls_back () =
+  let session = make_session () in
+  let txn = Session.begin_txn session in
+  let (_ : int) =
+    ok
+      (Session.update session txn q2 (fun robot ->
+           match robot with
+           | Value.Tuple fields ->
+             Value.Tuple
+               (List.map
+                  (fun (name, sub) ->
+                    if String.equal name "trajectory" then
+                      (name, Value.Str "oops")
+                    else (name, sub))
+                  fields)
+           | other -> other))
+  in
+  (match Session.abort session txn with
+   | Ok 1 -> ()
+   | Ok count -> Alcotest.failf "expected 1 record undone, got %d" count
+   | Error _ -> Alcotest.fail "rollback failed");
+  check_bool "change undone" true
+    (Value.equal (trajectory_of session) (Value.Str "tr1"));
+  check_int "locks released" 0
+    (List.length
+       (Table.locks_of (Session.lock_table session) ~txn:txn.Txn.Transaction.id))
+
+let test_insert_abort_disappears () =
+  let session = make_session () in
+  let txn = Session.begin_txn session in
+  let fresh =
+    Workload.Figure1.cell ~key:"c2"
+      ~objects:[ Workload.Figure1.cell_object ~id:1 ~name:"n" ]
+      ~robots:[]
+  in
+  let oid = ok (Session.insert session txn "cells" fresh) in
+  check_bool "inserted" true
+    (Option.is_some (Nf2.Database.deref (Session.database session) oid));
+  (match Session.abort session txn with
+   | Ok 1 -> ()
+   | Ok _ | Error _ -> Alcotest.fail "one undo record expected");
+  check_bool "gone again" true
+    (Nf2.Database.deref (Session.database session) oid = None)
+
+let test_delete_and_commit () =
+  let session = make_session () in
+  let txn = Session.begin_txn session in
+  let c1 = Oid.make ~relation:"cells" ~key:"c1" in
+  ok (Session.delete session txn c1);
+  Session.commit session txn;
+  check_bool "deleted for good" true
+    (Nf2.Database.deref (Session.database session) c1 = None)
+
+let test_blocked_error_surfaces () =
+  let session = make_session () in
+  let t1 = Session.begin_txn session in
+  let t2 = Session.begin_txn session in
+  let (_ : Query.Executor.row list) = ok (Session.query session t1 q2) in
+  (* same update by T2: X vs X on robot r1 *)
+  match Session.query session t2 q2 with
+  | Error (Query.Executor.Blocked { waiting = true; _ }) ->
+    (* blocker commits; retry succeeds *)
+    Session.commit session t1;
+    let rows = ok (Session.query session t2 q2) in
+    check_int "row after retry" 1 (List.length rows)
+  | Error _ | Ok _ -> Alcotest.fail "expected a queued block"
+
+let () =
+  Alcotest.run "session"
+    [ ("facade",
+       [ Alcotest.test_case "query and commit" `Quick test_query_and_commit;
+         Alcotest.test_case "figure 7" `Quick test_figure7_through_facade;
+         Alcotest.test_case "update + commit" `Quick
+           test_update_commit_persists;
+         Alcotest.test_case "abort rolls back" `Quick test_abort_rolls_back;
+         Alcotest.test_case "insert + abort" `Quick
+           test_insert_abort_disappears;
+         Alcotest.test_case "delete + commit" `Quick test_delete_and_commit;
+         Alcotest.test_case "blocked then retry" `Quick
+           test_blocked_error_surfaces ]) ]

@@ -1,0 +1,247 @@
+(* Tests for the discrete-event simulator: determinism, blocking, deadlock
+   recovery, and the headline concurrency comparisons between techniques. *)
+
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+module Node_id = Colock.Node_id
+module Graph = Colock.Instance_graph
+module Technique = Baselines.Technique
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let node steps = Option.get (Node_id.of_steps steps)
+
+let request steps mode =
+  { Technique.node = node steps; mode }
+
+let fixed_plan requests _txn = requests
+
+(* ------------------------------------------------------------ Event queue *)
+
+let test_event_queue_order () =
+  let queue = Sim.Event_queue.create () in
+  Sim.Event_queue.schedule queue ~time:5 "b";
+  Sim.Event_queue.schedule queue ~time:1 "a";
+  Sim.Event_queue.schedule queue ~time:5 "c";
+  Alcotest.(check (list (pair int string)))
+    "time then fifo"
+    [ (1, "a"); (5, "b"); (5, "c") ]
+    (List.init 3 (fun _ -> Option.get (Sim.Event_queue.pop queue)));
+  check_bool "empty" true (Sim.Event_queue.is_empty queue)
+
+(* ----------------------------------------------------------------- Runner *)
+
+let test_runner_single_job () =
+  let table = Table.create () in
+  let job =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ "db1" ] Mode.S ];
+            access_cost = 100 } ] }
+  in
+  let metrics = Sim.Runner.run ~table [ job ] in
+  check_int "committed" 1 metrics.Sim.Metrics.committed;
+  check_int "makespan" 100 metrics.Sim.Metrics.makespan;
+  check_int "no waits" 0 metrics.Sim.Metrics.total_wait;
+  check_int "no entries left" 0 (Table.entry_count table)
+
+let test_runner_serializes_conflicts () =
+  let table = Table.create () in
+  let job mode =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ "db1" ] mode ];
+            access_cost = 100 } ] }
+  in
+  let metrics = Sim.Runner.run ~table [ job Mode.X; job Mode.X ] in
+  check_int "both commit" 2 metrics.Sim.Metrics.committed;
+  (* second had to wait for the first: makespan 200, wait 100 *)
+  check_int "makespan doubled" 200 metrics.Sim.Metrics.makespan;
+  check_int "wait recorded" 100 metrics.Sim.Metrics.total_wait
+
+let test_runner_concurrent_when_compatible () =
+  let table = Table.create () in
+  let job =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ "db1" ] Mode.S ];
+            access_cost = 100 } ] }
+  in
+  let metrics = Sim.Runner.run ~table [ job; job; job ] in
+  check_int "all commit" 3 metrics.Sim.Metrics.committed;
+  check_int "fully parallel" 100 metrics.Sim.Metrics.makespan
+
+let test_runner_deadlock_recovery () =
+  (* AB-BA in two steps: T1 locks a then b; T2 locks b then a. *)
+  let table = Table.create () in
+  let two_step first second =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
+            access_cost = 50 };
+          { Sim.Runner.plan = fixed_plan [ request [ second ] Mode.X ];
+            access_cost = 50 } ] }
+  in
+  let metrics = Sim.Runner.run ~table [ two_step "a" "b"; two_step "b" "a" ] in
+  check_int "both commit eventually" 2 metrics.Sim.Metrics.committed;
+  check_bool "a victim died at least once" true
+    (metrics.Sim.Metrics.deadlock_aborts >= 1);
+  check_int "nothing left locked" 0 (Table.entry_count table)
+
+let test_runner_gave_up () =
+  (* A job that always deadlocks against a permanent holder cannot happen
+     with strict 2PL, so test the restart cap via an artificial self-cycle:
+     two jobs forever colliding with zero backoff progress is impossible;
+     instead check the config plumbs through: max_restarts 0 means a single
+     victimhood gives up. *)
+  let table = Table.create () in
+  let two_step first second =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
+            access_cost = 50 };
+          { Sim.Runner.plan = fixed_plan [ request [ second ] Mode.X ];
+            access_cost = 50 } ] }
+  in
+  let config = { Sim.Runner.deadlock_backoff = 10; max_restarts = 0 } in
+  let metrics =
+    Sim.Runner.run ~config ~table [ two_step "a" "b"; two_step "b" "a" ]
+  in
+  check_int "survivor commits" 1 metrics.Sim.Metrics.committed;
+  check_int "victim gave up" 1 metrics.Sim.Metrics.gave_up
+
+let test_runner_deterministic () =
+  let build () =
+    let db = Workload.Generator.manufacturing Workload.Generator.default_manufacturing in
+    let graph = Graph.build db in
+    let specs =
+      Sim.Scenario.manufacturing_mix db graph
+        { Sim.Scenario.default_mix with jobs = 30; seed = 5 }
+    in
+    let table = Table.create () in
+    let protocol = Colock.Protocol.create graph table in
+    let jobs = Sim.Scenario.compile graph (Sim.Scenario.Proposed protocol) specs in
+    Sim.Runner.run ~table jobs
+  in
+  let first = build () in
+  let second = build () in
+  check_bool "identical metrics" true
+    (Sim.Metrics.row first = Sim.Metrics.row second)
+
+let test_runner_on_begin () =
+  let table = Table.create () in
+  let seen = ref [] in
+  let job =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ "db1" ] Mode.S ];
+            access_cost = 10 } ] }
+  in
+  let (_ : Sim.Metrics.t) =
+    Sim.Runner.run ~on_begin:(fun txn -> seen := txn :: !seen) ~table
+      [ job; job ]
+  in
+  Alcotest.(check (list int)) "txn ids" [ 2; 1 ] !seen
+
+(* ----------------------------------------------------- Technique contrasts *)
+
+let scenario_env () =
+  let db =
+    Workload.Generator.manufacturing
+      { Workload.Generator.default_manufacturing with cells = 6 }
+  in
+  let graph = Graph.build db in
+  (db, graph)
+
+let run_mix db graph technique_of_table mix =
+  let specs = Sim.Scenario.manufacturing_mix db graph mix in
+  let table = Table.create () in
+  let technique = technique_of_table table in
+  let jobs = Sim.Scenario.compile graph technique specs in
+  Sim.Runner.run ~table jobs
+
+let proposed table_graph table =
+  Sim.Scenario.Proposed (Colock.Protocol.create table_graph table)
+
+let test_proposed_beats_whole_object_on_mixed_load () =
+  (* E4 shape: contended Q1/Q2 mix on few cells — sub-object granules win. *)
+  let db, graph = scenario_env () in
+  let mix =
+    { Sim.Scenario.default_mix with jobs = 60; arrival_gap = 5; seed = 23 }
+  in
+  let proposed_metrics = run_mix db graph (proposed graph) mix in
+  let whole_metrics =
+    run_mix db graph (fun _table -> Sim.Scenario.Whole_object) mix
+  in
+  check_bool "everything commits (proposed)" true
+    (proposed_metrics.Sim.Metrics.committed = 60);
+  check_bool "proposed waits less" true
+    (proposed_metrics.Sim.Metrics.total_wait
+     < whole_metrics.Sim.Metrics.total_wait);
+  check_bool "proposed finishes no later" true
+    (proposed_metrics.Sim.Metrics.makespan
+     <= whole_metrics.Sim.Metrics.makespan)
+
+let test_proposed_needs_fewer_locks_than_tuple_level () =
+  let db, graph = scenario_env () in
+  let mix =
+    { Sim.Scenario.default_mix with jobs = 40; read_fraction = 0.9; seed = 31 }
+  in
+  let proposed_metrics = run_mix db graph (proposed graph) mix in
+  let tuple_metrics =
+    run_mix db graph (fun _table -> Sim.Scenario.Tuple_level) mix
+  in
+  check_bool "tuple level issues many more lock requests" true
+    (tuple_metrics.Sim.Metrics.lock_requests
+     > 2 * proposed_metrics.Sim.Metrics.lock_requests);
+  check_bool "tuple level fills the lock table" true
+    (tuple_metrics.Sim.Metrics.peak_lock_entries
+     > proposed_metrics.Sim.Metrics.peak_lock_entries)
+
+let test_rule4_prime_beats_rule4_under_authz () =
+  (* E7 shape: robot updates by transactions that may not modify the
+     library: rule 4' shares the effectors in S, rule 4 serializes on X. *)
+  let db, graph = scenario_env () in
+  let mix =
+    { Sim.Scenario.default_mix with jobs = 50; read_fraction = 0.0;
+      arrival_gap = 2; seed = 41 }
+  in
+  let run rule =
+    let specs = Sim.Scenario.manufacturing_mix db graph mix in
+    let table = Table.create () in
+    let rights = Authz.Rights.create () in
+    Authz.Rights.set_relation_default rights ~relation:"effectors" false;
+    let protocol = Colock.Protocol.create ~rule ~rights graph table in
+    let jobs = Sim.Scenario.compile graph (Sim.Scenario.Proposed protocol) specs in
+    Sim.Runner.run ~table jobs
+  in
+  let rule4 = run Colock.Protocol.Rule_4 in
+  let rule4_prime = run Colock.Protocol.Rule_4_prime in
+  check_bool "rule 4' commits everything" true
+    (rule4_prime.Sim.Metrics.committed = 50);
+  check_bool "rule 4' waits less" true
+    (rule4_prime.Sim.Metrics.total_wait < rule4.Sim.Metrics.total_wait)
+
+let () =
+  Alcotest.run "sim"
+    [ ("event_queue",
+       [ Alcotest.test_case "order" `Quick test_event_queue_order ]);
+      ("runner",
+       [ Alcotest.test_case "single job" `Quick test_runner_single_job;
+         Alcotest.test_case "serializes conflicts" `Quick
+           test_runner_serializes_conflicts;
+         Alcotest.test_case "concurrent when compatible" `Quick
+           test_runner_concurrent_when_compatible;
+         Alcotest.test_case "deadlock recovery" `Quick
+           test_runner_deadlock_recovery;
+         Alcotest.test_case "gave up" `Quick test_runner_gave_up;
+         Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+         Alcotest.test_case "on_begin" `Quick test_runner_on_begin ]);
+      ("contrasts",
+       [ Alcotest.test_case "proposed vs whole-object" `Quick
+           test_proposed_beats_whole_object_on_mixed_load;
+         Alcotest.test_case "proposed vs tuple-level" `Quick
+           test_proposed_needs_fewer_locks_than_tuple_level;
+         Alcotest.test_case "rule 4' vs rule 4" `Quick
+           test_rule4_prime_beats_rule4_under_authz ]) ]

@@ -1,0 +1,357 @@
+(* Tests for the transaction manager (strict 2PL, deadlock victims) and the
+   workstation check-out/check-in environment with persistent long locks. *)
+
+module Path = Nf2.Path
+module Oid = Nf2.Oid
+module Value = Nf2.Value
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+module Node_id = Colock.Node_id
+module Graph = Colock.Instance_graph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+type env = {
+  db : Nf2.Database.t;
+  graph : Graph.t;
+  table : Table.t;
+  rights : Authz.Rights.t;
+  manager : Txn.Txn_manager.t;
+}
+
+let make_env () =
+  let db = Workload.Figure1.database () in
+  let graph = Graph.build db in
+  let table = Table.create () in
+  let rights = Authz.Rights.create () in
+  let protocol = Colock.Protocol.create ~rights graph table in
+  { db; graph; table; rights; manager = Txn.Txn_manager.create protocol }
+
+let node steps = Option.get (Node_id.of_steps steps)
+let cell_c1 = node [ "db1"; "seg1"; "cells"; "c1" ]
+let robot_r1 = node [ "db1"; "seg1"; "cells"; "c1"; "robots"; "r1" ]
+let robot_r2 = node [ "db1"; "seg1"; "cells"; "c1"; "robots"; "r2" ]
+
+(* ------------------------------------------------------------ Txn_manager *)
+
+let test_begin_ids_monotonic () =
+  let env = make_env () in
+  let t1 = Txn.Txn_manager.begin_txn env.manager in
+  let t2 = Txn.Txn_manager.begin_txn env.manager in
+  check_bool "ids grow" true (t2.Txn.Transaction.id > t1.Txn.Transaction.id);
+  check_int "two active" 2 (List.length (Txn.Txn_manager.active_txns env.manager))
+
+let test_acquire_commit_cycle () =
+  let env = make_env () in
+  let t1 = Txn.Txn_manager.begin_txn env.manager in
+  (match Txn.Txn_manager.acquire env.manager t1 cell_c1 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | _ -> Alcotest.fail "grant expected");
+  let (_ : Table.grant list) = Txn.Txn_manager.commit env.manager t1 in
+  check_bool "committed" true
+    (t1.Txn.Transaction.status = Txn.Transaction.Committed);
+  check_int "no locks left" 0
+    (List.length (Table.locks_of env.table ~txn:t1.Txn.Transaction.id))
+
+let test_acquire_after_finish_rejected () =
+  let env = make_env () in
+  let t1 = Txn.Txn_manager.begin_txn env.manager in
+  let (_ : Table.grant list) = Txn.Txn_manager.commit env.manager t1 in
+  match Txn.Txn_manager.acquire env.manager t1 cell_c1 Mode.S with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "finished transactions cannot acquire"
+
+let test_waiting_and_unblock () =
+  let env = make_env () in
+  let t1 = Txn.Txn_manager.begin_txn env.manager in
+  let t2 = Txn.Txn_manager.begin_txn env.manager in
+  (match Txn.Txn_manager.acquire env.manager t1 cell_c1 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | _ -> Alcotest.fail "t1 grant");
+  (match Txn.Txn_manager.acquire env.manager t2 cell_c1 Mode.S with
+   | Txn.Txn_manager.Waiting _ -> ()
+   | _ -> Alcotest.fail "t2 should wait");
+  check_bool "t2 waiting" true
+    (match t2.Txn.Transaction.status with
+     | Txn.Transaction.Waiting _ -> true
+     | _ -> false);
+  let grants = Txn.Txn_manager.commit env.manager t1 in
+  let woken = Txn.Txn_manager.unblocked env.manager grants in
+  check_int "t2 woken" 1 (List.length woken);
+  check_bool "t2 active again" true
+    (t2.Txn.Transaction.status = Txn.Transaction.Active);
+  (* retry completes the plan *)
+  match Txn.Txn_manager.acquire env.manager t2 cell_c1 Mode.S with
+  | Txn.Txn_manager.Granted -> ()
+  | _ -> Alcotest.fail "retry should succeed"
+
+let test_deadlock_youngest_dies () =
+  let env = make_env () in
+  (* keep the effector library out of the picture (rule 4': S on e2 for
+     both), so the cycle forms purely on the robots *)
+  Authz.Rights.set_relation_default env.rights ~relation:"effectors" false;
+  let t1 = Txn.Txn_manager.begin_txn env.manager in
+  let t2 = Txn.Txn_manager.begin_txn env.manager in
+  (match Txn.Txn_manager.acquire env.manager t1 robot_r1 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | _ -> Alcotest.fail "t1 r1");
+  (match Txn.Txn_manager.acquire env.manager t2 robot_r2 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | _ -> Alcotest.fail "t2 r2");
+  (match Txn.Txn_manager.acquire env.manager t1 robot_r2 Mode.X with
+   | Txn.Txn_manager.Waiting _ -> ()
+   | _ -> Alcotest.fail "t1 waits for r2");
+  (* t2 closing the cycle gets sacrificed (younger). *)
+  (match Txn.Txn_manager.acquire env.manager t2 robot_r1 Mode.X with
+   | Txn.Txn_manager.Deadlock_victim -> ()
+   | _ -> Alcotest.fail "t2 must die");
+  check_bool "t2 aborted" true
+    (t2.Txn.Transaction.status
+     = Txn.Transaction.Aborted Txn.Transaction.Deadlock_victim);
+  (* t1 can now finish *)
+  match Txn.Txn_manager.acquire env.manager t1 robot_r2 Mode.X with
+  | Txn.Txn_manager.Granted -> ()
+  | _ -> Alcotest.fail "t1 proceeds after victim abort"
+
+let test_abort_releases_everything () =
+  let env = make_env () in
+  let t1 = Txn.Txn_manager.begin_txn env.manager in
+  (match Txn.Txn_manager.acquire env.manager t1 cell_c1 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | _ -> Alcotest.fail "grant");
+  let (_ : Table.grant list) = Txn.Txn_manager.abort env.manager t1 in
+  check_int "no locks" 0
+    (List.length (Table.locks_of env.table ~txn:t1.Txn.Transaction.id));
+  check_bool "aborted" true
+    (t1.Txn.Transaction.status = Txn.Transaction.Aborted Txn.Transaction.User_abort)
+
+(* ---------------------------------------------------------------- Checkout *)
+
+let temp_lock_file () = Filename.temp_file "colock_locks" ".txt"
+
+let make_checkout_env () =
+  let env = make_env () in
+  let lock_file = temp_lock_file () in
+  (env, Txn.Checkout.create ~lock_file env.manager env.db, lock_file)
+
+let c1_oid = Oid.make ~relation:"cells" ~key:"c1"
+
+let test_checkout_roundtrip () =
+  let env, checkout, _file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  (match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Update with
+   | Ok value ->
+     check_bool "got the cell" true
+       (match Value.field value "cell_id" with
+        | Some (Value.Str "c1") -> true
+        | _ -> false)
+   | Error _ -> Alcotest.fail "check-out failed");
+  Alcotest.(check (list string)) "checked out list" [ "cells/c1" ]
+    (List.map Oid.to_string (Txn.Checkout.checked_out checkout t1));
+  (* X long lock held on the object *)
+  check_bool "X on c1" true
+    (Mode.equal
+       (Table.held env.table ~txn:t1.Txn.Transaction.id
+          ~resource:"db1/seg1/cells/c1")
+       Mode.X)
+
+let test_checkout_conflict () =
+  let env, checkout, _file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  let t2 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  (match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Update with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "first check-out");
+  match Txn.Checkout.check_out checkout t2 c1_oid ~mode:`Update with
+  | Error (Txn.Checkout.Blocked _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "second exclusive check-out must block"
+
+let test_checkout_read_shared () =
+  let env, checkout, _file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  let t2 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  (match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Read with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "first read check-out");
+  match Txn.Checkout.check_out checkout t2 c1_oid ~mode:`Read with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "read check-outs share"
+
+let test_checkin_requires_exclusive () =
+  let env, checkout, _file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  (match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Read with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "check-out");
+  match Txn.Checkout.check_in checkout t1 c1_oid with
+  | Error (Txn.Checkout.Not_exclusive _) -> ()
+  | Error _ | Ok () -> Alcotest.fail "read check-out cannot check in"
+
+let test_checkin_writes_back () =
+  let env, checkout, _file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  let original =
+    match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Update with
+    | Ok value -> value
+    | Error _ -> Alcotest.fail "check-out"
+  in
+  (* workstation edit: rename an object *)
+  let edited =
+    match original with
+    | Value.Tuple bindings ->
+      Value.Tuple
+        (List.map
+           (fun (field, sub) ->
+             if String.equal field "c_objects" then
+               match sub with
+               | Value.Set (first :: rest) ->
+                 (match first with
+                  | Value.Tuple member_fields ->
+                    ( field,
+                      Value.Set
+                        (Value.Tuple
+                           (List.map
+                              (fun (mf, mv) ->
+                                if String.equal mf "obj_name" then
+                                  (mf, Value.Str "renamed")
+                                else (mf, mv))
+                              member_fields)
+                         :: rest) )
+                  | _ -> (field, sub))
+               | _ -> (field, sub)
+             else (field, sub))
+           bindings)
+    | _ -> Alcotest.fail "cell should be a tuple"
+  in
+  (match Txn.Checkout.update_local checkout t1 c1_oid edited with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "local update");
+  (match Txn.Checkout.check_in checkout t1 c1_oid with
+   | Ok () -> ()
+   | Error error ->
+     Alcotest.failf "check-in failed: %s"
+       (Format.asprintf "%a" Txn.Checkout.pp_error error));
+  let stored = Option.get (Nf2.Database.deref env.db c1_oid) in
+  check_bool "central db updated" true
+    (List.exists
+       (Value.equal (Value.Str "renamed"))
+       (Value.project stored (Path.of_string "c_objects.obj_name")))
+
+let test_finish_session_releases () =
+  let env, checkout, _file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  (match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Update with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "check-out");
+  let (_ : Table.grant list) = Txn.Checkout.finish_session checkout t1 in
+  check_int "all locks gone" 0
+    (List.length (Table.locks_of env.table ~txn:t1.Txn.Transaction.id));
+  check_int "no private copies" 0
+    (List.length (Txn.Checkout.checked_out checkout t1))
+
+let test_commit_keeps_long_locks () =
+  let env, checkout, _file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  (match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Update with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "check-out");
+  let (_ : Table.grant list) = Txn.Txn_manager.commit env.manager t1 in
+  (* long locks (the check-out) survive the commit *)
+  check_bool "X still held" true
+    (Mode.equal
+       (Table.held env.table ~txn:t1.Txn.Transaction.id
+          ~resource:"db1/seg1/cells/c1")
+       Mode.X)
+
+let test_locks_survive_shutdown () =
+  let env, checkout, lock_file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  (match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Update with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "check-out");
+  let held_before =
+    List.length (Table.locks_of env.table ~txn:t1.Txn.Transaction.id)
+  in
+  Txn.Checkout.save_locks checkout;
+  (* "shutdown": fresh lock table, same database *)
+  let table2 = Table.create () in
+  let protocol2 = Colock.Protocol.create env.graph table2 in
+  let manager2 = Txn.Txn_manager.create protocol2 in
+  let checkout2 = Txn.Checkout.create ~lock_file manager2 env.db in
+  let restored = Txn.Checkout.restore_locks checkout2 in
+  check_int "every long lock restored" held_before restored;
+  check_bool "X on c1 restored" true
+    (Mode.equal
+       (Table.held table2 ~txn:t1.Txn.Transaction.id
+          ~resource:"db1/seg1/cells/c1")
+       Mode.X);
+  (* another workstation still cannot check the object out *)
+  let t9 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long manager2 in
+  let t9 = { t9 with Txn.Transaction.id = 99 } in
+  match Txn.Checkout.check_out checkout2 t9 c1_oid ~mode:`Update with
+  | Error (Txn.Checkout.Blocked _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "restored lock must still protect c1"
+
+let test_restore_tolerates_corruption () =
+  (* garbage lines are skipped; valid ones still restore *)
+  let env, checkout, lock_file = make_checkout_env () in
+  let t1 = Txn.Txn_manager.begin_txn ~kind:Txn.Transaction.Long env.manager in
+  (match Txn.Checkout.check_out checkout t1 c1_oid ~mode:`Update with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "check-out");
+  Txn.Checkout.save_locks checkout;
+  let valid = List.length (Table.locks_of env.table ~txn:t1.Txn.Transaction.id) in
+  (* append corruption *)
+  let channel = open_out_gen [ Open_append ] 0o644 lock_file in
+  output_string channel "not a lock line\n";
+  output_string channel "99 NOTAMODE db1/seg1\n";
+  output_string channel "abc X db1/seg1\n";
+  output_string channel "\n";
+  close_out channel;
+  let table2 = Table.create () in
+  let protocol2 = Colock.Protocol.create env.graph table2 in
+  let manager2 = Txn.Txn_manager.create protocol2 in
+  let checkout2 = Txn.Checkout.create ~lock_file manager2 env.db in
+  check_int "only valid lines restored" valid
+    (Txn.Checkout.restore_locks checkout2)
+
+let test_restore_missing_file () =
+  let env = make_env () in
+  let checkout =
+    Txn.Checkout.create ~lock_file:"/tmp/definitely_missing_locks.txt"
+      env.manager env.db
+  in
+  check_int "nothing restored" 0 (Txn.Checkout.restore_locks checkout)
+
+let () =
+  Alcotest.run "txn"
+    [ ("manager",
+       [ Alcotest.test_case "ids monotonic" `Quick test_begin_ids_monotonic;
+         Alcotest.test_case "acquire/commit" `Quick test_acquire_commit_cycle;
+         Alcotest.test_case "no acquire after finish" `Quick
+           test_acquire_after_finish_rejected;
+         Alcotest.test_case "waiting and unblock" `Quick
+           test_waiting_and_unblock;
+         Alcotest.test_case "deadlock youngest dies" `Quick
+           test_deadlock_youngest_dies;
+         Alcotest.test_case "abort releases" `Quick
+           test_abort_releases_everything ]);
+      ("checkout",
+       [ Alcotest.test_case "roundtrip" `Quick test_checkout_roundtrip;
+         Alcotest.test_case "conflict" `Quick test_checkout_conflict;
+         Alcotest.test_case "read shared" `Quick test_checkout_read_shared;
+         Alcotest.test_case "check-in requires exclusive" `Quick
+           test_checkin_requires_exclusive;
+         Alcotest.test_case "check-in writes back" `Quick
+           test_checkin_writes_back;
+         Alcotest.test_case "finish session" `Quick
+           test_finish_session_releases;
+         Alcotest.test_case "commit keeps long locks" `Quick
+           test_commit_keeps_long_locks;
+         Alcotest.test_case "locks survive shutdown" `Quick
+           test_locks_survive_shutdown;
+         Alcotest.test_case "restore tolerates corruption" `Quick
+           test_restore_tolerates_corruption;
+         Alcotest.test_case "restore missing file" `Quick
+           test_restore_missing_file ]) ]

@@ -1,0 +1,172 @@
+(* Tests for transaction rollback: the undo log collects before-images from
+   the executor's writes and an abort restores both the database and the
+   instance graph. *)
+
+module Path = Nf2.Path
+module Oid = Nf2.Oid
+module Value = Nf2.Value
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+module Graph = Colock.Instance_graph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+type env = {
+  db : Nf2.Database.t;
+  graph : Graph.t;
+  table : Table.t;
+  protocol : Colock.Protocol.t;
+  executor : Query.Executor.t;
+  undo : Query.Undo.t;
+}
+
+let make_env () =
+  let db = Workload.Figure1.database () in
+  let graph = Graph.build db in
+  let table = Table.create () in
+  let protocol = Colock.Protocol.create graph table in
+  let executor = Query.Executor.create db protocol in
+  let undo = Query.Undo.create () in
+  Query.Undo.attach undo executor;
+  { db; graph; table; protocol; executor; undo }
+
+let q2 =
+  "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND \
+   r.robot_id = 'r1' FOR UPDATE"
+
+let c1_oid = Oid.make ~relation:"cells" ~key:"c1"
+
+let new_cell key =
+  Workload.Figure1.cell ~key
+    ~objects:[ Workload.Figure1.cell_object ~id:1 ~name:"fresh" ]
+    ~robots:
+      [ Workload.Figure1.robot ~key:"r1" ~trajectory:"t" ~effectors:[ "e3" ] ]
+
+let rollback_exn env ~txn =
+  match Query.Undo.rollback env.undo ~txn env.executor with
+  | Ok count -> count
+  | Error error ->
+    Alcotest.failf "rollback failed: %s"
+      (Format.asprintf "%a" Query.Executor.pp_error error)
+
+let update_trajectory env ~txn text =
+  match Query.Executor.run_string env.executor ~txn q2 with
+  | Ok { Query.Executor.rows = [ row ]; _ } -> (
+    let updated =
+      match row.Query.Executor.value with
+      | Value.Tuple fields ->
+        Value.Tuple
+          (List.map
+             (fun (name, sub) ->
+               if String.equal name "trajectory" then (name, Value.Str text)
+               else (name, sub))
+             fields)
+      | _ -> Alcotest.fail "robot is a tuple"
+    in
+    match Query.Executor.apply_update env.executor ~txn row (fun _ -> updated) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "update failed")
+  | Ok _ -> Alcotest.fail "one row expected"
+  | Error _ -> Alcotest.fail "query failed"
+
+let trajectory_of env =
+  let cell = Option.get (Nf2.Database.deref env.db c1_oid) in
+  match Value.project cell (Path.of_string "robots.trajectory") with
+  | first :: _ -> first
+  | [] -> Alcotest.fail "no trajectory"
+
+let test_rollback_update () =
+  let env = make_env () in
+  update_trajectory env ~txn:1 "changed";
+  check_bool "changed" true (Value.equal (trajectory_of env) (Value.Str "changed"));
+  check_int "one record" 1 (Query.Undo.pending env.undo ~txn:1);
+  check_int "one undone" 1 (rollback_exn env ~txn:1);
+  check_bool "restored" true (Value.equal (trajectory_of env) (Value.Str "tr1"));
+  check_int "log empty" 0 (Query.Undo.pending env.undo ~txn:1)
+
+let test_rollback_lifo () =
+  let env = make_env () in
+  update_trajectory env ~txn:1 "v1";
+  update_trajectory env ~txn:1 "v2";
+  update_trajectory env ~txn:1 "v3";
+  check_int "three records" 3 (Query.Undo.pending env.undo ~txn:1);
+  check_int "three undone" 3 (rollback_exn env ~txn:1);
+  check_bool "back to original, not an intermediate" true
+    (Value.equal (trajectory_of env) (Value.Str "tr1"))
+
+let test_rollback_insert () =
+  let env = make_env () in
+  (match Query.Executor.insert_object env.executor ~txn:1 "cells" (new_cell "c9") with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "insert failed");
+  let c9 = Oid.make ~relation:"cells" ~key:"c9" in
+  check_bool "inserted" true (Option.is_some (Nf2.Database.deref env.db c9));
+  check_int "one undone" 1 (rollback_exn env ~txn:1);
+  check_bool "gone from db" true (Nf2.Database.deref env.db c9 = None);
+  check_bool "gone from graph" true (Graph.object_node env.graph c9 = None)
+
+let test_rollback_delete () =
+  let env = make_env () in
+  (match Query.Executor.delete_object env.executor ~txn:1 c1_oid with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "delete failed");
+  check_bool "deleted" true (Nf2.Database.deref env.db c1_oid = None);
+  check_int "one undone" 1 (rollback_exn env ~txn:1);
+  check_bool "back in db" true (Option.is_some (Nf2.Database.deref env.db c1_oid));
+  (match Graph.object_node env.graph c1_oid with
+   | Some _ -> ()
+   | None -> Alcotest.fail "back in graph");
+  (* references restored too: e1 referenced again *)
+  check_int "referencers restored" 1
+    (List.length
+       (Graph.referencers env.graph (Oid.make ~relation:"effectors" ~key:"e1")))
+
+let test_rollback_mixed_sequence () =
+  let env = make_env () in
+  update_trajectory env ~txn:1 "worked-on";
+  (match Query.Executor.insert_object env.executor ~txn:1 "cells" (new_cell "c9") with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "insert failed");
+  check_int "two records" 2 (Query.Undo.pending env.undo ~txn:1);
+  check_int "both undone" 2 (rollback_exn env ~txn:1);
+  check_bool "trajectory restored" true
+    (Value.equal (trajectory_of env) (Value.Str "tr1"));
+  check_bool "c9 gone" true
+    (Nf2.Database.deref env.db (Oid.make ~relation:"cells" ~key:"c9") = None);
+  check_int "ref integrity" 0
+    (List.length (Nf2.Database.check_ref_integrity env.db))
+
+let test_commit_forgets () =
+  let env = make_env () in
+  update_trajectory env ~txn:1 "committed";
+  Query.Undo.forget env.undo ~txn:1;
+  check_int "nothing to undo" 0 (rollback_exn env ~txn:1);
+  check_bool "change survives" true
+    (Value.equal (trajectory_of env) (Value.Str "committed"))
+
+let test_per_transaction_isolation () =
+  let env = make_env () in
+  update_trajectory env ~txn:1 "by-t1";
+  let (_ : Table.grant list) =
+    Colock.Protocol.end_of_transaction env.protocol ~txn:1
+  in
+  Query.Undo.forget env.undo ~txn:1;
+  (* T2 changes it again; only T2's change is rolled back *)
+  update_trajectory env ~txn:2 "by-t2";
+  check_int "undo T2" 1 (rollback_exn env ~txn:2);
+  check_bool "T1's committed change is the restore point" true
+    (Value.equal (trajectory_of env) (Value.Str "by-t1"))
+
+let () =
+  Alcotest.run "undo"
+    [ ("rollback",
+       [ Alcotest.test_case "update" `Quick test_rollback_update;
+         Alcotest.test_case "lifo" `Quick test_rollback_lifo;
+         Alcotest.test_case "insert" `Quick test_rollback_insert;
+         Alcotest.test_case "delete" `Quick test_rollback_delete;
+         Alcotest.test_case "mixed sequence" `Quick
+           test_rollback_mixed_sequence;
+         Alcotest.test_case "commit forgets" `Quick test_commit_forgets;
+         Alcotest.test_case "per-transaction isolation" `Quick
+           test_per_transaction_isolation ]) ]
