@@ -287,10 +287,16 @@ let () =
   (match only, skip_experiments with
    | Some name, _ -> (
      match List.assoc_opt name Experiments.by_name with
-     | Some experiment -> experiment ()
+     | Some experiment ->
+       experiment ();
+       Report.write ~experiment:name ()
      | None ->
        Printf.eprintf "unknown experiment %s (use E1..E13)\n" name;
        exit 1)
-   | None, false -> Experiments.run_all ()
+   | None, false ->
+     Experiments.run_all ();
+     List.iter
+       (fun (name, _experiment) -> Report.write ~experiment:name ())
+       Experiments.by_name
    | None, true -> ());
   if with_bechamel then run_bechamel ()

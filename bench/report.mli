@@ -1,0 +1,11 @@
+(** Machine-readable experiment reports.
+
+    [write ~experiment ()] runs a deterministic, instrumented reference
+    simulation (manufacturing mix, proposed protocol, per-experiment seed)
+    and writes [BENCH_<experiment>.json]: one flat JSON object with the
+    simulator metrics ([throughput], [committed], ...), the lock-table
+    counters ([lock.*]) and the latency quantiles from the observability
+    collector ([lock_wait_p50/p95/p99/max], [grant_latency_*],
+    [txn_response_*]). *)
+
+val write : experiment:string -> unit -> unit

@@ -148,68 +148,219 @@ let query_cmd =
              resulting lock table (compare with Figure 7).")
     Term.(const run $ setup_logs $ queries $ library_writable)
 
+(* ------------------------------------------------- simulate / trace common *)
+
+let technique_conv =
+  Arg.enum
+    [ ("proposed", `Proposed); ("rule4", `Proposed_rule4);
+      ("whole-object", `Whole_object); ("tuple-level", `Tuple_level) ]
+
+let jobs_arg =
+  Arg.(value & opt int 60 & info [ "jobs" ] ~docv:"N" ~doc:"Number of transactions.")
+
+let cells_arg =
+  Arg.(value & opt int 8 & info [ "cells" ] ~docv:"N" ~doc:"Cells in the database.")
+
+let read_fraction_arg =
+  Arg.(value & opt float 0.5
+       & info [ "read-fraction" ] ~docv:"F" ~doc:"Fraction of Q1-like reads.")
+
+let seed_arg =
+  Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let manufacturing_scenario ~jobs ~cells ~read_fraction ~seed =
+  let db =
+    Workload.Generator.manufacturing
+      { Workload.Generator.default_manufacturing with cells; seed }
+  in
+  let graph = Colock.Instance_graph.build db in
+  let mix = { Sim.Scenario.default_mix with jobs; read_fraction; seed } in
+  let specs = Sim.Scenario.manufacturing_mix db graph mix in
+  (graph, specs)
+
+let technique_of graph table = function
+  | `Proposed -> Sim.Scenario.Proposed (Colock.Protocol.create graph table)
+  | `Proposed_rule4 ->
+    Sim.Scenario.Proposed
+      (Colock.Protocol.create ~rule:Colock.Protocol.Rule_4 graph table)
+  | `Whole_object -> Sim.Scenario.Whole_object
+  | `Tuple_level -> Sim.Scenario.Tuple_level
+
+(* An instrumented capture context: ring buffer for raw events, collector
+   for latency histograms, both fed by one sink. *)
+let make_capture () =
+  let sink, ring = Obs.Sink.memory ~capacity:262144 () in
+  let collector = Obs.Collector.create () in
+  Obs.Sink.attach sink (Obs.Collector.handle collector);
+  (sink, ring, collector)
+
+let with_out path f =
+  if String.equal path "-" then f stdout
+  else
+    match open_out path with
+    | channel ->
+      Fun.protect ~finally:(fun () -> close_out channel) (fun () -> f channel)
+    | exception Sys_error message ->
+      Fmt.epr "colock: cannot write output: %s@." message;
+      exit 1
+
 (* --------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
-  let technique_conv =
-    Arg.enum
-      [ ("proposed", `Proposed); ("rule4", `Proposed_rule4);
-        ("whole-object", `Whole_object); ("tuple-level", `Tuple_level) ]
-  in
   let technique =
     Arg.(value & opt (list technique_conv) [ `Proposed; `Whole_object; `Tuple_level ]
          & info [ "technique"; "t" ] ~docv:"TECH"
              ~doc:"Techniques to compare: proposed, rule4, whole-object, \
                    tuple-level.")
   in
-  let jobs = Arg.(value & opt int 60 & info [ "jobs" ] ~docv:"N" ~doc:"Number of transactions.") in
-  let cells = Arg.(value & opt int 8 & info [ "cells" ] ~docv:"N" ~doc:"Cells in the database.") in
-  let read_fraction =
-    Arg.(value & opt float 0.5
-         & info [ "read-fraction" ] ~docv:"F" ~doc:"Fraction of Q1-like reads.")
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event capture of the run(s) to \
+                   $(docv) — open it in chrome://tracing or Perfetto; lock \
+                   waits appear as spans, one timeline row per transaction.")
   in
-  let seed = Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
-  let run () techniques jobs cells read_fraction seed =
-    let db =
-      Workload.Generator.manufacturing
-        { Workload.Generator.default_manufacturing with cells; seed }
+  let stats_json_file =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+             ~doc:"Write per-technique metrics (simulator counters, lock \
+                   table counters, wait/grant/response latency quantiles) as \
+                   JSON to $(docv). Use '-' for stdout; the table is then \
+                   suppressed.")
+  in
+  let run () techniques jobs cells read_fraction seed trace_file
+      stats_json_file =
+    let graph, specs =
+      manufacturing_scenario ~jobs ~cells ~read_fraction ~seed
     in
-    let graph = Colock.Instance_graph.build db in
-    let mix =
-      { Sim.Scenario.default_mix with jobs; read_fraction; seed }
+    let observing = trace_file <> None || stats_json_file <> None in
+    let quiet = stats_json_file = Some "-" in
+    if not quiet then
+      Printf.printf "%-22s %9s %9s %9s %9s %9s %9s\n" "technique" "committed"
+        "makespan" "thruput" "avg resp" "waits" "locks";
+    let captures =
+      List.map
+        (fun selector ->
+          let capture = if observing then Some (make_capture ()) else None in
+          let obs = Option.map (fun (sink, _, _) -> sink) capture in
+          let table = Lockmgr.Lock_table.create ?obs () in
+          let technique = technique_of graph table selector in
+          let sim_jobs = Sim.Scenario.compile graph technique specs in
+          let metrics = Sim.Runner.run ~table sim_jobs in
+          if not quiet then
+            Printf.printf "%-22s %9d %9d %9.2f %9.1f %9d %9d\n"
+              (Sim.Scenario.technique_name technique)
+              metrics.Sim.Metrics.committed metrics.Sim.Metrics.makespan
+              (Sim.Metrics.throughput metrics)
+              (Sim.Metrics.avg_response metrics)
+              metrics.Sim.Metrics.total_wait metrics.Sim.Metrics.lock_requests;
+          (Sim.Scenario.technique_name technique, capture, table, metrics))
+        techniques
     in
-    let specs = Sim.Scenario.manufacturing_mix db graph mix in
-    Printf.printf "%-22s %9s %9s %9s %9s %9s %9s\n" "technique" "committed"
-      "makespan" "thruput" "avg resp" "waits" "locks";
-    List.iter
-      (fun selector ->
-        let table = Lockmgr.Lock_table.create () in
-        let technique =
-          match selector with
-          | `Proposed ->
-            Sim.Scenario.Proposed (Colock.Protocol.create graph table)
-          | `Proposed_rule4 ->
-            Sim.Scenario.Proposed
-              (Colock.Protocol.create ~rule:Colock.Protocol.Rule_4 graph table)
-          | `Whole_object -> Sim.Scenario.Whole_object
-          | `Tuple_level -> Sim.Scenario.Tuple_level
-        in
-        let sim_jobs = Sim.Scenario.compile graph technique specs in
-        let metrics = Sim.Runner.run ~table sim_jobs in
-        Printf.printf "%-22s %9d %9d %9.2f %9.1f %9d %9d\n"
-          (Sim.Scenario.technique_name technique)
-          metrics.Sim.Metrics.committed metrics.Sim.Metrics.makespan
-          (Sim.Metrics.throughput metrics)
-          (Sim.Metrics.avg_response metrics)
-          metrics.Sim.Metrics.total_wait metrics.Sim.Metrics.lock_requests)
-      techniques;
+    (match trace_file with
+     | None -> ()
+     | Some path ->
+       let groups =
+         List.filter_map
+           (fun (name, capture, _table, _metrics) ->
+             Option.map
+               (fun (_, ring, _) -> (name, Obs.Ring.to_list ring))
+               capture)
+           captures
+       in
+       with_out path (fun channel -> Obs.Trace.write channel groups));
+    (match stats_json_file with
+     | None -> ()
+     | Some path ->
+       let json =
+         Obs.Json.Obj
+           (List.map
+              (fun (name, capture, table, metrics) ->
+                let row =
+                  Sim.Metrics.row metrics
+                  @ List.map
+                      (fun (key, value) -> ("lock." ^ key, value))
+                      (Lockmgr.Lock_stats.row (Lockmgr.Lock_table.stats table))
+                  @ (match capture with
+                     | Some (_, _, collector) ->
+                       Obs.Registry.row (Obs.Collector.registry collector)
+                     | None -> [])
+                in
+                ( name,
+                  Obs.Json.Obj
+                    (List.map
+                       (fun (key, value) -> (key, Obs.Json.Float value))
+                       row) ))
+              captures)
+       in
+       with_out path (fun channel ->
+           Obs.Json.output channel json;
+           output_char channel '\n'));
     0
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the concurrency simulator on a generated manufacturing \
              workload and compare techniques.")
-    Term.(const run $ setup_logs $ technique $ jobs $ cells $ read_fraction $ seed)
+    Term.(const run $ setup_logs $ technique $ jobs_arg $ cells_arg
+          $ read_fraction_arg $ seed_arg $ trace_file $ stats_json_file)
+
+(* ------------------------------------------------------------------ trace *)
+
+let trace_cmd =
+  let technique =
+    Arg.(value & opt technique_conv `Proposed
+         & info [ "technique"; "t" ] ~docv:"TECH"
+             ~doc:"Technique to trace: proposed, rule4, whole-object, \
+                   tuple-level.")
+  in
+  let output =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Chrome trace_event output file ('-' for stdout).")
+  in
+  let jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Also dump the raw event stream as JSON lines ('-' for \
+                   stdout).")
+  in
+  let run () selector jobs cells read_fraction seed output jsonl =
+    let graph, specs =
+      manufacturing_scenario ~jobs ~cells ~read_fraction ~seed
+    in
+    let sink, ring, collector = make_capture () in
+    let table = Lockmgr.Lock_table.create ~obs:sink () in
+    let technique = technique_of graph table selector in
+    let sim_jobs = Sim.Scenario.compile graph technique specs in
+    let metrics = Sim.Runner.run ~table sim_jobs in
+    let events = Obs.Ring.to_list ring in
+    let name = Sim.Scenario.technique_name technique in
+    with_out output (fun channel ->
+        Obs.Trace.write channel [ (name, events) ]);
+    (match jsonl with
+     | None -> ()
+     | Some path ->
+       with_out path (fun channel -> Obs.Jsonl.write_events channel events));
+    if not (String.equal output "-") then begin
+      let registry = Obs.Collector.registry collector in
+      Printf.printf "%s: captured %d event(s) (%d dropped) from %d job(s)\n"
+        name (List.length events) (Obs.Ring.dropped ring) jobs;
+      Printf.printf
+        "committed %d, gave up %d, makespan %d, lock waits observed %d\n"
+        metrics.Sim.Metrics.committed metrics.Sim.Metrics.gave_up
+        metrics.Sim.Metrics.makespan
+        (Obs.Registry.counter registry "events.lock_waited");
+      Printf.printf "trace written to %s\n" output
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one simulated workload with full event capture and export \
+             a Chrome trace_event file (chrome://tracing, Perfetto).")
+    Term.(const run $ setup_logs $ technique $ jobs_arg $ cells_arg
+          $ read_fraction_arg $ seed_arg $ output $ jsonl)
 
 let () =
   let info =
@@ -217,4 +368,7 @@ let () =
       ~doc:"A lock technique for disjoint and non-disjoint complex objects \
             (Herrmann et al., EDBT 1990)."
   in
-  exit (Cmd.eval' (Cmd.group info [ graph_cmd; plan_cmd; query_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ graph_cmd; plan_cmd; query_cmd; simulate_cmd; trace_cmd ]))

@@ -53,6 +53,11 @@ let maybe_escalate protocol ~txn ~threshold ~parent =
         children;
       let stats = Lock_table.stats (Protocol.table protocol) in
       stats.Lock_stats.escalations <- stats.Lock_stats.escalations + 1;
+      Protocol.emit protocol
+        (Obs.Event.Escalation
+           { txn; node = Node_id.to_resource parent;
+             mode = Lock_mode.to_string data_mode;
+             released_children = List.length children });
       Escalated
         { parent; mode = data_mode; released_children = List.length children }
   end
@@ -79,4 +84,8 @@ let deescalate protocol ~txn node ~keep =
     in
     let stats = Lock_table.stats table in
     stats.Lock_stats.deescalations <- stats.Lock_stats.deescalations + 1;
+    Protocol.emit protocol
+      (Obs.Event.Deescalation
+         { txn; node = Node_id.to_resource node;
+           mode = Lock_mode.to_string weakened });
     Ok grants

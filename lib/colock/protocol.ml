@@ -12,16 +12,24 @@ type t = {
   table : Lock_table.t;
   rights : Authz.Rights.t;
   rule : rule;
+  obs : Obs.Sink.t option;
 }
 
-let create ?(rule = Rule_4_prime) ?(rights = Authz.Rights.create ()) graph
+let create ?(rule = Rule_4_prime) ?(rights = Authz.Rights.create ()) ?obs graph
     table =
-  { graph; table; rights; rule }
+  let obs = match obs with Some _ -> obs | None -> Lock_table.obs table in
+  { graph; table; rights; rule; obs }
 
 let graph protocol = protocol.graph
 let table protocol = protocol.table
 let rights protocol = protocol.rights
 let rule protocol = protocol.rule
+let obs protocol = protocol.obs
+
+let emit protocol kind =
+  match protocol.obs with
+  | None -> ()
+  | Some sink -> Obs.Sink.emit sink kind
 
 type reason =
   | Requested

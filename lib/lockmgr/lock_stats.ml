@@ -7,11 +7,14 @@ type t = {
   mutable releases : int;
   mutable escalations : int;
   mutable deescalations : int;
+  mutable deadlocks : int;
+  mutable victim_aborts : int;
 }
 
 let create () =
   { requests = 0; immediate_grants = 0; waits = 0; conversions = 0;
-    conflict_tests = 0; releases = 0; escalations = 0; deescalations = 0 }
+    conflict_tests = 0; releases = 0; escalations = 0; deescalations = 0;
+    deadlocks = 0; victim_aborts = 0 }
 
 let reset stats =
   stats.requests <- 0;
@@ -21,13 +24,16 @@ let reset stats =
   stats.conflict_tests <- 0;
   stats.releases <- 0;
   stats.escalations <- 0;
-  stats.deescalations <- 0
+  stats.deescalations <- 0;
+  stats.deadlocks <- 0;
+  stats.victim_aborts <- 0
 
 let copy stats =
   { requests = stats.requests; immediate_grants = stats.immediate_grants;
     waits = stats.waits; conversions = stats.conversions;
     conflict_tests = stats.conflict_tests; releases = stats.releases;
-    escalations = stats.escalations; deescalations = stats.deescalations }
+    escalations = stats.escalations; deescalations = stats.deescalations;
+    deadlocks = stats.deadlocks; victim_aborts = stats.victim_aborts }
 
 let add a b =
   { requests = a.requests + b.requests;
@@ -36,11 +42,27 @@ let add a b =
     conflict_tests = a.conflict_tests + b.conflict_tests;
     releases = a.releases + b.releases;
     escalations = a.escalations + b.escalations;
-    deescalations = a.deescalations + b.deescalations }
+    deescalations = a.deescalations + b.deescalations;
+    deadlocks = a.deadlocks + b.deadlocks;
+    victim_aborts = a.victim_aborts + b.victim_aborts }
+
+let row stats =
+  [ ("requests", float_of_int stats.requests);
+    ("immediate_grants", float_of_int stats.immediate_grants);
+    ("waits", float_of_int stats.waits);
+    ("conversions", float_of_int stats.conversions);
+    ("conflict_tests", float_of_int stats.conflict_tests);
+    ("releases", float_of_int stats.releases);
+    ("escalations", float_of_int stats.escalations);
+    ("deescalations", float_of_int stats.deescalations);
+    ("deadlocks", float_of_int stats.deadlocks);
+    ("victim_aborts", float_of_int stats.victim_aborts) ]
 
 let pp formatter stats =
   Format.fprintf formatter
     "requests %d, immediate %d, waits %d, conversions %d, conflict tests %d, \
-     releases %d, escalations %d, de-escalations %d"
+     releases %d, escalations %d, de-escalations %d, deadlocks %d, victim \
+     aborts %d"
     stats.requests stats.immediate_grants stats.waits stats.conversions
     stats.conflict_tests stats.releases stats.escalations stats.deescalations
+    stats.deadlocks stats.victim_aborts

@@ -13,6 +13,9 @@ type t = {
   mutable releases : int;  (** lock entries released *)
   mutable escalations : int;  (** run-time lock escalations (set by clients) *)
   mutable deescalations : int;  (** lock de-escalations (set by clients) *)
+  mutable deadlocks : int;  (** waits-for cycles detected (set by clients) *)
+  mutable victim_aborts : int;
+      (** transactions sacrificed to break a cycle (set by clients) *)
 }
 
 val create : unit -> t
@@ -20,5 +23,9 @@ val reset : t -> unit
 val copy : t -> t
 val add : t -> t -> t
 (** Component-wise sum (fresh record). *)
+
+val row : t -> (string * float) list
+(** Stable key-value view mirroring [Sim.Metrics.row], so both stats records
+    serialize uniformly (tables, JSON exports). *)
 
 val pp : Format.formatter -> t -> unit

@@ -27,16 +27,23 @@ type t = {
   stats : Lock_stats.t;
   mutable entry_count : int;
   mutable peak_entry_count : int;
+  obs : Obs.Sink.t option;
 }
 
 type outcome = Granted | Waiting of txn_id list
 type grant = { g_txn : txn_id; g_resource : string; g_mode : Lock_mode.t }
 
-let create () =
+let create ?obs () =
   { entries = Hashtbl.create 256; by_txn = Hashtbl.create 64;
-    stats = Lock_stats.create (); entry_count = 0; peak_entry_count = 0 }
+    stats = Lock_stats.create (); entry_count = 0; peak_entry_count = 0; obs }
 
 let stats table = table.stats
+let obs table = table.obs
+
+let emit table kind =
+  match table.obs with
+  | None -> ()
+  | Some sink -> Obs.Sink.emit sink kind
 
 let entry_of table resource =
   match Hashtbl.find_opt table.entries resource with
@@ -108,9 +115,14 @@ let install_grant table entry txn mode duration resource =
             (txn, Lock_mode.sup old_mode mode, sup_duration old_duration duration)
           else triple)
         entry.granted;
-    if not (Lock_mode.leq mode old_mode) then
+    if not (Lock_mode.leq mode old_mode) then begin
       table.stats.Lock_stats.conversions <-
-        table.stats.Lock_stats.conversions + 1
+        table.stats.Lock_stats.conversions + 1;
+      emit table
+        (Obs.Event.Conversion
+           { txn; resource; from_mode = Lock_mode.to_string old_mode;
+             to_mode = Lock_mode.to_string (Lock_mode.sup old_mode mode) })
+    end
   | None ->
     entry.granted <- (txn, mode, duration) :: entry.granted;
     table.entry_count <- table.entry_count + 1;
@@ -138,6 +150,13 @@ let drain table resource entry =
   in
   let served = List.rev (serve []) in
   drop_entry_if_empty table resource entry;
+  List.iter
+    (fun grant ->
+      emit table
+        (Obs.Event.Lock_granted
+           { txn = grant.g_txn; resource = grant.g_resource;
+             mode = Lock_mode.to_string grant.g_mode; immediate = false }))
+    served;
   served
 
 let enqueue entry waiter =
@@ -155,6 +174,9 @@ let already_waiting entry txn =
 
 let request table ~txn ?(duration = Short) ~resource mode =
   table.stats.Lock_stats.requests <- table.stats.Lock_stats.requests + 1;
+  emit table
+    (Obs.Event.Lock_requested
+       { txn; resource; mode = Lock_mode.to_string mode });
   let entry = entry_of table resource in
   let current =
     match held_triple entry txn with
@@ -168,6 +190,10 @@ let request table ~txn ?(duration = Short) ~resource mode =
       install_grant table entry txn current Long resource;
     table.stats.Lock_stats.immediate_grants <-
       table.stats.Lock_stats.immediate_grants + 1;
+    emit table
+      (Obs.Event.Lock_granted
+         { txn; resource; mode = Lock_mode.to_string current;
+           immediate = true });
     drop_entry_if_empty table resource entry;
     Granted
   end
@@ -184,6 +210,10 @@ let request table ~txn ?(duration = Short) ~resource mode =
       install_grant table entry txn target duration resource;
       table.stats.Lock_stats.immediate_grants <-
         table.stats.Lock_stats.immediate_grants + 1;
+      emit table
+        (Obs.Event.Lock_granted
+           { txn; resource; mode = Lock_mode.to_string target;
+             immediate = true });
       Log.debug (fun log ->
           log "T%d granted %s on %s" txn (Lock_mode.to_string target) resource);
       Granted
@@ -208,12 +238,19 @@ let request table ~txn ?(duration = Short) ~resource mode =
             entry.waiting
         | holders -> holders
       in
-      Waiting (List.sort_uniq Int.compare blockers)
+      let blockers = List.sort_uniq Int.compare blockers in
+      emit table
+        (Obs.Event.Lock_waited
+           { txn; resource; mode = Lock_mode.to_string target; blockers });
+      Waiting blockers
     end
   end
 
 let try_request table ~txn ?(duration = Short) ~resource mode =
   table.stats.Lock_stats.requests <- table.stats.Lock_stats.requests + 1;
+  emit table
+    (Obs.Event.Lock_requested
+       { txn; resource; mode = Lock_mode.to_string mode });
   let entry = entry_of table resource in
   let current =
     match held_triple entry txn with
@@ -224,6 +261,10 @@ let try_request table ~txn ?(duration = Short) ~resource mode =
   if Lock_mode.equal target current then begin
     table.stats.Lock_stats.immediate_grants <-
       table.stats.Lock_stats.immediate_grants + 1;
+    emit table
+      (Obs.Event.Lock_granted
+         { txn; resource; mode = Lock_mode.to_string current;
+           immediate = true });
     drop_entry_if_empty table resource entry;
     `Granted
   end
@@ -235,6 +276,10 @@ let try_request table ~txn ?(duration = Short) ~resource mode =
       install_grant table entry txn target duration resource;
       table.stats.Lock_stats.immediate_grants <-
         table.stats.Lock_stats.immediate_grants + 1;
+      emit table
+        (Obs.Event.Lock_granted
+           { txn; resource; mode = Lock_mode.to_string target;
+             immediate = true });
       `Granted
     end
     else begin
@@ -261,7 +306,8 @@ let release table ~txn ~resource =
         List.filter (fun (holder, _mode, _duration) -> holder <> txn)
           entry.granted;
       table.entry_count <- table.entry_count - 1;
-      table.stats.Lock_stats.releases <- table.stats.Lock_stats.releases + 1
+      table.stats.Lock_stats.releases <- table.stats.Lock_stats.releases + 1;
+      emit table (Obs.Event.Lock_released { txn; resource })
     end;
     let served = drain table resource entry in
     unindex_txn table txn resource entry;
@@ -327,7 +373,9 @@ let release_matching table ~txn keep_long =
             List.filter (fun (holder, _mode, _duration) -> holder <> txn)
               entry.granted;
           table.entry_count <- table.entry_count - 1;
-          table.stats.Lock_stats.releases <- table.stats.Lock_stats.releases + 1
+          table.stats.Lock_stats.releases <-
+            table.stats.Lock_stats.releases + 1;
+          emit table (Obs.Event.Lock_released { txn; resource })
         end;
         let served =
           if drop_grant || dropped_wait then drain table resource entry else []

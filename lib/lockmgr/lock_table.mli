@@ -24,8 +24,16 @@ type outcome =
 type grant = { g_txn : txn_id; g_resource : string; g_mode : Lock_mode.t }
 (** A queued request that became granted after a release. *)
 
-val create : unit -> t
+val create : ?obs:Obs.Sink.t -> unit -> t
+(** [?obs] attaches an observability sink: the table emits
+    {!Obs.Event.kind} lock-lifecycle events (requested / granted / waited /
+    released / conversion) through it. Omitted means zero overhead. *)
+
 val stats : t -> Lock_stats.t
+
+val obs : t -> Obs.Sink.t option
+(** The sink passed to {!create}, so higher layers (protocol, transaction
+    manager) can inherit it. *)
 
 val request :
   t -> txn:txn_id -> ?duration:duration -> resource:string -> Lock_mode.t ->

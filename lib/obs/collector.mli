@@ -1,0 +1,21 @@
+(** The event→metrics bridge: a sink handler that feeds a {!Registry}.
+
+    Counts every event kind under ["events.<name>"] and pairs span-shaped
+    events into three latency histograms:
+
+    - ["lock_wait"] — [Lock_waited] to the matching queued [Lock_granted];
+    - ["grant_latency"] — [Lock_requested] to [Lock_granted] (immediate
+      grants observe ≈ 0, so the histogram shows the full grant path);
+    - ["txn_response"] — first [Txn_begin] to [Txn_commit] per transaction
+      (restarted deadlock victims keep their original begin time). *)
+
+type t
+
+val create : ?registry:Registry.t -> unit -> t
+(** The three histograms are pre-declared, so {!Registry.row} exports stable
+    keys even for runs without waits. *)
+
+val registry : t -> Registry.t
+
+val handle : t -> Event.t -> unit
+(** Pass [handle collector] to {!Sink.create}. *)

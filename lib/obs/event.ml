@@ -1,0 +1,116 @@
+(* Lock modes travel as strings so this library stays below [Lockmgr] in the
+   dependency order (every layer, including the lock manager itself, emits
+   into it). *)
+
+type kind =
+  | Lock_requested of { txn : int; resource : string; mode : string }
+  | Lock_granted of {
+      txn : int;
+      resource : string;
+      mode : string;
+      immediate : bool;  (* false: granted from the wait queue *)
+    }
+  | Lock_waited of {
+      txn : int;
+      resource : string;
+      mode : string;
+      blockers : int list;
+    }
+  | Lock_released of { txn : int; resource : string }
+  | Conversion of {
+      txn : int;
+      resource : string;
+      from_mode : string;
+      to_mode : string;
+    }
+  | Escalation of {
+      txn : int;
+      node : string;
+      mode : string;
+      released_children : int;
+    }
+  | Deescalation of { txn : int; node : string; mode : string }
+  | Deadlock_detected of { cycle : int list }
+  | Victim_aborted of { txn : int; restarts : int }
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int }
+  | Txn_abort of { txn : int; reason : string }
+  | Query_executed of {
+      txn : int;
+      query : string;
+      rows : int;
+      locks_requested : int;
+    }
+  | Sim_step of { txn : int; step : int }
+
+type t = { time : float; kind : kind }
+
+let name = function
+  | Lock_requested _ -> "lock_requested"
+  | Lock_granted _ -> "lock_granted"
+  | Lock_waited _ -> "lock_waited"
+  | Lock_released _ -> "lock_released"
+  | Conversion _ -> "conversion"
+  | Escalation _ -> "escalation"
+  | Deescalation _ -> "deescalation"
+  | Deadlock_detected _ -> "deadlock_detected"
+  | Victim_aborted _ -> "victim_aborted"
+  | Txn_begin _ -> "txn_begin"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort _ -> "txn_abort"
+  | Query_executed _ -> "query_executed"
+  | Sim_step _ -> "sim_step"
+
+let txn = function
+  | Lock_requested { txn; _ } | Lock_granted { txn; _ }
+  | Lock_waited { txn; _ } | Lock_released { txn; _ }
+  | Conversion { txn; _ } | Escalation { txn; _ } | Deescalation { txn; _ }
+  | Victim_aborted { txn; _ } | Txn_begin { txn } | Txn_commit { txn }
+  | Txn_abort { txn; _ } | Query_executed { txn; _ } | Sim_step { txn; _ } ->
+    Some txn
+  | Deadlock_detected _ -> None
+
+let kind_fields = function
+  | Lock_requested { txn; resource; mode } ->
+    [ ("txn", Json.Int txn); ("resource", Json.String resource);
+      ("mode", Json.String mode) ]
+  | Lock_granted { txn; resource; mode; immediate } ->
+    [ ("txn", Json.Int txn); ("resource", Json.String resource);
+      ("mode", Json.String mode); ("immediate", Json.Bool immediate) ]
+  | Lock_waited { txn; resource; mode; blockers } ->
+    [ ("txn", Json.Int txn); ("resource", Json.String resource);
+      ("mode", Json.String mode);
+      ("blockers", Json.List (List.map (fun b -> Json.Int b) blockers)) ]
+  | Lock_released { txn; resource } ->
+    [ ("txn", Json.Int txn); ("resource", Json.String resource) ]
+  | Conversion { txn; resource; from_mode; to_mode } ->
+    [ ("txn", Json.Int txn); ("resource", Json.String resource);
+      ("from", Json.String from_mode); ("to", Json.String to_mode) ]
+  | Escalation { txn; node; mode; released_children } ->
+    [ ("txn", Json.Int txn); ("node", Json.String node);
+      ("mode", Json.String mode);
+      ("released_children", Json.Int released_children) ]
+  | Deescalation { txn; node; mode } ->
+    [ ("txn", Json.Int txn); ("node", Json.String node);
+      ("mode", Json.String mode) ]
+  | Deadlock_detected { cycle } ->
+    [ ("cycle", Json.List (List.map (fun t -> Json.Int t) cycle)) ]
+  | Victim_aborted { txn; restarts } ->
+    [ ("txn", Json.Int txn); ("restarts", Json.Int restarts) ]
+  | Txn_begin { txn } | Txn_commit { txn } -> [ ("txn", Json.Int txn) ]
+  | Txn_abort { txn; reason } ->
+    [ ("txn", Json.Int txn); ("reason", Json.String reason) ]
+  | Query_executed { txn; query; rows; locks_requested } ->
+    [ ("txn", Json.Int txn); ("query", Json.String query);
+      ("rows", Json.Int rows); ("locks_requested", Json.Int locks_requested) ]
+  | Sim_step { txn; step } ->
+    [ ("txn", Json.Int txn); ("step", Json.Int step) ]
+
+let to_json event =
+  Json.Obj
+    (("event", Json.String (name event.kind))
+     :: ("time", Json.Float event.time)
+     :: kind_fields event.kind)
+
+let pp formatter event =
+  Format.fprintf formatter "%s" (Json.to_string (to_json event))

@@ -1,0 +1,61 @@
+(** The typed event taxonomy of the observability layer.
+
+    Every layer of the system — the lock table, the protocol, the
+    transaction manager, query execution and the simulator — emits these
+    through a {!Sink}. Lock modes travel as plain strings so the library
+    sits below [Lockmgr] in the build order. Times are in whatever unit the
+    emitting sink's clock uses: the discrete-event simulator stamps virtual
+    ticks; wall-clock users stamp seconds. *)
+
+type kind =
+  | Lock_requested of { txn : int; resource : string; mode : string }
+  | Lock_granted of {
+      txn : int;
+      resource : string;
+      mode : string;
+      immediate : bool;  (** [false]: served from the wait queue *)
+    }
+  | Lock_waited of {
+      txn : int;
+      resource : string;
+      mode : string;
+      blockers : int list;
+    }
+  | Lock_released of { txn : int; resource : string }
+  | Conversion of {
+      txn : int;
+      resource : string;
+      from_mode : string;
+      to_mode : string;
+    }
+  | Escalation of {
+      txn : int;
+      node : string;
+      mode : string;
+      released_children : int;
+    }
+  | Deescalation of { txn : int; node : string; mode : string }
+  | Deadlock_detected of { cycle : int list }
+  | Victim_aborted of { txn : int; restarts : int }
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int }
+  | Txn_abort of { txn : int; reason : string }
+  | Query_executed of {
+      txn : int;
+      query : string;
+      rows : int;
+      locks_requested : int;
+    }
+  | Sim_step of { txn : int; step : int }
+
+type t = { time : float; kind : kind }
+
+val name : kind -> string
+(** Stable snake_case tag, e.g. ["lock_granted"] — the JSONL ["event"] field
+    and the metric-counter suffix. *)
+
+val txn : kind -> int option
+(** The transaction an event belongs to ([None] for whole-system events). *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape text =
+  let buffer = Buffer.create (String.length text + 2) in
+  String.iter
+    (fun char ->
+      match char with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | char when Char.code char < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code char))
+      | char -> Buffer.add_char buffer char)
+    text;
+  Buffer.contents buffer
+
+(* Integral floats render without a fractional part so counters exported as
+   floats stay readable; non-finite values have no JSON spelling and become
+   null. *)
+let float_repr value =
+  if not (Float.is_finite value) then "null"
+  else if Float.is_integer value && Float.abs value < 1e15 then
+    Printf.sprintf "%.0f" value
+  else Printf.sprintf "%.6g" value
+
+let rec write buffer ~indent ~level json =
+  let pad level = String.make (level * indent) ' ' in
+  match json with
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int n -> Buffer.add_string buffer (string_of_int n)
+  | Float f -> Buffer.add_string buffer (float_repr f)
+  | String s ->
+    Buffer.add_char buffer '"';
+    Buffer.add_string buffer (escape s);
+    Buffer.add_char buffer '"'
+  | List [] -> Buffer.add_string buffer "[]"
+  | List items ->
+    Buffer.add_string buffer "[";
+    List.iteri
+      (fun index item ->
+        if index > 0 then Buffer.add_char buffer ',';
+        if indent > 0 then begin
+          Buffer.add_char buffer '\n';
+          Buffer.add_string buffer (pad (level + 1))
+        end;
+        write buffer ~indent ~level:(level + 1) item)
+      items;
+    if indent > 0 then begin
+      Buffer.add_char buffer '\n';
+      Buffer.add_string buffer (pad level)
+    end;
+    Buffer.add_string buffer "]"
+  | Obj [] -> Buffer.add_string buffer "{}"
+  | Obj fields ->
+    Buffer.add_string buffer "{";
+    List.iteri
+      (fun index (key, value) ->
+        if index > 0 then Buffer.add_char buffer ',';
+        if indent > 0 then begin
+          Buffer.add_char buffer '\n';
+          Buffer.add_string buffer (pad (level + 1))
+        end;
+        Buffer.add_char buffer '"';
+        Buffer.add_string buffer (escape key);
+        Buffer.add_string buffer "\": ";
+        write buffer ~indent ~level:(level + 1) value)
+      fields;
+    if indent > 0 then begin
+      Buffer.add_char buffer '\n';
+      Buffer.add_string buffer (pad level)
+    end;
+    Buffer.add_string buffer "}"
+
+let to_string ?(indent = 0) json =
+  let buffer = Buffer.create 256 in
+  write buffer ~indent ~level:0 json;
+  Buffer.contents buffer
+
+let output ?(indent = 0) channel json =
+  output_string channel (to_string ~indent json)
+
+let pp formatter json = Format.pp_print_string formatter (to_string ~indent:2 json)

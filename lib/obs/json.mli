@@ -1,0 +1,23 @@
+(** A minimal JSON document type and serializer.
+
+    The observability layer emits JSONL event streams, Chrome trace files and
+    metrics snapshots; this module is the single encoder all of them share
+    (the container carries no JSON library, and the needs here are purely
+    write-side). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** [indent = 0] (default) produces a single line; a positive indent
+    pretty-prints with that many spaces per level. Non-finite floats encode
+    as [null]. *)
+
+val output : ?indent:int -> out_channel -> t -> unit
+val pp : Format.formatter -> t -> unit

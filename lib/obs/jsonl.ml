@@ -1,0 +1,7 @@
+let write channel event =
+  output_string channel (Json.to_string (Event.to_json event));
+  output_char channel '\n'
+
+let handler channel = fun event -> write channel event
+
+let write_events channel events = List.iter (write channel) events

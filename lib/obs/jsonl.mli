@@ -1,0 +1,11 @@
+(** JSON-lines event sink: one self-describing JSON object per line
+    (fields [event], [time], then the event's own payload), suitable for
+    [jq], spreadsheet import, or replay into the {!Trace} exporter. *)
+
+val write : out_channel -> Event.t -> unit
+
+val handler : out_channel -> Event.t -> unit
+(** Partial application form for {!Sink.create}. The caller owns the
+    channel (and its flush/close). *)
+
+val write_events : out_channel -> Event.t list -> unit

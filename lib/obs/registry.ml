@@ -1,0 +1,68 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; histograms = Hashtbl.create 8 }
+
+let counter_ref registry name =
+  match Hashtbl.find_opt registry.counters name with
+  | Some cell -> cell
+  | None ->
+    let cell = ref 0 in
+    Hashtbl.replace registry.counters name cell;
+    cell
+
+let incr ?(by = 1) registry name =
+  let cell = counter_ref registry name in
+  cell := !cell + by
+
+let counter registry name =
+  match Hashtbl.find_opt registry.counters name with
+  | Some cell -> !cell
+  | None -> 0
+
+let histogram registry name =
+  match Hashtbl.find_opt registry.histograms name with
+  | Some histogram -> histogram
+  | None ->
+    let histogram = Histogram.create () in
+    Hashtbl.replace registry.histograms name histogram;
+    histogram
+
+let observe registry name value = Histogram.observe (histogram registry name) value
+
+let find_histogram registry name = Hashtbl.find_opt registry.histograms name
+
+let sorted_bindings table =
+  Hashtbl.fold (fun name value accu -> (name, value) :: accu) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters registry =
+  List.map (fun (name, cell) -> (name, !cell)) (sorted_bindings registry.counters)
+
+let histograms registry = sorted_bindings registry.histograms
+
+let reset registry =
+  Hashtbl.iter (fun _name cell -> cell := 0) registry.counters;
+  Hashtbl.iter (fun _name histogram -> Histogram.reset histogram) registry.histograms
+
+let row registry =
+  List.map (fun (name, value) -> (name, float_of_int value)) (counters registry)
+  @ List.concat_map
+      (fun (name, histogram) -> Histogram.row ~prefix:name histogram)
+      (histograms registry)
+
+let to_json registry =
+  Json.Obj (List.map (fun (name, value) -> (name, Json.Float value)) (row registry))
+
+let pp formatter registry =
+  Format.fprintf formatter "@[<v>";
+  List.iter
+    (fun (name, value) -> Format.fprintf formatter "%s: %d@," name value)
+    (counters registry);
+  List.iter
+    (fun (name, histogram) ->
+      Format.fprintf formatter "%s: %a@," name Histogram.pp histogram)
+    (histograms registry);
+  Format.fprintf formatter "@]"

@@ -1,0 +1,37 @@
+(** A metrics registry: named monotonic counters plus named log-scale
+    histograms, with a uniform flat export.
+
+    This replaces ad-hoc records of mutable ints as the substrate for
+    run-time metrics; [Lockmgr.Lock_stats] and [Sim.Metrics] remain as thin
+    record views over what a run produced, and both now serialize through
+    the same [(string * float) list] row shape used here. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+val counter : t -> string -> int
+(** 0 for a counter never incremented. *)
+
+val observe : t -> string -> float -> unit
+(** Records into the named histogram, creating it on first use. *)
+
+val histogram : t -> string -> Histogram.t
+(** Get-or-create (useful to pre-declare histograms so exports have stable
+    keys even when nothing was observed). *)
+
+val find_histogram : t -> string -> Histogram.t option
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val histograms : t -> (string * Histogram.t) list
+
+val row : t -> (string * float) list
+(** Counters (as floats) followed by each histogram expanded to
+    [name_count/_mean/_p50/_p95/_p99/_max]. *)
+
+val to_json : t -> Json.t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type 'a t = {
+  items : 'a option array;
+  mutable next : int;  (* write position *)
+  mutable size : int;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { items = Array.make capacity None; next = 0; size = 0; pushed = 0 }
+
+let capacity ring = Array.length ring.items
+let length ring = ring.size
+let pushed ring = ring.pushed
+let dropped ring = ring.pushed - ring.size
+
+let push ring item =
+  ring.items.(ring.next) <- Some item;
+  ring.next <- (ring.next + 1) mod Array.length ring.items;
+  if ring.size < Array.length ring.items then ring.size <- ring.size + 1;
+  ring.pushed <- ring.pushed + 1
+
+let clear ring =
+  Array.fill ring.items 0 (Array.length ring.items) None;
+  ring.next <- 0;
+  ring.size <- 0;
+  ring.pushed <- 0
+
+let to_list ring =
+  let cap = Array.length ring.items in
+  let start = (ring.next - ring.size + cap) mod cap in
+  List.init ring.size (fun offset ->
+      match ring.items.((start + offset) mod cap) with
+      | Some item -> item
+      | None -> invalid_arg "Ring.to_list: corrupted ring")
+
+let iter ring visit = List.iter visit (to_list ring)

@@ -1,0 +1,27 @@
+(** A bounded in-memory ring buffer.
+
+    The default event sink for interactive use: pushes are O(1), memory is
+    capped, and once full the oldest entries are overwritten — a crash or a
+    long run keeps the most recent window instead of growing without
+    bound. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val pushed : 'a t -> int
+(** Total pushes over the ring's lifetime (≥ [length]). *)
+
+val dropped : 'a t -> int
+(** Entries overwritten because the ring was full: [pushed - length]. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+val clear : 'a t -> unit

@@ -1,0 +1,31 @@
+type t = {
+  mutable clock : unit -> float;
+  mutable handlers : (Event.t -> unit) list;
+}
+
+let default_clock () = 0.0
+
+let create ?(clock = default_clock) handlers = { clock; handlers }
+let null () = create []
+
+let attach sink handler = sink.handlers <- sink.handlers @ [ handler ]
+let set_clock sink clock = sink.clock <- clock
+let now sink = sink.clock ()
+
+let emit_at sink ~time kind =
+  match sink.handlers with
+  | [] -> ()
+  | handlers ->
+    let event = { Event.time; kind } in
+    List.iter (fun handler -> handler event) handlers
+
+let emit sink kind =
+  match sink.handlers with
+  | [] -> ()
+  | _ :: _ -> emit_at sink ~time:(sink.clock ()) kind
+
+let to_ring ring event = Ring.push ring event
+
+let memory ?clock ?(capacity = 65536) () =
+  let ring = Ring.create ~capacity in
+  (create ?clock [ to_ring ring ], ring)

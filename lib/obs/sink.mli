@@ -1,0 +1,35 @@
+(** An event sink: a clock plus a list of pluggable handlers.
+
+    Instrumented components take an optional sink ([?obs]); with no sink (or
+    no handlers) emission short-circuits to a list-match, so un-instrumented
+    runs pay nothing and stay byte-for-byte deterministic.
+
+    The clock stamps events at emission time. It is mutable on purpose: the
+    discrete-event simulator re-points it at the virtual clock of the run,
+    so events emitted deep inside the lock table carry simulation ticks
+    rather than wall time. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> (Event.t -> unit) list -> t
+(** Default clock is the constant 0 (callers that care pass their own, e.g.
+    [Unix.gettimeofday]). *)
+
+val null : unit -> t
+(** A sink with no handlers: emission is a no-op. *)
+
+val attach : t -> (Event.t -> unit) -> unit
+val set_clock : t -> (unit -> float) -> unit
+val now : t -> float
+
+val emit : t -> Event.kind -> unit
+(** Stamps the event with the sink's clock and fans out to every handler. *)
+
+val emit_at : t -> time:float -> Event.kind -> unit
+(** Like {!emit} with an explicit timestamp. *)
+
+val to_ring : Event.t Ring.t -> Event.t -> unit
+(** Handler that appends to a bounded ring buffer. *)
+
+val memory : ?clock:(unit -> float) -> ?capacity:int -> unit -> t * Event.t Ring.t
+(** A sink backed by a fresh ring buffer (default capacity 65536). *)

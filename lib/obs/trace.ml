@@ -1,0 +1,165 @@
+(* Chrome trace_event exporter (the JSON format chrome://tracing and
+   Perfetto load).  Each event group becomes one "process"; transactions map
+   to threads, so lock-wait and transaction spans of concurrent transactions
+   stack as parallel timelines.
+
+   Span pairing happens here, at export time, from the flat event stream:
+     Lock_waited -> Lock_granted   "wait <resource>"   (cat "lock")
+     Txn_begin   -> Txn_commit/abort   "T<n>"          (cat "txn")
+   Unclosed spans (still blocked / still running when the capture ended)
+   close at the capture's last timestamp, marked unfinished. *)
+
+let default_ts_scale = 1000.0
+(* Trace timestamps are microseconds.  Simulator ticks export as
+   milliseconds (x1000) so a 100-tick access renders at a readable zoom. *)
+
+let complete ~pid ~tid ~name ~cat ~ts ~dur args =
+  Json.Obj
+    [ ("name", Json.String name); ("cat", Json.String cat);
+      ("ph", Json.String "X"); ("ts", Json.Float ts); ("dur", Json.Float dur);
+      ("pid", Json.Int pid); ("tid", Json.Int tid); ("args", Json.Obj args) ]
+
+let instant ~pid ~tid ~name ~cat ~ts args =
+  Json.Obj
+    [ ("name", Json.String name); ("cat", Json.String cat);
+      ("ph", Json.String "i"); ("ts", Json.Float ts); ("s", Json.String "t");
+      ("pid", Json.Int pid); ("tid", Json.Int tid); ("args", Json.Obj args) ]
+
+let process_name ~pid name =
+  Json.Obj
+    [ ("name", Json.String "process_name"); ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("args", Json.Obj [ ("name", Json.String name) ]) ]
+
+let ints items = Json.List (List.map (fun i -> Json.Int i) items)
+
+let group_events ~pid ~scale events =
+  let out = ref [] in
+  let push json = out := json :: !out in
+  let last_time =
+    List.fold_left (fun latest event -> Float.max latest event.Event.time) 0.0
+      events
+  in
+  let waits = Hashtbl.create 32 in
+  let begins = Hashtbl.create 32 in
+  let wait_span ~txn ~resource ~start ~finish ~mode ~blockers ~finished =
+    push
+      (complete ~pid ~tid:txn ~name:("wait " ^ resource) ~cat:"lock"
+         ~ts:(start *. scale)
+         ~dur:((finish -. start) *. scale)
+         ([ ("mode", Json.String mode); ("blockers", ints blockers) ]
+          @ if finished then [] else [ ("unfinished", Json.Bool true) ]))
+  in
+  let txn_span ~txn ~start ~finish ~outcome ~finished =
+    push
+      (complete ~pid ~tid:txn ~name:(Printf.sprintf "T%d" txn) ~cat:"txn"
+         ~ts:(start *. scale)
+         ~dur:((finish -. start) *. scale)
+         (("outcome", Json.String outcome)
+          :: (if finished then [] else [ ("unfinished", Json.Bool true) ])))
+  in
+  List.iter
+    (fun { Event.time; kind } ->
+      match kind with
+      | Event.Txn_begin { txn } ->
+        if not (Hashtbl.mem begins txn) then Hashtbl.replace begins txn time
+      | Event.Txn_commit { txn } -> (
+        match Hashtbl.find_opt begins txn with
+        | Some start ->
+          Hashtbl.remove begins txn;
+          txn_span ~txn ~start ~finish:time ~outcome:"committed" ~finished:true
+        | None -> ())
+      | Event.Txn_abort { txn; reason } -> (
+        match Hashtbl.find_opt begins txn with
+        | Some start ->
+          Hashtbl.remove begins txn;
+          txn_span ~txn ~start ~finish:time ~outcome:reason ~finished:true
+        | None -> ())
+      | Event.Lock_waited { txn; resource; mode; blockers } ->
+        if not (Hashtbl.mem waits (txn, resource)) then
+          Hashtbl.replace waits (txn, resource) (time, mode, blockers)
+      | Event.Lock_granted { txn; resource; _ } -> (
+        match Hashtbl.find_opt waits (txn, resource) with
+        | Some (start, mode, blockers) ->
+          Hashtbl.remove waits (txn, resource);
+          wait_span ~txn ~resource ~start ~finish:time ~mode ~blockers
+            ~finished:true
+        | None -> ())
+      | Event.Victim_aborted { txn; restarts } ->
+        Hashtbl.iter
+          (fun (waiter, resource) (start, mode, blockers) ->
+            if waiter = txn then begin
+              Hashtbl.remove waits (waiter, resource);
+              wait_span ~txn ~resource ~start ~finish:time ~mode ~blockers
+                ~finished:false
+            end)
+          (Hashtbl.copy waits);
+        push
+          (instant ~pid ~tid:txn ~name:"victim aborted" ~cat:"deadlock"
+             ~ts:(time *. scale)
+             [ ("restarts", Json.Int restarts) ])
+      | Event.Deadlock_detected { cycle } ->
+        let tid = match cycle with txn :: _ -> txn | [] -> 0 in
+        push
+          (instant ~pid ~tid ~name:"deadlock" ~cat:"deadlock"
+             ~ts:(time *. scale)
+             [ ("cycle", ints cycle) ])
+      | Event.Escalation { txn; node; mode; released_children } ->
+        push
+          (instant ~pid ~tid:txn ~name:("escalate " ^ node) ~cat:"escalation"
+             ~ts:(time *. scale)
+             [ ("mode", Json.String mode);
+               ("released_children", Json.Int released_children) ])
+      | Event.Deescalation { txn; node; mode } ->
+        push
+          (instant ~pid ~tid:txn ~name:("de-escalate " ^ node)
+             ~cat:"escalation" ~ts:(time *. scale)
+             [ ("mode", Json.String mode) ])
+      | Event.Query_executed { txn; query; rows; locks_requested } ->
+        push
+          (instant ~pid ~tid:txn ~name:"query" ~cat:"query" ~ts:(time *. scale)
+             [ ("query", Json.String query); ("rows", Json.Int rows);
+               ("locks_requested", Json.Int locks_requested) ])
+      | Event.Sim_step { txn; step } ->
+        push
+          (instant ~pid ~tid:txn ~name:(Printf.sprintf "step %d" step)
+             ~cat:"sim" ~ts:(time *. scale) [])
+      | Event.Lock_requested _ | Event.Lock_released _ | Event.Conversion _ ->
+        ())
+    events;
+  (* capture ended with spans still open *)
+  Hashtbl.iter
+    (fun (txn, resource) (start, mode, blockers) ->
+      wait_span ~txn ~resource ~start ~finish:last_time ~mode ~blockers
+        ~finished:false)
+    waits;
+  Hashtbl.iter
+    (fun txn start ->
+      txn_span ~txn ~start ~finish:last_time ~outcome:"running" ~finished:false)
+    begins;
+  List.rev !out
+
+let ts_of = function
+  | Json.Obj fields -> (
+    match List.assoc_opt "ts" fields with Some (Json.Float ts) -> ts | _ -> -1.0)
+  | _ -> -1.0
+
+let to_json ?(ts_scale = default_ts_scale) groups =
+  let trace_events =
+    List.concat
+      (List.mapi
+         (fun index (name, events) ->
+           let pid = index + 1 in
+           process_name ~pid name :: group_events ~pid ~scale:ts_scale events)
+         groups)
+  in
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare (ts_of a) (ts_of b)) trace_events
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List sorted);
+      ("displayTimeUnit", Json.String "ms") ]
+
+let write ?ts_scale channel groups =
+  Json.output ~indent:1 channel (to_json ?ts_scale groups);
+  output_char channel '\n'

@@ -275,7 +275,15 @@ let run executor ~txn ?(wait = true) ast =
 let run_string executor ~txn ?wait text =
   match Parser.parse text with
   | Error parse_error -> Error (Parse_error parse_error)
-  | Ok ast -> run executor ~txn ?wait ast
+  | Ok ast -> (
+    match run executor ~txn ?wait ast with
+    | Ok result ->
+      Protocol.emit executor.protocol
+        (Obs.Event.Query_executed
+           { txn; query = text; rows = List.length result.rows;
+             locks_requested = result.locks_requested });
+      Ok result
+    | Error _ as error -> error)
 
 let insert_object executor ~txn ?(wait = true) relation value =
   let graph = Protocol.graph executor.protocol in

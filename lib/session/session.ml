@@ -9,9 +9,9 @@ type t = {
   undo : Query.Undo.t;
 }
 
-let create ?rule ?threshold db =
+let create ?rule ?threshold ?obs db =
   let graph = Colock.Instance_graph.build db in
-  let table = Lockmgr.Lock_table.create () in
+  let table = Lockmgr.Lock_table.create ?obs () in
   let rights = Authz.Rights.create () in
   let protocol = Colock.Protocol.create ?rule ~rights graph table in
   let executor = Query.Executor.create ?threshold db protocol in

@@ -16,8 +16,11 @@
 type t
 
 val create :
-  ?rule:Colock.Protocol.rule -> ?threshold:int -> Nf2.Database.t -> t
-(** Builds the instance graph eagerly. Default rule 4′, threshold 16. *)
+  ?rule:Colock.Protocol.rule -> ?threshold:int -> ?obs:Obs.Sink.t ->
+  Nf2.Database.t -> t
+(** Builds the instance graph eagerly. Default rule 4′, threshold 16.
+    [?obs] attaches an observability sink to the internally-created lock
+    table; the protocol, executor and transaction manager inherit it. *)
 
 val database : t -> Nf2.Database.t
 val executor : t -> Query.Executor.t

@@ -16,8 +16,9 @@ let throughput metrics =
   else 1000.0 *. float_of_int metrics.committed /. float_of_int metrics.makespan
 
 let avg_response metrics =
-  if metrics.committed = 0 then 0.0
-  else float_of_int metrics.total_response /. float_of_int metrics.committed
+  let finished = metrics.committed + metrics.gave_up in
+  if finished = 0 then 0.0
+  else float_of_int metrics.total_response /. float_of_int finished
 
 let pp formatter metrics =
   Format.fprintf formatter

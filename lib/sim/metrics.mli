@@ -5,7 +5,8 @@ type t = {
   deadlock_aborts : int;  (** victim aborts (the work restarts) *)
   gave_up : int;  (** jobs that exhausted their restart budget *)
   makespan : int;  (** completion time of the last commit *)
-  total_response : int;  (** sum over committed jobs of commit - arrival *)
+  total_response : int;
+      (** sum over finished (committed or gave-up) jobs of finish - arrival *)
   total_wait : int;  (** total time spent blocked *)
   lock_requests : int;
   conflict_tests : int;
@@ -17,6 +18,9 @@ val throughput : t -> float
 (** committed jobs per 1000 time units. *)
 
 val avg_response : t -> float
+(** [total_response] per finished job — committed and gave-up jobs both
+    count, so abandoned work cannot flatter the mean. *)
+
 val pp : Format.formatter -> t -> unit
 
 val row :

@@ -35,9 +35,16 @@ type sim = {
   config : config;
   states : job_state array;
   mutable deadlock_aborts : int;
+  obs : Obs.Sink.t option;
+  mutable now : int;  (* virtual time of the event being handled *)
 }
 
 let state_of sim txn = sim.states.(txn - 1)
+
+let emit sim kind =
+  match sim.obs with
+  | None -> ()
+  | Some sink -> Obs.Sink.emit sink kind
 
 (* Wake every job whose queued request was just granted. *)
 let rec process_grants sim time grants =
@@ -61,7 +68,17 @@ and abort_and_restart sim time state =
   state.step_index <- 0;
   state.restarts <- state.restarts + 1;
   sim.deadlock_aborts <- sim.deadlock_aborts + 1;
-  if state.restarts > sim.config.max_restarts then state.status <- Gave_up
+  let stats = Table.stats sim.table in
+  stats.Lockmgr.Lock_stats.victim_aborts <-
+    stats.Lockmgr.Lock_stats.victim_aborts + 1;
+  emit sim
+    (Obs.Event.Victim_aborted { txn = state.txn; restarts = state.restarts });
+  if state.restarts > sim.config.max_restarts then begin
+    state.status <- Gave_up;
+    (* record when the job abandoned, so response time accounts for it *)
+    state.commit_time <- time;
+    emit sim (Obs.Event.Txn_abort { txn = state.txn; reason = "gave_up" })
+  end
   else begin
     state.status <- Idle;
     Event_queue.schedule sim.queue
@@ -75,6 +92,10 @@ and resolve_deadlocks sim time requester =
   match Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges sim.table) with
   | None -> false
   | Some cycle ->
+    let stats = Table.stats sim.table in
+    stats.Lockmgr.Lock_stats.deadlocks <-
+      stats.Lockmgr.Lock_stats.deadlocks + 1;
+    emit sim (Obs.Event.Deadlock_detected { cycle });
     (* youngest (largest id) dies *)
     let victim_txn = Lockmgr.Deadlock.choose_victim cycle in
     let victim = state_of sim victim_txn in
@@ -89,6 +110,7 @@ let rec continue_locking sim time state =
       (* all steps done: commit *)
       state.status <- Committed;
       state.commit_time <- time;
+      emit sim (Obs.Event.Txn_commit { txn = state.txn });
       process_grants sim time (Table.release_all sim.table ~txn:state.txn)
     | Some step ->
       state.status <- Accessing;
@@ -118,10 +140,17 @@ let start_step sim time state =
   | Some step ->
     state.status <- Locking;
     state.pending <- step.plan state.txn;
+    emit sim (Obs.Event.Sim_step { txn = state.txn; step = state.step_index });
     continue_locking sim time state
 
 let handle sim time = function
-  | Begin state | Restart state -> (
+  | Begin state -> (
+    match state.status with
+    | Idle ->
+      emit sim (Obs.Event.Txn_begin { txn = state.txn });
+      start_step sim time state
+    | Locking | Waiting | Accessing | Committed | Gave_up -> ())
+  | Restart state -> (
     match state.status with
     | Idle -> start_step sim time state
     | Locking | Waiting | Accessing | Committed | Gave_up -> ())
@@ -137,7 +166,9 @@ let handle sim time = function
       start_step sim time state
     | Idle | Locking | Waiting | Committed | Gave_up -> ())
 
-let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ~table jobs =
+let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ?obs ~table
+    jobs =
+  let obs = match obs with Some _ -> obs | None -> Table.obs table in
   let states =
     Array.of_list
       (List.mapi
@@ -149,8 +180,13 @@ let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ~table jobs =
   in
   let sim =
     { table; queue = Event_queue.create (); config; states;
-      deadlock_aborts = 0 }
+      deadlock_aborts = 0; obs; now = 0 }
   in
+  (* Events emitted during a run — including the lock table's own — carry
+     virtual simulation time, not the sink's wall-clock default. *)
+  (match obs with
+   | Some sink -> Obs.Sink.set_clock sink (fun () -> float_of_int sim.now)
+   | None -> ());
   Array.iter
     (fun state ->
       on_begin state.txn;
@@ -162,6 +198,7 @@ let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ~table jobs =
     | None -> ()
     | Some (time, event) ->
       last_time := max !last_time time;
+      sim.now <- time;
       handle sim time event;
       drain ()
   in
@@ -176,7 +213,12 @@ let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ~table jobs =
          incr committed;
          total_response := !total_response + (state.commit_time - state.job.arrival);
          makespan := max !makespan state.commit_time
-       | Gave_up -> incr gave_up
+       | Gave_up ->
+         incr gave_up;
+         (* the give-up moment was recorded in commit_time, so abandoned
+            jobs count toward response time instead of skewing the mean *)
+         total_response :=
+           !total_response + (state.commit_time - state.job.arrival)
        | Idle | Locking | Waiting | Accessing -> ());
       total_wait := !total_wait + state.total_wait)
     states;

@@ -32,7 +32,13 @@ val default_config : config
 
 val run :
   ?config:config -> ?on_begin:(Lockmgr.Lock_table.txn_id -> unit) ->
-  table:Lockmgr.Lock_table.t -> job list -> Metrics.t
+  ?obs:Obs.Sink.t -> table:Lockmgr.Lock_table.t -> job list -> Metrics.t
 (** [on_begin] fires once per job with its transaction id before its first
     step (e.g. to install authorization rights). Job [i] (0-based) gets
-    transaction id [i + 1]. *)
+    transaction id [i + 1].
+
+    [?obs] (default: the table's own sink) receives simulation lifecycle
+    events (txn begin/commit, steps, deadlocks, victim aborts, give-ups).
+    The sink's clock is re-pointed at virtual simulation time for the
+    duration of the run, so lock events emitted by the table line up with
+    the simulator's integer ticks. *)

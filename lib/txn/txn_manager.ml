@@ -6,18 +6,25 @@ type t = {
   clock : unit -> int;
   mutable next_id : int;
   txns : (Table.txn_id, Transaction.t) Hashtbl.t;
+  obs : Obs.Sink.t option;
 }
 
-let create ?clock protocol =
+let create ?clock ?obs protocol =
   let counter = ref 0 in
   let default_clock () =
     incr counter;
     !counter
   in
+  let obs = match obs with Some _ -> obs | None -> Protocol.obs protocol in
   { protocol; clock = Option.value ~default:default_clock clock;
-    next_id = 1; txns = Hashtbl.create 64 }
+    next_id = 1; txns = Hashtbl.create 64; obs }
 
 let protocol manager = manager.protocol
+
+let emit manager kind =
+  match manager.obs with
+  | None -> ()
+  | Some sink -> Obs.Sink.emit sink kind
 
 let begin_txn ?(kind = Transaction.Short) manager =
   let id = manager.next_id in
@@ -27,6 +34,7 @@ let begin_txn ?(kind = Transaction.Short) manager =
       status = Transaction.Active; restarts = 0 }
   in
   Hashtbl.replace manager.txns id txn;
+  emit manager (Obs.Event.Txn_begin { txn = id });
   txn
 
 let find manager id = Hashtbl.find_opt manager.txns id
@@ -52,6 +60,22 @@ let abort manager ?(reason = Transaction.User_abort) txn =
     Protocol.end_of_transaction manager.protocol ~txn:txn.Transaction.id
   in
   txn.Transaction.status <- Transaction.Aborted reason;
+  let reason_text =
+    match reason with
+    | Transaction.User_abort -> "user"
+    | Transaction.Deadlock_victim -> "deadlock_victim"
+  in
+  emit manager
+    (Obs.Event.Txn_abort { txn = txn.Transaction.id; reason = reason_text });
+  (match reason with
+   | Transaction.Deadlock_victim ->
+     let stats = Table.stats table in
+     stats.Lockmgr.Lock_stats.victim_aborts <-
+       stats.Lockmgr.Lock_stats.victim_aborts + 1;
+     emit manager
+       (Obs.Event.Victim_aborted
+          { txn = txn.Transaction.id; restarts = txn.Transaction.restarts })
+   | Transaction.User_abort -> ());
   woken_by_cancel @ woken_by_release
 
 (* Resolve deadlocks after [txn] started waiting.  Returns [true] when [txn]
@@ -62,6 +86,10 @@ let resolve_deadlock manager txn =
     match Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) with
     | None -> false
     | Some cycle ->
+      let stats = Table.stats table in
+      stats.Lockmgr.Lock_stats.deadlocks <-
+        stats.Lockmgr.Lock_stats.deadlocks + 1;
+      emit manager (Obs.Event.Deadlock_detected { cycle });
       (* Older transactions (earlier start) survive: the victim is the one
          with the smallest priority, so the youngest start must rank
          lowest. *)
@@ -112,6 +140,7 @@ let commit ?(release_long = false) manager txn =
         ~txn:txn.Transaction.id
   in
   txn.Transaction.status <- Transaction.Committed;
+  emit manager (Obs.Event.Txn_commit { txn = txn.Transaction.id });
   grants
 
 let unblocked manager grants =

@@ -3,8 +3,12 @@
 
 type t
 
-val create : ?clock:(unit -> int) -> Colock.Protocol.t -> t
-(** [clock] supplies logical begin timestamps (default: a counter). *)
+val create :
+  ?clock:(unit -> int) -> ?obs:Obs.Sink.t -> Colock.Protocol.t -> t
+(** [clock] supplies logical begin timestamps (default: a counter). [?obs]
+    defaults to the protocol's sink, so transaction lifecycle events
+    (begin/commit/abort, deadlocks, victim aborts) land in the same stream
+    as the lock events. *)
 
 val protocol : t -> Colock.Protocol.t
 val begin_txn : ?kind:Transaction.kind -> t -> Transaction.t

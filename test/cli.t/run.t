@@ -91,3 +91,31 @@ Parse errors are reported with a position:
   $ colock plan "SELECT FROM cells FOR READ"
   parse error at offset 7: "FROM" is a reserved word
   [1]
+
+Machine-readable simulation metrics: --stats-json - writes a JSON object to
+stdout (and suppresses the human table). Float values vary slightly across
+platforms, so we only assert the keys we rely on:
+
+  $ colock simulate --technique proposed --jobs 6 --stats-json - > stats.json
+  $ grep -c 'proposed (rule' stats.json
+  1
+  $ grep -o '"committed"' stats.json
+  "committed"
+  $ grep -o '"throughput"' stats.json
+  "throughput"
+  $ grep -o '"lock_wait_p95"' stats.json
+  "lock_wait_p95"
+  $ grep -o '"lock.deadlocks"' stats.json
+  "lock.deadlocks"
+
+The trace subcommand captures a lifecycle event stream and exports it in the
+Chrome trace_event format:
+
+  $ colock trace --jobs 8 -o trace.json
+  proposed (rule 4'): captured 205 event(s) (0 dropped) from 8 job(s)
+  committed 8, gave up 0, makespan 230, lock waits observed 1
+  trace written to trace.json
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -c '"wait ' trace.json
+  1

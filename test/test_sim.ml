@@ -111,6 +111,44 @@ let test_runner_gave_up () =
   check_int "survivor commits" 1 metrics.Sim.Metrics.committed;
   check_int "victim gave up" 1 metrics.Sim.Metrics.gave_up
 
+(* Regression: gave-up jobs must both contribute their (truncated) response
+   time and count in the denominator, so abandoned work can neither inflate
+   nor flatter the mean. *)
+let test_avg_response_counts_gave_up () =
+  let table = Table.create () in
+  let two_step first second =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
+            access_cost = 50 };
+          { Sim.Runner.plan = fixed_plan [ request [ second ] Mode.X ];
+            access_cost = 50 } ] }
+  in
+  let config = { Sim.Runner.deadlock_backoff = 10; max_restarts = 0 } in
+  let metrics =
+    Sim.Runner.run ~config ~table [ two_step "a" "b"; two_step "b" "a" ]
+  in
+  check_int "one committed, one gave up" 2
+    (metrics.Sim.Metrics.committed + metrics.Sim.Metrics.gave_up);
+  (* the survivor alone responds in exactly the makespan (arrival 0); the
+     victim's give-up time must add on top *)
+  check_bool "gave-up job contributes response time" true
+    (metrics.Sim.Metrics.total_response > metrics.Sim.Metrics.makespan);
+  Alcotest.(check (float 1e-9))
+    "mean divides by committed + gave_up"
+    (float_of_int metrics.Sim.Metrics.total_response /. 2.0)
+    (Sim.Metrics.avg_response metrics);
+  (* pure accessor check on a synthetic record *)
+  let synthetic =
+    { Sim.Metrics.committed = 1; deadlock_aborts = 1; gave_up = 1;
+      makespan = 100; total_response = 200; total_wait = 0;
+      lock_requests = 0; conflict_tests = 0; peak_lock_entries = 0;
+      escalations = 0 }
+  in
+  Alcotest.(check (float 1e-9))
+    "synthetic mean" 100.0
+    (Sim.Metrics.avg_response synthetic)
+
 let test_runner_deterministic () =
   let build () =
     let db = Workload.Generator.manufacturing Workload.Generator.default_manufacturing in
@@ -236,6 +274,8 @@ let () =
          Alcotest.test_case "deadlock recovery" `Quick
            test_runner_deadlock_recovery;
          Alcotest.test_case "gave up" `Quick test_runner_gave_up;
+         Alcotest.test_case "avg response counts gave up" `Quick
+           test_avg_response_counts_gave_up;
          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
          Alcotest.test_case "on_begin" `Quick test_runner_on_begin ]);
       ("contrasts",
