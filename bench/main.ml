@@ -1,8 +1,9 @@
 (* Benchmark and experiment harness.
 
-   Default: regenerate every experiment table/figure (E1-E13, see DESIGN.md).
+   Default: regenerate every experiment table/figure (E1-E13 plus the E15
+   resilience comparison, see DESIGN.md).
    Options:
-     --only E5        run a single experiment (E1..E13)
+     --only E5        run a single experiment (E1..E13, E15)
      --bechamel       additionally run the Bechamel micro-benchmarks (one
                       Test.make per experiment's core operation, plus the
                       E14 index ablation)
@@ -291,7 +292,7 @@ let () =
        experiment ();
        Report.write ~experiment:name ()
      | None ->
-       Printf.eprintf "unknown experiment %s (use E1..E13)\n" name;
+       Printf.eprintf "unknown experiment %s (use E1..E13, E15)\n" name;
        exit 1)
    | None, false ->
      Experiments.run_all ();

@@ -168,6 +168,76 @@ let read_fraction_arg =
 let seed_arg =
   Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let resolution_conv =
+  let parse text =
+    match Lockmgr.Policy.resolution_of_string text with
+    | Ok _ as ok -> ok
+    | Error message -> Error (`Msg message)
+  in
+  Arg.conv (parse, Lockmgr.Policy.pp_resolution)
+
+let victim_conv =
+  let parse text =
+    match Lockmgr.Policy.victim_of_string text with
+    | Ok _ as ok -> ok
+    | Error message -> Error (`Msg message)
+  in
+  Arg.conv (parse, Lockmgr.Policy.pp_victim)
+
+let backoff_conv =
+  let parse text =
+    match Lockmgr.Policy.backoff_of_string text with
+    | Ok _ as ok -> ok
+    | Error message -> Error (`Msg message)
+  in
+  Arg.conv (parse, Lockmgr.Policy.pp_backoff)
+
+let faults_conv =
+  let print formatter spec =
+    Format.pp_print_string formatter (Sim.Fault.to_string spec)
+  in
+  Arg.conv (Sim.Fault.of_string, print)
+
+let resolution_arg =
+  Arg.(value & opt resolution_conv Lockmgr.Policy.Detection
+       & info [ "resolution" ] ~docv:"STRATEGY"
+           ~doc:"How stuck waits resolve: $(b,detection) (waits-for cycle \
+                 search on every wait), $(b,timeout)[:TICKS] (abort any \
+                 wait older than TICKS, no detection), or \
+                 $(b,hybrid)[:TICKS] (both).")
+
+let victim_arg =
+  Arg.(value & opt victim_conv Lockmgr.Policy.Youngest
+       & info [ "victim" ] ~docv:"POLICY"
+           ~doc:"Deadlock victim selection: $(b,youngest), $(b,oldest), \
+                 $(b,fewest-locks) or $(b,least-work).")
+
+let backoff_arg =
+  Arg.(value & opt backoff_conv (Lockmgr.Policy.Fixed 50)
+       & info [ "backoff" ] ~docv:"SPEC"
+           ~doc:"Victim restart delay: $(b,fixed):N or \
+                 $(b,exp):BASE:CAP[:SEED] (exponential with deterministic \
+                 jitter).")
+
+let max_restarts_arg =
+  Arg.(value & opt int 20
+       & info [ "max-restarts" ] ~docv:"N"
+           ~doc:"Abort budget per job; a job victimized more often gives up.")
+
+let faults_arg =
+  Arg.(value & opt faults_conv Sim.Fault.none
+       & info [ "faults" ] ~docv:"PLAN"
+           ~doc:"Inject faults, e.g. $(b,crash:0.1,stall:0.2x4,hog:0.05): \
+                 each job draws a fate from the --seed-derived RNG; crashed \
+                 jobs die holding their locks, stalled jobs access N times \
+                 slower, hogs camp on their locks without committing.")
+
+let check_invariants_arg =
+  Arg.(value & flag
+       & info [ "check-invariants" ]
+           ~doc:"Audit the lock table and job states after every simulator \
+                 event (chaos-run oracle; slows large runs down).")
+
 let manufacturing_scenario ~jobs ~cells ~read_fraction ~seed =
   let db =
     Workload.Generator.manufacturing
@@ -228,16 +298,22 @@ let simulate_cmd =
                    JSON to $(docv). Use '-' for stdout; the table is then \
                    suppressed.")
   in
-  let run () techniques jobs cells read_fraction seed trace_file
-      stats_json_file =
+  let run () techniques jobs cells read_fraction seed resolution victim
+      backoff max_restarts faults check_invariants trace_file stats_json_file =
     let graph, specs =
       manufacturing_scenario ~jobs ~cells ~read_fraction ~seed
     in
+    let config =
+      { Sim.Runner.default_config with resolution; victim; backoff;
+        max_restarts; check_invariants }
+    in
+    let faults = { faults with Sim.Fault.fault_seed = seed } in
     let observing = trace_file <> None || stats_json_file <> None in
     let quiet = stats_json_file = Some "-" in
     if not quiet then
-      Printf.printf "%-22s %9s %9s %9s %9s %9s %9s\n" "technique" "committed"
-        "makespan" "thruput" "avg resp" "waits" "locks";
+      Printf.printf "%-22s %9s %9s %9s %9s %9s %9s %9s %9s\n" "technique"
+        "committed" "aborts" "crashed" "makespan" "thruput" "avg resp" "waits"
+        "locks";
     let captures =
       List.map
         (fun selector ->
@@ -246,11 +322,14 @@ let simulate_cmd =
           let table = Lockmgr.Lock_table.create ?obs () in
           let technique = technique_of graph table selector in
           let sim_jobs = Sim.Scenario.compile graph technique specs in
-          let metrics = Sim.Runner.run ~table sim_jobs in
+          let metrics = Sim.Runner.run ~config ~faults ~table sim_jobs in
           if not quiet then
-            Printf.printf "%-22s %9d %9d %9.2f %9.1f %9d %9d\n"
+            Printf.printf "%-22s %9d %9d %9d %9d %9.2f %9.1f %9d %9d\n"
               (Sim.Scenario.technique_name technique)
-              metrics.Sim.Metrics.committed metrics.Sim.Metrics.makespan
+              metrics.Sim.Metrics.committed
+              (metrics.Sim.Metrics.deadlock_aborts
+               + metrics.Sim.Metrics.timeout_aborts)
+              metrics.Sim.Metrics.crashed metrics.Sim.Metrics.makespan
               (Sim.Metrics.throughput metrics)
               (Sim.Metrics.avg_response metrics)
               metrics.Sim.Metrics.total_wait metrics.Sim.Metrics.lock_requests;
@@ -303,7 +382,9 @@ let simulate_cmd =
        ~doc:"Run the concurrency simulator on a generated manufacturing \
              workload and compare techniques.")
     Term.(const run $ setup_logs $ technique $ jobs_arg $ cells_arg
-          $ read_fraction_arg $ seed_arg $ trace_file $ stats_json_file)
+          $ read_fraction_arg $ seed_arg $ resolution_arg $ victim_arg
+          $ backoff_arg $ max_restarts_arg $ faults_arg $ check_invariants_arg
+          $ trace_file $ stats_json_file)
 
 (* ------------------------------------------------------------------ trace *)
 

@@ -181,14 +181,14 @@ type outcome =
       acquired : step list;
     }
 
-let run_plan protocol ~txn ~duration ~wait steps =
+let run_plan protocol ~txn ~duration ?deadline ~wait steps =
   let rec walk acquired = function
     | [] -> Acquired (List.rev acquired)
     | step :: rest ->
       let outcome =
         if wait then
           match
-            Lock_table.request protocol.table ~txn ~duration
+            Lock_table.request protocol.table ~txn ~duration ?deadline
               ~resource:(Node_id.to_resource step.node)
               step.mode
           with
@@ -210,9 +210,9 @@ let run_plan protocol ~txn ~duration ~wait steps =
   in
   walk [] steps
 
-let acquire protocol ~txn ?(duration = Lock_table.Short) ?follow_references
-    node mode =
-  run_plan protocol ~txn ~duration ~wait:true
+let acquire protocol ~txn ?(duration = Lock_table.Short) ?deadline
+    ?follow_references node mode =
+  run_plan protocol ~txn ~duration ?deadline ~wait:true
     (plan protocol ~txn ?follow_references node mode)
 
 let try_acquire protocol ~txn ?(duration = Lock_table.Short) ?follow_references

@@ -81,9 +81,12 @@ type outcome =
 
 val acquire :
   t -> txn:Lockmgr.Lock_table.txn_id -> ?duration:Lockmgr.Lock_table.duration ->
-  ?follow_references:bool -> Node_id.t -> Lockmgr.Lock_mode.t -> outcome
+  ?deadline:int -> ?follow_references:bool -> Node_id.t ->
+  Lockmgr.Lock_mode.t -> outcome
 (** Executes the plan. On [Blocked] the transaction is enqueued in the lock
-    table on the blocking node; re-call after the blocker releases. *)
+    table on the blocking node; re-call after the blocker releases.
+    [?deadline] stamps any wait this acquisition enters (see
+    {!Lockmgr.Lock_table.request}); enforcing it is the caller's job. *)
 
 val try_acquire :
   t -> txn:Lockmgr.Lock_table.txn_id -> ?duration:Lockmgr.Lock_table.duration ->

@@ -22,10 +22,12 @@ let find_cycle ~edges =
     |> List.sort_uniq Int.compare
   in
   let finished = Hashtbl.create 16 in
-  (* DFS keeping the trail (most recent first); a back edge into the trail
-     closes a cycle. *)
+  (* DFS keeping the trail (most recent first) plus a mirror set for O(1)
+     membership, so detection stays near-linear on the long waiter chains
+     chaos runs produce; a back edge into the trail closes a cycle. *)
+  let on_trail = Hashtbl.create 16 in
   let rec visit trail node =
-    if List.mem node trail then
+    if Hashtbl.mem on_trail node then
       let rec cycle_from accu = function
         | [] -> accu
         | head :: rest ->
@@ -35,11 +37,17 @@ let find_cycle ~edges =
     else if Hashtbl.mem finished node then None
     else begin
       Hashtbl.add finished node ();
-      let trail = node :: trail in
-      List.fold_left
-        (fun found successor ->
-          match found with Some _ -> found | None -> visit trail successor)
-        None (successors_of node)
+      Hashtbl.add on_trail node ();
+      let found =
+        List.fold_left
+          (fun found successor ->
+            match found with
+            | Some _ -> found
+            | None -> visit (node :: trail) successor)
+          None (successors_of node)
+      in
+      Hashtbl.remove on_trail node;
+      found
     end
   in
   List.fold_left

@@ -9,12 +9,13 @@ type t = {
   mutable deescalations : int;
   mutable deadlocks : int;
   mutable victim_aborts : int;
+  mutable timeout_aborts : int;
 }
 
 let create () =
   { requests = 0; immediate_grants = 0; waits = 0; conversions = 0;
     conflict_tests = 0; releases = 0; escalations = 0; deescalations = 0;
-    deadlocks = 0; victim_aborts = 0 }
+    deadlocks = 0; victim_aborts = 0; timeout_aborts = 0 }
 
 let reset stats =
   stats.requests <- 0;
@@ -26,14 +27,16 @@ let reset stats =
   stats.escalations <- 0;
   stats.deescalations <- 0;
   stats.deadlocks <- 0;
-  stats.victim_aborts <- 0
+  stats.victim_aborts <- 0;
+  stats.timeout_aborts <- 0
 
 let copy stats =
   { requests = stats.requests; immediate_grants = stats.immediate_grants;
     waits = stats.waits; conversions = stats.conversions;
     conflict_tests = stats.conflict_tests; releases = stats.releases;
     escalations = stats.escalations; deescalations = stats.deescalations;
-    deadlocks = stats.deadlocks; victim_aborts = stats.victim_aborts }
+    deadlocks = stats.deadlocks; victim_aborts = stats.victim_aborts;
+    timeout_aborts = stats.timeout_aborts }
 
 let add a b =
   { requests = a.requests + b.requests;
@@ -44,7 +47,8 @@ let add a b =
     escalations = a.escalations + b.escalations;
     deescalations = a.deescalations + b.deescalations;
     deadlocks = a.deadlocks + b.deadlocks;
-    victim_aborts = a.victim_aborts + b.victim_aborts }
+    victim_aborts = a.victim_aborts + b.victim_aborts;
+    timeout_aborts = a.timeout_aborts + b.timeout_aborts }
 
 let row stats =
   [ ("requests", float_of_int stats.requests);
@@ -56,13 +60,14 @@ let row stats =
     ("escalations", float_of_int stats.escalations);
     ("deescalations", float_of_int stats.deescalations);
     ("deadlocks", float_of_int stats.deadlocks);
-    ("victim_aborts", float_of_int stats.victim_aborts) ]
+    ("victim_aborts", float_of_int stats.victim_aborts);
+    ("timeout_aborts", float_of_int stats.timeout_aborts) ]
 
 let pp formatter stats =
   Format.fprintf formatter
     "requests %d, immediate %d, waits %d, conversions %d, conflict tests %d, \
      releases %d, escalations %d, de-escalations %d, deadlocks %d, victim \
-     aborts %d"
+     aborts %d, timeout aborts %d"
     stats.requests stats.immediate_grants stats.waits stats.conversions
     stats.conflict_tests stats.releases stats.escalations stats.deescalations
-    stats.deadlocks stats.victim_aborts
+    stats.deadlocks stats.victim_aborts stats.timeout_aborts

@@ -16,6 +16,8 @@ type t = {
   mutable deadlocks : int;  (** waits-for cycles detected (set by clients) *)
   mutable victim_aborts : int;
       (** transactions sacrificed to break a cycle (set by clients) *)
+  mutable timeout_aborts : int;
+      (** transactions aborted by a lock-wait timeout (set by clients) *)
 }
 
 val create : unit -> t

@@ -10,6 +10,7 @@ type waiter = {
   w_mode : Lock_mode.t;  (* target mode (for conversions: the converted mode) *)
   w_duration : duration;
   w_conversion : bool;
+  w_deadline : int option;  (* wait abandoned past this tick (timeouts) *)
 }
 
 type entry = {
@@ -172,7 +173,7 @@ let enqueue entry waiter =
 let already_waiting entry txn =
   List.exists (fun waiter -> waiter.w_txn = txn) entry.waiting
 
-let request table ~txn ?(duration = Short) ~resource mode =
+let request table ~txn ?(duration = Short) ?deadline ~resource mode =
   table.stats.Lock_stats.requests <- table.stats.Lock_stats.requests + 1;
   emit table
     (Obs.Event.Lock_requested
@@ -226,7 +227,7 @@ let request table ~txn ?(duration = Short) ~resource mode =
       if not (already_waiting entry txn) then begin
         enqueue entry
           { w_txn = txn; w_mode = target; w_duration = duration;
-            w_conversion = conversion };
+            w_conversion = conversion; w_deadline = deadline };
         index_txn table txn resource
       end;
       let blockers =
@@ -460,6 +461,146 @@ let waits_for_edges table =
       per_waiter [] entry.waiting)
     table.entries;
   List.sort_uniq compare !edges
+
+let expired_waiters table ~now =
+  Hashtbl.fold
+    (fun resource entry accu ->
+      List.fold_left
+        (fun accu waiter ->
+          match waiter.w_deadline with
+          | Some deadline when now >= deadline ->
+            (waiter.w_txn, resource) :: accu
+          | Some _ | None -> accu)
+        accu entry.waiting)
+    table.entries []
+  |> List.sort compare
+
+let check_invariants table =
+  let violations = ref [] in
+  let flag format = Printf.ksprintf (fun text -> violations := text :: !violations) format in
+  let granted_total = ref 0 in
+  (* (txn, resource) pairs seen in any entry, for the reverse index check:
+     wide entries (every active transaction holds an intention lock on the
+     database root) would otherwise be rescanned once per indexed txn *)
+  let participants = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun resource entry ->
+      granted_total := !granted_total + List.length entry.granted;
+      (match entry.granted, entry.waiting with
+       | [], [] -> flag "%s: empty entry not dropped" resource
+       | _, _ -> ());
+      (* at most one granted triple and one queued request per transaction —
+         counted through a table so wide entries stay linear *)
+      let occurrences = Hashtbl.create 16 in
+      let bump counts key =
+        Hashtbl.replace counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      in
+      let holder_count = occurrences in
+      List.iter
+        (fun (holder, _mode, _duration) ->
+          Hashtbl.replace participants (holder, resource) ();
+          bump holder_count holder)
+        entry.granted;
+      Hashtbl.iter
+        (fun holder count ->
+          if count > 1 then flag "%s: T%d granted twice" resource holder)
+        holder_count;
+      let waiter_count = Hashtbl.create 8 in
+      List.iter
+        (fun waiter ->
+          Hashtbl.replace participants (waiter.w_txn, resource) ();
+          bump waiter_count waiter.w_txn)
+        entry.waiting;
+      Hashtbl.iter
+        (fun txn count ->
+          if count > 1 then flag "%s: T%d queued twice" resource txn)
+        waiter_count;
+      List.iter
+        (fun waiter ->
+          if Hashtbl.mem holder_count waiter.w_txn && not waiter.w_conversion
+          then flag "%s: T%d both holds and plain-waits" resource waiter.w_txn)
+        entry.waiting;
+      (* no two granted modes of distinct transactions may conflict: keep up
+         to two distinct holders per mode and test mode pairs — the
+         compatibility matrix is tiny, entries are not *)
+      let mode_holders = Hashtbl.create 8 in
+      List.iter
+        (fun (holder, mode, _duration) ->
+          match Hashtbl.find_opt mode_holders mode with
+          | None -> Hashtbl.replace mode_holders mode [ holder ]
+          | Some [ first ] when first <> holder ->
+            Hashtbl.replace mode_holders mode [ first; holder ]
+          | Some _ -> ())
+        entry.granted;
+      let distinct_pair mode other_mode =
+        let holders_of m =
+          Option.value ~default:[] (Hashtbl.find_opt mode_holders m)
+        in
+        List.find_map
+          (fun h1 ->
+            List.find_map
+              (fun h2 -> if h1 <> h2 then Some (h1, h2) else None)
+              (holders_of other_mode))
+          (holders_of mode)
+      in
+      List.iteri
+        (fun index1 mode1 ->
+          List.iteri
+            (fun index2 mode2 ->
+              if index1 <= index2 && not (Lock_mode.compatible mode1 mode2)
+              then
+                match distinct_pair mode1 mode2 with
+                | Some (h1, h2) ->
+                  flag "%s: conflicting grants T%d:%s and T%d:%s" resource h1
+                    (Lock_mode.to_string mode1) h2 (Lock_mode.to_string mode2)
+                | None -> ())
+            Lock_mode.all)
+        Lock_mode.all;
+      (* the queue head must have a live blocker — a grantable head means a
+         lost wakeup (drain would have served it) *)
+      (match entry.waiting with
+       | [] -> ()
+       | head :: _ ->
+         let blocked =
+           List.exists
+             (fun (holder, mode, _duration) ->
+               holder <> head.w_txn
+               && not (Lock_mode.compatible head.w_mode mode))
+             entry.granted
+         in
+         if not blocked then
+           flag "%s: head waiter T%d has no live blocker" resource head.w_txn);
+      (* every participant must be indexed under by_txn *)
+      let indexed txn =
+        match Hashtbl.find_opt table.by_txn txn with
+        | None -> false
+        | Some seen -> String_set.mem resource seen
+      in
+      List.iter
+        (fun (holder, _mode, _duration) ->
+          if not (indexed holder) then
+            flag "%s: holder T%d missing from index" resource holder)
+        entry.granted;
+      List.iter
+        (fun waiter ->
+          if not (indexed waiter.w_txn) then
+            flag "%s: waiter T%d missing from index" resource waiter.w_txn)
+        entry.waiting)
+    table.entries;
+  if !granted_total <> table.entry_count then
+    flag "entry count %d disagrees with %d granted entries" table.entry_count
+      !granted_total;
+  (* the index may not point at resources the transaction left *)
+  Hashtbl.iter
+    (fun txn seen ->
+      String_set.iter
+        (fun resource ->
+          if not (Hashtbl.mem participants (txn, resource)) then
+            flag "index: T%d still maps to %s" txn resource)
+        seen)
+    table.by_txn;
+  List.sort String.compare !violations
 
 let pp formatter table =
   Format.fprintf formatter "@[<v>";

@@ -36,12 +36,17 @@ val obs : t -> Obs.Sink.t option
     manager) can inherit it. *)
 
 val request :
-  t -> txn:txn_id -> ?duration:duration -> resource:string -> Lock_mode.t ->
-  outcome
+  t -> txn:txn_id -> ?duration:duration -> ?deadline:int -> resource:string ->
+  Lock_mode.t -> outcome
 (** Requests (or converts to) the supremum of the given mode and the mode
     already held. FIFO fairness: a fresh request waits while the queue is
     non-empty; conversions jump the queue (standard upgrade handling). A
-    request for a mode already covered is a no-op grant. *)
+    request for a mode already covered is a no-op grant.
+
+    [?deadline] stamps the queued request with an absolute tick after which
+    the wait should be abandoned; the table only records it (see
+    {!expired_waiters}) — enforcing the timeout is the caller's job (the
+    transaction manager or the simulator own time). *)
 
 val try_request :
   t -> txn:txn_id -> ?duration:duration -> resource:string -> Lock_mode.t ->
@@ -93,5 +98,17 @@ val waits_for_edges : t -> (txn_id * txn_id) list
 (** Edges [waiter -> blocker] for deadlock detection: each queued request
     waits for the incompatible holders and for incompatible earlier
     waiters. *)
+
+val expired_waiters : t -> now:int -> (txn_id * string) list
+(** Queued requests whose {!request} deadline has passed ([now >= deadline]),
+    sorted; transactions listed here are candidates for a timeout abort. *)
+
+val check_invariants : t -> string list
+(** Structural soundness audit, for chaos tests and debugging: no two
+    conflicting granted modes on one resource, no duplicate grants or queue
+    entries, every queue head has a live blocker (no lost wakeups), the
+    entry count matches the granted entries, and the per-transaction index
+    agrees with the entries in both directions. Returns human-readable
+    violations (empty means sound). Does not touch {!stats}. *)
 
 val pp : Format.formatter -> t -> unit

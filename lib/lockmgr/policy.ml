@@ -1,0 +1,148 @@
+type resolution = Detection | Timeout of int | Hybrid of int
+type victim = Youngest | Oldest | Fewest_locks | Least_work
+type backoff = Fixed of int | Exponential of { base : int; cap : int; seed : int }
+
+let default_timeout = 400
+
+let timeout_of = function
+  | Detection -> None
+  | Timeout delay | Hybrid delay -> Some delay
+
+let detects = function Detection | Hybrid _ -> true | Timeout _ -> false
+
+type candidate = {
+  txn : Lock_table.txn_id;
+  birth : int;
+  locks_held : int;
+  work_done : int;
+}
+
+let choose_victim policy = function
+  | [] -> invalid_arg "Policy.choose_victim: no candidates"
+  | first :: rest ->
+    (* Smallest score dies; ties go to the largest transaction id, so every
+       policy stays deterministic. *)
+    let score candidate =
+      let metric =
+        match policy with
+        | Youngest -> -candidate.birth
+        | Oldest -> candidate.birth
+        | Fewest_locks -> candidate.locks_held
+        | Least_work -> candidate.work_done
+      in
+      (metric, -candidate.txn)
+    in
+    let best =
+      List.fold_left
+        (fun victim candidate ->
+          if compare (score candidate) (score victim) < 0 then candidate
+          else victim)
+        first rest
+    in
+    best.txn
+
+(* A small deterministic integer mixer (xxhash-style avalanche): jitter must
+   be reproducible across runs, so no global [Random] state is involved. *)
+let mix a b c =
+  let h = (a * 2654435761) + (b * 2246822519) + (c * 3266489917) + 374761393 in
+  let h = h lxor (h lsr 16) in
+  let h = h * 2654435761 in
+  let h = h lxor (h lsr 13) in
+  let h = h * 1274126177 in
+  abs (h lxor (h lsr 16))
+
+let delay policy ~restarts ~txn =
+  match policy with
+  | Fixed interval -> interval
+  | Exponential { base; cap; seed } ->
+    let doublings = min restarts 16 in
+    let raw = min cap (base * (1 lsl doublings)) in
+    (* full-jitter in [raw/2, raw]: spreads restarts without losing the
+       exponential envelope *)
+    let half = max 1 (raw / 2) in
+    half + (mix seed txn restarts mod (raw - half + 1))
+
+(* ------------------------------------------------------------- rendering *)
+
+let resolution_to_string = function
+  | Detection -> "detection"
+  | Timeout delay -> Printf.sprintf "timeout:%d" delay
+  | Hybrid delay -> Printf.sprintf "hybrid:%d" delay
+
+let resolution_of_string text =
+  match String.split_on_char ':' (String.lowercase_ascii text) with
+  | [ "detection" ] -> Ok Detection
+  | [ "timeout" ] -> Ok (Timeout default_timeout)
+  | [ "timeout"; delay ] -> (
+    match int_of_string_opt delay with
+    | Some delay when delay > 0 -> Ok (Timeout delay)
+    | Some _ | None -> Error (Printf.sprintf "invalid timeout delay %S" delay))
+  | [ "hybrid" ] -> Ok (Hybrid default_timeout)
+  | [ "hybrid"; delay ] -> (
+    match int_of_string_opt delay with
+    | Some delay when delay > 0 -> Ok (Hybrid delay)
+    | Some _ | None -> Error (Printf.sprintf "invalid hybrid delay %S" delay))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown resolution %S (expected detection, timeout[:N] or \
+          hybrid[:N])"
+         text)
+
+let victim_to_string = function
+  | Youngest -> "youngest"
+  | Oldest -> "oldest"
+  | Fewest_locks -> "fewest-locks"
+  | Least_work -> "least-work"
+
+let victim_of_string text =
+  match String.lowercase_ascii text with
+  | "youngest" -> Ok Youngest
+  | "oldest" -> Ok Oldest
+  | "fewest-locks" | "fewest_locks" -> Ok Fewest_locks
+  | "least-work" | "least_work" -> Ok Least_work
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown victim policy %S (expected youngest, oldest, fewest-locks \
+          or least-work)"
+         text)
+
+let backoff_to_string = function
+  | Fixed interval -> Printf.sprintf "fixed:%d" interval
+  | Exponential { base; cap; seed } -> Printf.sprintf "exp:%d:%d:%d" base cap seed
+
+let backoff_of_string text =
+  let positive name value =
+    match int_of_string_opt value with
+    | Some number when number > 0 -> Ok number
+    | Some _ | None -> Error (Printf.sprintf "invalid %s %S" name value)
+  in
+  match String.split_on_char ':' (String.lowercase_ascii text) with
+  | [ "fixed"; interval ] -> (
+    match positive "backoff interval" interval with
+    | Ok interval -> Ok (Fixed interval)
+    | Error _ as error -> error)
+  | "exp" :: base :: cap :: rest -> (
+    match positive "backoff base" base, positive "backoff cap" cap, rest with
+    | Ok base, Ok cap, [] -> Ok (Exponential { base; cap; seed = 0 })
+    | Ok base, Ok cap, [ seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed -> Ok (Exponential { base; cap; seed })
+      | None -> Error (Printf.sprintf "invalid backoff seed %S" seed))
+    | (Error _ as error), _, _ | _, (Error _ as error), _ -> error
+    | Ok _, Ok _, _ :: _ :: _ ->
+      Error (Printf.sprintf "unknown backoff %S" text))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown backoff %S (expected fixed:N or exp:BASE:CAP[:SEED])" text)
+
+let pp_resolution formatter resolution =
+  Format.pp_print_string formatter (resolution_to_string resolution)
+
+let pp_victim formatter victim =
+  Format.pp_print_string formatter (victim_to_string victim)
+
+let pp_backoff formatter backoff =
+  Format.pp_print_string formatter (backoff_to_string backoff)

@@ -63,7 +63,7 @@ let handle collector event =
        (victim restarts keep the original mark — they re-begin with the
        same id and [Txn_begin] keeps the first timestamp) *)
     Hashtbl.remove collector.begins txn
-  | Event.Victim_aborted { txn; _ } ->
+  | Event.Victim_aborted { txn; _ } | Event.Timeout_abort { txn; _ } ->
     (* its queued waits died with it *)
     Hashtbl.iter
       (fun (waiter, resource) _start ->

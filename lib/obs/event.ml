@@ -32,6 +32,7 @@ type kind =
   | Deescalation of { txn : int; node : string; mode : string }
   | Deadlock_detected of { cycle : int list }
   | Victim_aborted of { txn : int; restarts : int }
+  | Timeout_abort of { txn : int; resource : string; waited : int }
   | Txn_begin of { txn : int }
   | Txn_commit of { txn : int }
   | Txn_abort of { txn : int; reason : string }
@@ -55,6 +56,7 @@ let name = function
   | Deescalation _ -> "deescalation"
   | Deadlock_detected _ -> "deadlock_detected"
   | Victim_aborted _ -> "victim_aborted"
+  | Timeout_abort _ -> "timeout_abort"
   | Txn_begin _ -> "txn_begin"
   | Txn_commit _ -> "txn_commit"
   | Txn_abort _ -> "txn_abort"
@@ -65,8 +67,9 @@ let txn = function
   | Lock_requested { txn; _ } | Lock_granted { txn; _ }
   | Lock_waited { txn; _ } | Lock_released { txn; _ }
   | Conversion { txn; _ } | Escalation { txn; _ } | Deescalation { txn; _ }
-  | Victim_aborted { txn; _ } | Txn_begin { txn } | Txn_commit { txn }
-  | Txn_abort { txn; _ } | Query_executed { txn; _ } | Sim_step { txn; _ } ->
+  | Victim_aborted { txn; _ } | Timeout_abort { txn; _ } | Txn_begin { txn }
+  | Txn_commit { txn } | Txn_abort { txn; _ } | Query_executed { txn; _ }
+  | Sim_step { txn; _ } ->
     Some txn
   | Deadlock_detected _ -> None
 
@@ -97,6 +100,9 @@ let kind_fields = function
     [ ("cycle", Json.List (List.map (fun t -> Json.Int t) cycle)) ]
   | Victim_aborted { txn; restarts } ->
     [ ("txn", Json.Int txn); ("restarts", Json.Int restarts) ]
+  | Timeout_abort { txn; resource; waited } ->
+    [ ("txn", Json.Int txn); ("resource", Json.String resource);
+      ("waited", Json.Int waited) ]
   | Txn_begin { txn } | Txn_commit { txn } -> [ ("txn", Json.Int txn) ]
   | Txn_abort { txn; reason } ->
     [ ("txn", Json.Int txn); ("reason", Json.String reason) ]

@@ -37,6 +37,8 @@ type kind =
   | Deescalation of { txn : int; node : string; mode : string }
   | Deadlock_detected of { cycle : int list }
   | Victim_aborted of { txn : int; restarts : int }
+  | Timeout_abort of { txn : int; resource : string; waited : int }
+      (** a lock wait exceeded its deadline and the waiter was aborted *)
   | Txn_begin of { txn : int }
   | Txn_commit of { txn : int }
   | Txn_abort of { txn : int; reason : string }

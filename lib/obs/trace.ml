@@ -98,6 +98,20 @@ let group_events ~pid ~scale events =
           (instant ~pid ~tid:txn ~name:"victim aborted" ~cat:"deadlock"
              ~ts:(time *. scale)
              [ ("restarts", Json.Int restarts) ])
+      | Event.Timeout_abort { txn; resource; waited } ->
+        Hashtbl.iter
+          (fun (waiter, res) (start, mode, blockers) ->
+            if waiter = txn then begin
+              Hashtbl.remove waits (waiter, res);
+              wait_span ~txn ~resource:res ~start ~finish:time ~mode ~blockers
+                ~finished:false
+            end)
+          (Hashtbl.copy waits);
+        push
+          (instant ~pid ~tid:txn ~name:"timeout abort" ~cat:"deadlock"
+             ~ts:(time *. scale)
+             [ ("resource", Json.String resource);
+               ("waited", Json.Int waited) ])
       | Event.Deadlock_detected { cycle } ->
         let tid = match cycle with txn :: _ -> txn | [] -> 0 in
         push

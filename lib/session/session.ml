@@ -9,13 +9,13 @@ type t = {
   undo : Query.Undo.t;
 }
 
-let create ?rule ?threshold ?obs db =
+let create ?rule ?threshold ?obs ?txn_config db =
   let graph = Colock.Instance_graph.build db in
   let table = Lockmgr.Lock_table.create ?obs () in
   let rights = Authz.Rights.create () in
   let protocol = Colock.Protocol.create ?rule ~rights graph table in
   let executor = Query.Executor.create ?threshold db protocol in
-  let manager = Txn.Txn_manager.create protocol in
+  let manager = Txn.Txn_manager.create ?config:txn_config protocol in
   let undo = Query.Undo.create () in
   Query.Undo.attach undo executor;
   { db; graph; table; rights; protocol; executor; manager; undo }

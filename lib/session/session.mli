@@ -17,10 +17,12 @@ type t
 
 val create :
   ?rule:Colock.Protocol.rule -> ?threshold:int -> ?obs:Obs.Sink.t ->
-  Nf2.Database.t -> t
+  ?txn_config:Txn.Txn_manager.config -> Nf2.Database.t -> t
 (** Builds the instance graph eagerly. Default rule 4′, threshold 16.
     [?obs] attaches an observability sink to the internally-created lock
-    table; the protocol, executor and transaction manager inherit it. *)
+    table; the protocol, executor and transaction manager inherit it.
+    [?txn_config] selects the transaction manager's collision resolution
+    (detection / timeout / hybrid) and victim policy. *)
 
 val database : t -> Nf2.Database.t
 val executor : t -> Query.Executor.t

@@ -1,7 +1,9 @@
 type t = {
   committed : int;
   deadlock_aborts : int;
+  timeout_aborts : int;
   gave_up : int;
+  crashed : int;
   makespan : int;
   total_response : int;
   total_wait : int;
@@ -16,23 +18,26 @@ let throughput metrics =
   else 1000.0 *. float_of_int metrics.committed /. float_of_int metrics.makespan
 
 let avg_response metrics =
-  let finished = metrics.committed + metrics.gave_up in
+  let finished = metrics.committed + metrics.gave_up + metrics.crashed in
   if finished = 0 then 0.0
   else float_of_int metrics.total_response /. float_of_int finished
 
 let pp formatter metrics =
   Format.fprintf formatter
-    "committed %d, deadlock aborts %d, gave up %d, makespan %d, avg response \
-     %.1f, wait %d, lock requests %d, conflict tests %d, peak entries %d, \
-     escalations %d"
-    metrics.committed metrics.deadlock_aborts metrics.gave_up metrics.makespan
-    (avg_response metrics) metrics.total_wait metrics.lock_requests
-    metrics.conflict_tests metrics.peak_lock_entries metrics.escalations
+    "committed %d, deadlock aborts %d, timeout aborts %d, gave up %d, crashed \
+     %d, makespan %d, avg response %.1f, wait %d, lock requests %d, conflict \
+     tests %d, peak entries %d, escalations %d"
+    metrics.committed metrics.deadlock_aborts metrics.timeout_aborts
+    metrics.gave_up metrics.crashed metrics.makespan (avg_response metrics)
+    metrics.total_wait metrics.lock_requests metrics.conflict_tests
+    metrics.peak_lock_entries metrics.escalations
 
 let row metrics =
   [ ("committed", float_of_int metrics.committed);
     ("deadlock_aborts", float_of_int metrics.deadlock_aborts);
+    ("timeout_aborts", float_of_int metrics.timeout_aborts);
     ("gave_up", float_of_int metrics.gave_up);
+    ("crashed", float_of_int metrics.crashed);
     ("makespan", float_of_int metrics.makespan);
     ("throughput", throughput metrics);
     ("avg_response", avg_response metrics);

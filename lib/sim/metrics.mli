@@ -3,10 +3,13 @@
 type t = {
   committed : int;
   deadlock_aborts : int;  (** victim aborts (the work restarts) *)
+  timeout_aborts : int;  (** lock-wait timeout aborts (the work restarts) *)
   gave_up : int;  (** jobs that exhausted their restart budget *)
+  crashed : int;  (** jobs killed by fault injection (crash or hog release) *)
   makespan : int;  (** completion time of the last commit *)
   total_response : int;
-      (** sum over finished (committed or gave-up) jobs of finish - arrival *)
+      (** sum over finished (committed, gave-up or crashed) jobs of
+          finish - arrival *)
   total_wait : int;  (** total time spent blocked *)
   lock_requests : int;
   conflict_tests : int;
@@ -18,8 +21,8 @@ val throughput : t -> float
 (** committed jobs per 1000 time units. *)
 
 val avg_response : t -> float
-(** [total_response] per finished job — committed and gave-up jobs both
-    count, so abandoned work cannot flatter the mean. *)
+(** [total_response] per finished job — committed, gave-up and crashed jobs
+    all count, so abandoned work cannot flatter the mean. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,4 +1,5 @@
 module Table = Lockmgr.Lock_table
+module Policy = Lockmgr.Policy
 module Technique = Baselines.Technique
 
 type step = {
@@ -8,26 +9,53 @@ type step = {
 
 type job = { arrival : int; steps : step list }
 
-type config = { deadlock_backoff : int; max_restarts : int }
+type config = {
+  max_restarts : int;
+  resolution : Policy.resolution;
+  victim : Policy.victim;
+  backoff : Policy.backoff;
+  hog_hold : int;
+  check_invariants : bool;
+}
 
-let default_config = { deadlock_backoff = 50; max_restarts = 20 }
+let default_config =
+  { max_restarts = 20; resolution = Policy.Detection;
+    victim = Policy.Youngest; backoff = Policy.Fixed 50; hog_hold = 4000;
+    check_invariants = false }
 
-type status = Idle | Locking | Waiting | Accessing | Committed | Gave_up
+type status =
+  | Idle
+  | Locking
+  | Waiting
+  | Accessing
+  | Committed
+  | Gave_up
+  | Crashed
 
 type job_state = {
   txn : Table.txn_id;
   job : job;
+  fate : Fault.fate;
   mutable step_index : int;
   mutable pending : Technique.request list;
   mutable waiting_on : string option;
   mutable blocked_since : int;
+  mutable wait_epoch : int;  (* distinguishes successive waits of one txn *)
   mutable total_wait : int;
   mutable restarts : int;
   mutable status : status;
   mutable commit_time : int;
 }
 
-type event = Begin of job_state | Resume of job_state | Finish of job_state | Restart of job_state
+type event =
+  | Begin of job_state
+  | Resume of job_state
+  | Finish of job_state
+  | Restart of job_state
+  | Timeout_check of job_state * int  (* wait epoch the check was armed for *)
+  | Hog_release of job_state
+
+type abort_reason = Deadlock | Timeout
 
 type sim = {
   table : Table.t;
@@ -35,6 +63,8 @@ type sim = {
   config : config;
   states : job_state array;
   mutable deadlock_aborts : int;
+  mutable timeout_aborts : int;
+  mutable crashed : int;
   obs : Obs.Sink.t option;
   mutable now : int;  (* virtual time of the event being handled *)
 }
@@ -57,22 +87,45 @@ let rec process_grants sim time grants =
         state.waiting_on <- None;
         state.total_wait <- state.total_wait + (time - state.blocked_since);
         Event_queue.schedule sim.queue ~time (Resume state)
-      | (Idle | Locking | Waiting | Accessing | Committed | Gave_up), _ -> ())
+      | ( (Idle | Locking | Waiting | Accessing | Committed | Gave_up | Crashed),
+          _ ) ->
+        ())
     grants
 
-and abort_and_restart sim time state =
+and abort_and_restart sim time ~reason state =
+  (* A job victimized while blocked has been waiting since [blocked_since];
+     that time is real delay and must survive the abort (the restart resets
+     everything else). *)
+  let blocked_wait =
+    match state.status, state.waiting_on with
+    | Waiting, Some _ -> time - state.blocked_since
+    | _, _ -> 0
+  in
+  let waited_on =
+    match state.waiting_on with Some resource -> resource | None -> ""
+  in
   let cancel_grants = Table.cancel_wait sim.table ~txn:state.txn in
   let release_grants = Table.release_all sim.table ~txn:state.txn in
+  state.total_wait <- state.total_wait + blocked_wait;
   state.waiting_on <- None;
   state.pending <- [];
   state.step_index <- 0;
   state.restarts <- state.restarts + 1;
-  sim.deadlock_aborts <- sim.deadlock_aborts + 1;
   let stats = Table.stats sim.table in
-  stats.Lockmgr.Lock_stats.victim_aborts <-
-    stats.Lockmgr.Lock_stats.victim_aborts + 1;
-  emit sim
-    (Obs.Event.Victim_aborted { txn = state.txn; restarts = state.restarts });
+  (match reason with
+   | Deadlock ->
+     sim.deadlock_aborts <- sim.deadlock_aborts + 1;
+     stats.Lockmgr.Lock_stats.victim_aborts <-
+       stats.Lockmgr.Lock_stats.victim_aborts + 1;
+     emit sim
+       (Obs.Event.Victim_aborted { txn = state.txn; restarts = state.restarts })
+   | Timeout ->
+     sim.timeout_aborts <- sim.timeout_aborts + 1;
+     stats.Lockmgr.Lock_stats.timeout_aborts <-
+       stats.Lockmgr.Lock_stats.timeout_aborts + 1;
+     emit sim
+       (Obs.Event.Timeout_abort
+          { txn = state.txn; resource = waited_on; waited = blocked_wait }));
   if state.restarts > sim.config.max_restarts then begin
     state.status <- Gave_up;
     (* record when the job abandoned, so response time accounts for it *)
@@ -81,10 +134,29 @@ and abort_and_restart sim time state =
   end
   else begin
     state.status <- Idle;
-    Event_queue.schedule sim.queue
-      ~time:(time + sim.config.deadlock_backoff)
-      (Restart state)
+    let delay =
+      Policy.delay sim.config.backoff ~restarts:state.restarts ~txn:state.txn
+    in
+    Event_queue.schedule sim.queue ~time:(time + delay) (Restart state)
   end;
+  process_grants sim time (cancel_grants @ release_grants)
+
+(* A faulted job dies for good: everything is released, nothing restarts. *)
+and crash sim time ~reason state =
+  let blocked_wait =
+    match state.status, state.waiting_on with
+    | Waiting, Some _ -> time - state.blocked_since
+    | _, _ -> 0
+  in
+  let cancel_grants = Table.cancel_wait sim.table ~txn:state.txn in
+  let release_grants = Table.release_all sim.table ~txn:state.txn in
+  state.total_wait <- state.total_wait + blocked_wait;
+  state.waiting_on <- None;
+  state.pending <- [];
+  state.status <- Crashed;
+  state.commit_time <- time;
+  sim.crashed <- sim.crashed + 1;
+  emit sim (Obs.Event.Txn_abort { txn = state.txn; reason });
   process_grants sim time (cancel_grants @ release_grants)
 
 (* Returns [true] when [requester] itself was sacrificed. *)
@@ -96,11 +168,30 @@ and resolve_deadlocks sim time requester =
     stats.Lockmgr.Lock_stats.deadlocks <-
       stats.Lockmgr.Lock_stats.deadlocks + 1;
     emit sim (Obs.Event.Deadlock_detected { cycle });
-    (* youngest (largest id) dies *)
-    let victim_txn = Lockmgr.Deadlock.choose_victim cycle in
+    let candidates =
+      List.map
+        (fun txn ->
+          let state = state_of sim txn in
+          { Policy.txn; birth = state.job.arrival;
+            locks_held = List.length (Table.locks_of sim.table ~txn);
+            work_done = state.step_index })
+        cycle
+    in
+    let victim_txn = Policy.choose_victim sim.config.victim candidates in
     let victim = state_of sim victim_txn in
-    abort_and_restart sim time victim;
+    abort_and_restart sim time ~reason:Deadlock victim;
     if victim_txn = requester then true else resolve_deadlocks sim time requester
+
+let begin_wait sim time state resource =
+  state.status <- Waiting;
+  state.waiting_on <- Some resource;
+  state.blocked_since <- time;
+  state.wait_epoch <- state.wait_epoch + 1;
+  match Policy.timeout_of sim.config.resolution with
+  | None -> ()
+  | Some timeout ->
+    Event_queue.schedule sim.queue ~time:(time + timeout)
+      (Timeout_check (state, state.wait_epoch))
 
 let rec continue_locking sim time state =
   match state.pending with
@@ -112,27 +203,48 @@ let rec continue_locking sim time state =
       state.commit_time <- time;
       emit sim (Obs.Event.Txn_commit { txn = state.txn });
       process_grants sim time (Table.release_all sim.table ~txn:state.txn)
-    | Some step ->
-      state.status <- Accessing;
-      Event_queue.schedule sim.queue ~time:(time + step.access_cost)
-        (Finish state)
+    | Some step -> (
+      match state.fate with
+      | Fault.Crash_at crash_step when crash_step = state.step_index ->
+        (* dies with this step's locks held — the worst moment *)
+        crash sim time ~reason:"crash" state
+      | Fault.Hog when state.step_index = 0 ->
+        (* sits on its first step's locks without committing until the
+           runner's hold limit forces a crash-release *)
+        state.status <- Accessing;
+        Event_queue.schedule sim.queue ~time:(time + sim.config.hog_hold)
+          (Hog_release state)
+      | Fault.Stall factor ->
+        state.status <- Accessing;
+        Event_queue.schedule sim.queue
+          ~time:(time + (step.access_cost * factor))
+          (Finish state)
+      | Fault.Normal | Fault.Crash_at _ | Fault.Hog ->
+        state.status <- Accessing;
+        Event_queue.schedule sim.queue ~time:(time + step.access_cost)
+          (Finish state))
   end
   | request :: rest -> (
     let resource = Technique.(Colock.Node_id.to_resource request.node) in
+    let deadline =
+      match Policy.timeout_of sim.config.resolution with
+      | None -> None
+      | Some timeout -> Some (time + timeout)
+    in
     match
-      Table.request sim.table ~txn:state.txn ~resource
+      Table.request sim.table ~txn:state.txn ?deadline ~resource
         request.Technique.mode
     with
     | Table.Granted ->
       state.pending <- rest;
       continue_locking sim time state
     | Table.Waiting _blockers ->
-      state.status <- Waiting;
-      state.waiting_on <- Some resource;
+      begin_wait sim time state resource;
       state.pending <- rest;
-      state.blocked_since <- time;
-      let self_aborted = resolve_deadlocks sim time state.txn in
-      if not self_aborted then ()  (* stays queued; a grant will resume it *))
+      if Policy.detects sim.config.resolution then begin
+        let self_aborted = resolve_deadlocks sim time state.txn in
+        if not self_aborted then ()  (* stays queued; a grant will resume it *)
+      end)
 
 let start_step sim time state =
   match List.nth_opt state.job.steps state.step_index with
@@ -149,38 +261,84 @@ let handle sim time = function
     | Idle ->
       emit sim (Obs.Event.Txn_begin { txn = state.txn });
       start_step sim time state
-    | Locking | Waiting | Accessing | Committed | Gave_up -> ())
+    | Locking | Waiting | Accessing | Committed | Gave_up | Crashed -> ())
   | Restart state -> (
     match state.status with
     | Idle -> start_step sim time state
-    | Locking | Waiting | Accessing | Committed | Gave_up -> ())
+    | Locking | Waiting | Accessing | Committed | Gave_up | Crashed -> ())
   | Resume state -> (
     match state.status with
     | Locking -> continue_locking sim time state
-    | Idle | Waiting | Accessing | Committed | Gave_up -> ())
+    | Idle | Waiting | Accessing | Committed | Gave_up | Crashed -> ())
   | Finish state -> (
     match state.status with
     | Accessing ->
       state.step_index <- state.step_index + 1;
       state.pending <- [];
       start_step sim time state
-    | Idle | Locking | Waiting | Committed | Gave_up -> ())
+    | Idle | Locking | Waiting | Committed | Gave_up | Crashed -> ())
+  | Timeout_check (state, epoch) -> (
+    (* the check is only live if the job is still in the very wait it was
+       armed for — a grant, abort or restart bumps the epoch or status *)
+    match state.status with
+    | Waiting when state.wait_epoch = epoch ->
+      abort_and_restart sim time ~reason:Timeout state
+    | Idle | Locking | Waiting | Accessing | Committed | Gave_up | Crashed ->
+      ())
+  | Hog_release state -> (
+    match state.status with
+    | Accessing -> crash sim time ~reason:"hog" state
+    | Idle | Locking | Waiting | Committed | Gave_up | Crashed -> ())
 
-let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ?obs ~table
-    jobs =
+(* Chaos-run oracle: after every event the table must be structurally sound,
+   every blocked job must really be queued, and — when detection runs — the
+   waits-for graph must be acyclic (cycles legitimately persist until their
+   deadline under pure timeouts). *)
+let audit sim time =
+  (match Table.check_invariants sim.table with
+   | [] -> ()
+   | violations ->
+     failwith
+       (Printf.sprintf "lock table invariants violated at t=%d: %s" time
+          (String.concat "; " violations)));
+  if Policy.detects sim.config.resolution then begin
+    match
+      Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges sim.table)
+    with
+    | None -> ()
+    | Some cycle ->
+      failwith
+        (Printf.sprintf "unresolved deadlock at t=%d: [%s]" time
+           (String.concat " " (List.map string_of_int cycle)))
+  end;
+  Array.iter
+    (fun state ->
+      match state.status with
+      | Waiting ->
+        if Table.waiting_of sim.table ~txn:state.txn = [] then
+          failwith
+            (Printf.sprintf "T%d marked waiting but queued nowhere at t=%d"
+               state.txn time)
+      | Idle | Locking | Accessing | Committed | Gave_up | Crashed -> ())
+    sim.states
+
+let run ?(config = default_config) ?(faults = Fault.none)
+    ?(on_begin = fun _txn -> ()) ?obs ~table jobs =
   let obs = match obs with Some _ -> obs | None -> Table.obs table in
   let states =
     Array.of_list
       (List.mapi
          (fun index job ->
-           { txn = index + 1; job; step_index = 0; pending = [];
-             waiting_on = None; blocked_since = 0; total_wait = 0;
-             restarts = 0; status = Idle; commit_time = 0 })
+           let txn = index + 1 in
+           { txn; job; fate = Fault.fate faults ~txn ~steps:(List.length job.steps);
+             step_index = 0; pending = []; waiting_on = None; blocked_since = 0;
+             wait_epoch = 0; total_wait = 0; restarts = 0; status = Idle;
+             commit_time = 0 })
          jobs)
   in
   let sim =
     { table; queue = Event_queue.create (); config; states;
-      deadlock_aborts = 0; obs; now = 0 }
+      deadlock_aborts = 0; timeout_aborts = 0; crashed = 0; obs; now = 0 }
   in
   (* Events emitted during a run — including the lock table's own — carry
      virtual simulation time, not the sink's wall-clock default. *)
@@ -200,10 +358,11 @@ let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ?obs ~table
       last_time := max !last_time time;
       sim.now <- time;
       handle sim time event;
+      if config.check_invariants then audit sim time;
       drain ()
   in
   drain ();
-  let committed = ref 0 and gave_up = ref 0 in
+  let committed = ref 0 and gave_up = ref 0 and crashed = ref 0 in
   let total_response = ref 0 and total_wait = ref 0 in
   let makespan = ref 0 in
   Array.iter
@@ -219,13 +378,19 @@ let run ?(config = default_config) ?(on_begin = fun _txn -> ()) ?obs ~table
             jobs count toward response time instead of skewing the mean *)
          total_response :=
            !total_response + (state.commit_time - state.job.arrival)
+       | Crashed ->
+         incr crashed;
+         total_response :=
+           !total_response + (state.commit_time - state.job.arrival)
        | Idle | Locking | Waiting | Accessing -> ());
       total_wait := !total_wait + state.total_wait)
     states;
   let stats = Table.stats table in
   { Metrics.committed = !committed;
     deadlock_aborts = sim.deadlock_aborts;
+    timeout_aborts = sim.timeout_aborts;
     gave_up = !gave_up;
+    crashed = !crashed;
     makespan = !makespan;
     total_response = !total_response;
     total_wait = !total_wait;

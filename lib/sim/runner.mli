@@ -3,10 +3,12 @@
     Jobs are transactions described as sequences of steps; a step acquires a
     lock plan and then holds the locks while "accessing data" for a fixed
     simulated duration. Strict 2PL: everything is released at commit.
-    Blocked jobs sit in the lock table's queues; releases wake them. Waits-
-    for cycles abort a victim, which restarts after a back-off with the same
-    transaction id (so authorization assignments are stable). The run is
-    fully deterministic.
+    Blocked jobs sit in the lock table's queues; releases wake them. How
+    collisions resolve is policy ({!Lockmgr.Policy}): waits-for detection,
+    lock-wait timeouts, or both, with pluggable victim selection and restart
+    backoff. Victims restart with the same transaction id (so authorization
+    assignments are stable). The run is fully deterministic, including
+    jittered backoff and injected faults ({!Fault}).
 
     Plans are transaction-id-indexed functions, so the same scenario runs
     unchanged under the proposed protocol (whose plans depend on the
@@ -23,22 +25,37 @@ type job = {
 }
 
 type config = {
-  deadlock_backoff : int;  (** delay before a victim restarts *)
   max_restarts : int;  (** per job; exhausted jobs count as [gave_up] *)
+  resolution : Lockmgr.Policy.resolution;
+      (** how blocked-forever situations are resolved *)
+  victim : Lockmgr.Policy.victim;  (** who dies when a cycle is found *)
+  backoff : Lockmgr.Policy.backoff;  (** restart delay for victims *)
+  hog_hold : int;
+      (** ticks a {!Fault.Hog} job sits on its locks before it is forced to
+          crash-release them (bounds chaos runs even without detection) *)
+  check_invariants : bool;
+      (** audit the lock table and job states after {e every} event; any
+          violation raises [Failure] (chaos-test oracle — expensive) *)
 }
 
 val default_config : config
-(** backoff 50, max 20 restarts. *)
+(** Detection, youngest victim, fixed backoff 50, max 20 restarts, hog hold
+    4000, no invariant checking. *)
 
 val run :
-  ?config:config -> ?on_begin:(Lockmgr.Lock_table.txn_id -> unit) ->
+  ?config:config -> ?faults:Fault.spec ->
+  ?on_begin:(Lockmgr.Lock_table.txn_id -> unit) ->
   ?obs:Obs.Sink.t -> table:Lockmgr.Lock_table.t -> job list -> Metrics.t
 (** [on_begin] fires once per job with its transaction id before its first
     step (e.g. to install authorization rights). Job [i] (0-based) gets
     transaction id [i + 1].
 
+    [?faults] (default {!Fault.none}) assigns each job a seeded fate:
+    crashed jobs die holding their locks, stalled jobs access slowly, hog
+    jobs camp on their first step's locks until [hog_hold] expires.
+
     [?obs] (default: the table's own sink) receives simulation lifecycle
-    events (txn begin/commit, steps, deadlocks, victim aborts, give-ups).
-    The sink's clock is re-pointed at virtual simulation time for the
-    duration of the run, so lock events emitted by the table line up with
-    the simulator's integer ticks. *)
+    events (txn begin/commit, steps, deadlocks, victim and timeout aborts,
+    give-ups). The sink's clock is re-pointed at virtual simulation time
+    for the duration of the run, so lock events emitted by the table line
+    up with the simulator's integer ticks. *)

@@ -1,5 +1,5 @@
 type kind = Short | Long
-type abort_reason = Deadlock_victim | User_abort
+type abort_reason = Deadlock_victim | Timeout_victim | User_abort
 
 type status =
   | Active
@@ -33,6 +33,8 @@ let pp_status formatter = function
   | Committed -> Format.pp_print_string formatter "committed"
   | Aborted Deadlock_victim ->
     Format.pp_print_string formatter "aborted (deadlock victim)"
+  | Aborted Timeout_victim ->
+    Format.pp_print_string formatter "aborted (lock-wait timeout)"
   | Aborted User_abort -> Format.pp_print_string formatter "aborted (user)"
 
 let pp formatter txn =

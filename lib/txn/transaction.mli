@@ -5,7 +5,10 @@ type kind =
   | Short  (** conventional transaction in the central database *)
   | Long  (** workstation check-out transaction: locks survive shutdowns *)
 
-type abort_reason = Deadlock_victim | User_abort
+type abort_reason =
+  | Deadlock_victim
+  | Timeout_victim  (** a lock wait exceeded the manager's timeout *)
+  | User_abort
 
 type status =
   | Active

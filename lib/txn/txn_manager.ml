@@ -1,25 +1,36 @@
 module Table = Lockmgr.Lock_table
+module Policy = Lockmgr.Policy
 module Protocol = Colock.Protocol
+
+type config = {
+  resolution : Policy.resolution;
+  victim : Policy.victim;
+}
+
+let default_config =
+  { resolution = Policy.Detection; victim = Policy.Youngest }
 
 type t = {
   protocol : Protocol.t;
   clock : unit -> int;
+  config : config;
   mutable next_id : int;
   txns : (Table.txn_id, Transaction.t) Hashtbl.t;
   obs : Obs.Sink.t option;
 }
 
-let create ?clock ?obs protocol =
+let create ?clock ?obs ?(config = default_config) protocol =
   let counter = ref 0 in
   let default_clock () =
     incr counter;
     !counter
   in
   let obs = match obs with Some _ -> obs | None -> Protocol.obs protocol in
-  { protocol; clock = Option.value ~default:default_clock clock;
+  { protocol; clock = Option.value ~default:default_clock clock; config;
     next_id = 1; txns = Hashtbl.create 64; obs }
 
 let protocol manager = manager.protocol
+let config manager = manager.config
 
 let emit manager kind =
   match manager.obs with
@@ -64,6 +75,7 @@ let abort manager ?(reason = Transaction.User_abort) txn =
     match reason with
     | Transaction.User_abort -> "user"
     | Transaction.Deadlock_victim -> "deadlock_victim"
+    | Transaction.Timeout_victim -> "timeout_victim"
   in
   emit manager
     (Obs.Event.Txn_abort { txn = txn.Transaction.id; reason = reason_text });
@@ -75,73 +87,12 @@ let abort manager ?(reason = Transaction.User_abort) txn =
      emit manager
        (Obs.Event.Victim_aborted
           { txn = txn.Transaction.id; restarts = txn.Transaction.restarts })
+   | Transaction.Timeout_victim ->
+     let stats = Table.stats table in
+     stats.Lockmgr.Lock_stats.timeout_aborts <-
+       stats.Lockmgr.Lock_stats.timeout_aborts + 1
    | Transaction.User_abort -> ());
   woken_by_cancel @ woken_by_release
-
-(* Resolve deadlocks after [txn] started waiting.  Returns [true] when [txn]
-   itself was sacrificed. *)
-let resolve_deadlock manager txn =
-  let table = Protocol.table manager.protocol in
-  let rec resolve () =
-    match Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) with
-    | None -> false
-    | Some cycle ->
-      let stats = Table.stats table in
-      stats.Lockmgr.Lock_stats.deadlocks <-
-        stats.Lockmgr.Lock_stats.deadlocks + 1;
-      emit manager (Obs.Event.Deadlock_detected { cycle });
-      (* Older transactions (earlier start) survive: the victim is the one
-         with the smallest priority, so the youngest start must rank
-         lowest. *)
-      let priority id =
-        match find manager id with
-        | Some candidate -> -candidate.Transaction.started_at
-        | None -> max_int
-      in
-      let victim_id = Lockmgr.Deadlock.choose_victim ~priority cycle in
-      let victim =
-        match find manager victim_id with
-        | Some victim -> victim
-        | None -> invalid_arg "Txn_manager: unknown victim"
-      in
-      let (_ : Table.grant list) =
-        abort manager ~reason:Transaction.Deadlock_victim victim
-      in
-      if victim_id = txn.Transaction.id then true else resolve ()
-  in
-  resolve ()
-
-let acquire manager txn ?duration node mode =
-  if Transaction.is_finished txn then
-    invalid_arg "Txn_manager.acquire: transaction is finished";
-  match Protocol.acquire manager.protocol ~txn:txn.Transaction.id ?duration node mode with
-  | Protocol.Acquired _steps ->
-    txn.Transaction.status <- Transaction.Active;
-    Granted
-  | Protocol.Blocked { step; blockers; _ } ->
-    txn.Transaction.status <-
-      Transaction.Waiting { node = step.Protocol.node; blockers };
-    if resolve_deadlock manager txn then Deadlock_victim
-    else begin
-      (* the victim (if any) was someone else; we may have been granted in
-         the meantime — report the wait either way, the caller re-acquires *)
-      Waiting { node = step.Protocol.node; blockers }
-    end
-
-let commit ?(release_long = false) manager txn =
-  if Transaction.is_finished txn then
-    invalid_arg "Txn_manager.commit: transaction is finished";
-  let grants =
-    match txn.Transaction.kind, release_long with
-    | Transaction.Short, _ | Transaction.Long, true ->
-      Protocol.end_of_transaction manager.protocol ~txn:txn.Transaction.id
-    | Transaction.Long, false ->
-      Protocol.commit_keeping_long_locks manager.protocol
-        ~txn:txn.Transaction.id
-  in
-  txn.Transaction.status <- Transaction.Committed;
-  emit manager (Obs.Event.Txn_commit { txn = txn.Transaction.id });
-  grants
 
 let unblocked manager grants =
   List.filter_map
@@ -157,3 +108,114 @@ let unblocked manager grants =
           None)
       | None -> None)
     grants
+
+(* Resolve deadlocks after [txn] started waiting.  Returns [true] when [txn]
+   itself was sacrificed.  Victims' grants flow through {!unblocked}, so a
+   waiter freed by someone else's demise is [Active] again on return. *)
+let resolve_deadlock manager txn =
+  let table = Protocol.table manager.protocol in
+  let rec resolve () =
+    match Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) with
+    | None -> false
+    | Some cycle ->
+      let stats = Table.stats table in
+      stats.Lockmgr.Lock_stats.deadlocks <-
+        stats.Lockmgr.Lock_stats.deadlocks + 1;
+      emit manager (Obs.Event.Deadlock_detected { cycle });
+      let candidates =
+        List.map
+          (fun id ->
+            match find manager id with
+            | Some candidate ->
+              (* lock count doubles as the work proxy: the manager does not
+                 see its clients' steps, and locks track rollback cost *)
+              let locks_held = List.length (Table.locks_of table ~txn:id) in
+              { Policy.txn = id; birth = candidate.Transaction.started_at;
+                locks_held; work_done = locks_held }
+            | None ->
+              { Policy.txn = id; birth = max_int; locks_held = max_int;
+                work_done = max_int })
+          cycle
+      in
+      let victim_id = Policy.choose_victim manager.config.victim candidates in
+      let victim =
+        match find manager victim_id with
+        | Some victim -> victim
+        | None -> invalid_arg "Txn_manager: unknown victim"
+      in
+      let grants = abort manager ~reason:Transaction.Deadlock_victim victim in
+      let (_ : Transaction.t list) = unblocked manager grants in
+      if victim_id = txn.Transaction.id then true else resolve ()
+  in
+  resolve ()
+
+let acquire manager txn ?duration node mode =
+  if Transaction.is_finished txn then
+    invalid_arg "Txn_manager.acquire: transaction is finished";
+  let deadline =
+    match Policy.timeout_of manager.config.resolution with
+    | None -> None
+    | Some timeout -> Some (manager.clock () + timeout)
+  in
+  let rec attempt () =
+    match
+      Protocol.acquire manager.protocol ~txn:txn.Transaction.id ?duration
+        ?deadline node mode
+    with
+    | Protocol.Acquired _steps ->
+      txn.Transaction.status <- Transaction.Active;
+      Granted
+    | Protocol.Blocked { step; blockers; _ } -> (
+      txn.Transaction.status <-
+        Transaction.Waiting { node = step.Protocol.node; blockers };
+      if
+        Policy.detects manager.config.resolution
+        && resolve_deadlock manager txn
+      then Deadlock_victim
+      else
+        match txn.Transaction.status with
+        | Transaction.Active ->
+          (* another victim's released locks already granted our queued
+             request: the wait is over, so resume the plan instead of
+             reporting a wait that no release will ever end *)
+          attempt ()
+        | Transaction.Waiting _ | Transaction.Committed
+        | Transaction.Aborted _ ->
+          Waiting { node = step.Protocol.node; blockers })
+  in
+  attempt ()
+
+let expire_timeouts ?now manager =
+  match Policy.timeout_of manager.config.resolution with
+  | None -> []
+  | Some timeout ->
+    let now = match now with Some now -> now | None -> manager.clock () in
+    let table = Protocol.table manager.protocol in
+    List.filter_map
+      (fun (id, resource) ->
+        match find manager id with
+        | Some txn when Transaction.is_active txn ->
+          (* a multi-resource waiter appears once per expired wait; the
+             first abort finishes it, so the rest fall through here *)
+          emit manager
+            (Obs.Event.Timeout_abort { txn = id; resource; waited = timeout });
+          let grants = abort manager ~reason:Transaction.Timeout_victim txn in
+          let (_ : Transaction.t list) = unblocked manager grants in
+          Some txn
+        | Some _ | None -> None)
+      (Table.expired_waiters table ~now)
+
+let commit ?(release_long = false) manager txn =
+  if Transaction.is_finished txn then
+    invalid_arg "Txn_manager.commit: transaction is finished";
+  let grants =
+    match txn.Transaction.kind, release_long with
+    | Transaction.Short, _ | Transaction.Long, true ->
+      Protocol.end_of_transaction manager.protocol ~txn:txn.Transaction.id
+    | Transaction.Long, false ->
+      Protocol.commit_keeping_long_locks manager.protocol
+        ~txn:txn.Transaction.id
+  in
+  txn.Transaction.status <- Transaction.Committed;
+  emit manager (Obs.Event.Txn_commit { txn = txn.Transaction.id });
+  grants

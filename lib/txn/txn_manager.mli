@@ -1,16 +1,32 @@
 (** The transaction manager: strict 2PL over the paper's protocol, with
-    deadlock detection and victim abort. *)
+    configurable collision resolution (deadlock detection, lock-wait
+    timeouts, or both) and pluggable victim selection. *)
 
 type t
 
+type config = {
+  resolution : Lockmgr.Policy.resolution;
+      (** detection runs inline on every wait; a timeout stamps each wait
+          with a deadline that {!expire_timeouts} enforces *)
+  victim : Lockmgr.Policy.victim;
+      (** who dies when detection finds a cycle. [Least_work] uses the lock
+          footprint as its work proxy here — the manager does not see its
+          clients' application steps *)
+}
+
+val default_config : config
+(** Detection with youngest-victim selection (the seed behaviour). *)
+
 val create :
-  ?clock:(unit -> int) -> ?obs:Obs.Sink.t -> Colock.Protocol.t -> t
-(** [clock] supplies logical begin timestamps (default: a counter). [?obs]
-    defaults to the protocol's sink, so transaction lifecycle events
-    (begin/commit/abort, deadlocks, victim aborts) land in the same stream
-    as the lock events. *)
+  ?clock:(unit -> int) -> ?obs:Obs.Sink.t -> ?config:config ->
+  Colock.Protocol.t -> t
+(** [clock] supplies logical begin timestamps and the "now" of timeout
+    deadlines (default: a counter). [?obs] defaults to the protocol's sink,
+    so transaction lifecycle events (begin/commit/abort, deadlocks, victim
+    and timeout aborts) land in the same stream as the lock events. *)
 
 val protocol : t -> Colock.Protocol.t
+val config : t -> config
 val begin_txn : ?kind:Transaction.kind -> t -> Transaction.t
 val find : t -> Lockmgr.Lock_table.txn_id -> Transaction.t option
 val active_txns : t -> Transaction.t list
@@ -28,11 +44,22 @@ type acquire_outcome =
 val acquire :
   t -> Transaction.t -> ?duration:Lockmgr.Lock_table.duration ->
   Colock.Node_id.t -> Lockmgr.Lock_mode.t -> acquire_outcome
-(** Runs the protocol plan. On a wait, deadlock detection runs on the
-    waits-for graph; if a cycle exists its victim is aborted — either this
-    transaction ({!Deadlock_victim}) or another (whose demise may already
-    have unblocked us; the wait stands otherwise). Aborted or committed
-    transactions may not acquire ([Invalid_argument]). *)
+(** Runs the protocol plan. On a wait (when the resolution detects),
+    deadlock detection runs on the waits-for graph; if a cycle exists its
+    victim is aborted — either this transaction ({!Deadlock_victim}) or
+    another. When another victim's released locks have already granted this
+    transaction's queued request, the plan resumes immediately and the call
+    reports the true outcome (e.g. [Granted]) instead of a stale wait.
+    Under a timeout resolution each wait carries a deadline of
+    [clock () + timeout]. Aborted or committed transactions may not acquire
+    ([Invalid_argument]). *)
+
+val expire_timeouts : ?now:int -> t -> Transaction.t list
+(** Aborts (reason [Timeout_victim]) every transaction whose lock wait has
+    outlived its deadline at [now] (default [clock ()]), releasing its locks
+    and waking the freed waiters. Returns the victims; empty under pure
+    [Detection]. Call periodically — the manager has no scheduler of its
+    own. *)
 
 val commit :
   ?release_long:bool -> t -> Transaction.t -> Lockmgr.Lock_table.grant list

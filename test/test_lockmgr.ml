@@ -347,6 +347,164 @@ let test_deadlock_via_table () =
   check_bool "no more cycle" true
     (Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) = None)
 
+(* ------------------------------------------------------------------ Policy *)
+
+module Policy = Lockmgr.Policy
+
+let candidate txn birth locks_held work_done =
+  { Policy.txn; birth; locks_held; work_done }
+
+let test_policy_choose_victim () =
+  let candidates =
+    [ candidate 1 10 5 3; candidate 2 30 1 9; candidate 3 20 5 1 ]
+  in
+  check_int "youngest: largest birth dies" 2
+    (Policy.choose_victim Policy.Youngest candidates);
+  check_int "oldest: smallest birth dies" 1
+    (Policy.choose_victim Policy.Oldest candidates);
+  check_int "fewest locks dies" 2
+    (Policy.choose_victim Policy.Fewest_locks candidates);
+  check_int "least work dies" 3
+    (Policy.choose_victim Policy.Least_work candidates);
+  (* ties break toward the largest transaction id *)
+  check_int "tie -> largest id" 3
+    (Policy.choose_victim Policy.Fewest_locks
+       [ candidate 1 0 5 0; candidate 3 0 5 0 ])
+
+let test_policy_backoff () =
+  check_int "fixed is flat" 50
+    (Policy.delay (Policy.Fixed 50) ~restarts:7 ~txn:3);
+  let exponential = Policy.Exponential { base = 10; cap = 400; seed = 1 } in
+  let delay restarts txn = Policy.delay exponential ~restarts ~txn in
+  (* deterministic: same inputs, same jittered delay *)
+  check_int "pure" (delay 3 5) (delay 3 5);
+  (* jitter stays within [raw/2, raw] and respects the cap *)
+  List.iter
+    (fun restarts ->
+      let raw = min 400 (10 * (1 lsl min restarts 16)) in
+      let value = delay restarts 9 in
+      check_bool "within band" true (value >= raw / 2 && value <= raw))
+    [ 0; 1; 2; 3; 5; 8; 30 ];
+  (* different txns desynchronize (at least somewhere in a small range) *)
+  check_bool "jitter varies by txn" true
+    (List.exists
+       (fun txn -> delay 4 txn <> delay 4 (txn + 1))
+       [ 1; 2; 3; 4; 5 ])
+
+let test_policy_strings () =
+  check_bool "detection" true
+    (Policy.resolution_of_string "detection" = Ok Policy.Detection);
+  check_bool "timeout default" true
+    (Policy.resolution_of_string "timeout"
+     = Ok (Policy.Timeout Policy.default_timeout));
+  check_bool "timeout:250" true
+    (Policy.resolution_of_string "timeout:250" = Ok (Policy.Timeout 250));
+  check_bool "hybrid:90" true
+    (Policy.resolution_of_string "hybrid:90" = Ok (Policy.Hybrid 90));
+  check_bool "junk rejected" true
+    (match Policy.resolution_of_string "sometimes" with
+     | Error _ -> true
+     | Ok _ -> false);
+  check_bool "victims" true
+    (Policy.victim_of_string "fewest-locks" = Ok Policy.Fewest_locks);
+  check_bool "fixed backoff" true
+    (Policy.backoff_of_string "fixed:30" = Ok (Policy.Fixed 30));
+  check_bool "exp backoff" true
+    (Policy.backoff_of_string "exp:10:200:7"
+     = Ok (Policy.Exponential { base = 10; cap = 200; seed = 7 }));
+  (* round trips *)
+  List.iter
+    (fun text ->
+      match Policy.resolution_of_string text with
+      | Ok resolution ->
+        check_bool ("round trip " ^ text) true
+          (Policy.resolution_to_string resolution = text)
+      | Error message -> Alcotest.fail message)
+    [ "detection"; "timeout:250"; "hybrid:90" ]
+
+(* ------------------------------------------------- Deadlines and invariants *)
+
+let test_table_deadlines () =
+  let table = Table.create () in
+  check_bool "T1 X a" true
+    (Table.request table ~txn:1 ~resource:"a" Mode.X = Table.Granted);
+  (match Table.request table ~txn:2 ~deadline:100 ~resource:"a" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  (match Table.request table ~txn:3 ~deadline:200 ~resource:"a" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  Alcotest.(check (list (pair int string)))
+    "nothing expired yet" []
+    (Table.expired_waiters table ~now:99);
+  Alcotest.(check (list (pair int string)))
+    "T2 expires at its deadline"
+    [ (2, "a") ]
+    (Table.expired_waiters table ~now:100);
+  Alcotest.(check (list (pair int string)))
+    "both expired later"
+    [ (2, "a"); (3, "a") ]
+    (Table.expired_waiters table ~now:500);
+  (* a granted request never expires *)
+  let (_ : Table.grant list) = Table.release_all table ~txn:1 in
+  Alcotest.(check (list (pair int string)))
+    "granted T2 no longer expires"
+    [ (3, "a") ]
+    (Table.expired_waiters table ~now:500)
+
+let test_table_check_invariants_clean () =
+  let table = Table.create () in
+  check_bool "T1 X a" true
+    (Table.request table ~txn:1 ~resource:"a" Mode.X = Table.Granted);
+  (match Table.request table ~txn:2 ~resource:"a" Mode.S with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  check_bool "T1 IS b" true
+    (Table.request table ~txn:1 ~resource:"b" Mode.IS = Table.Granted);
+  Alcotest.(check (list string)) "sound" [] (Table.check_invariants table);
+  let (_ : Table.grant list) = Table.release_all table ~txn:1 in
+  let (_ : Table.grant list) = Table.release_all table ~txn:2 in
+  Alcotest.(check (list string)) "sound after drain" []
+    (Table.check_invariants table);
+  check_int "empty" 0 (Table.entry_count table)
+
+(* Satellite of the trail-set change: repeated resolution over several
+   overlapping cycles must terminate and leave an acyclic graph. *)
+let test_deadlock_overlapping_cycles_terminate () =
+  let table = Table.create () in
+  let granted outcome = outcome = Table.Granted in
+  (* T1..T4 each hold their own resource, then everyone wants everyone
+     else's in a pattern with overlapping cycles 1-2, 2-3, 3-4, 4-1. *)
+  List.iter
+    (fun txn ->
+      check_bool "own" true
+        (granted
+           (Table.request table ~txn ~resource:(string_of_int txn) Mode.X)))
+    [ 1; 2; 3; 4 ];
+  List.iter
+    (fun (txn, wanted) ->
+      check_bool "waits" false
+        (granted (Table.request table ~txn ~resource:wanted Mode.X)))
+    [ (1, "2"); (2, "1"); (2, "3"); (3, "2"); (3, "4"); (4, "3"); (4, "1");
+      (1, "4") ];
+  let rec resolve rounds =
+    if rounds > 16 then Alcotest.fail "resolution did not terminate"
+    else
+      match Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) with
+      | None -> rounds
+      | Some cycle ->
+        let victim = Lockmgr.Deadlock.choose_victim cycle in
+        let (_ : Table.grant list) = Table.cancel_wait table ~txn:victim in
+        let (_ : Table.grant list) = Table.release_all table ~txn:victim in
+        resolve (rounds + 1)
+  in
+  let rounds = resolve 0 in
+  check_bool "took at least one abort" true (rounds >= 1);
+  check_bool "acyclic afterwards" true
+    (Lockmgr.Deadlock.find_cycle ~edges:(Table.waits_for_edges table) = None);
+  Alcotest.(check (list string)) "table still sound" []
+    (Table.check_invariants table)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_compat_symmetric; prop_sup_commutative; prop_sup_associative;
@@ -383,6 +541,9 @@ let () =
          Alcotest.test_case "downgrade" `Quick test_table_downgrade;
          Alcotest.test_case "stats" `Quick test_table_stats;
          Alcotest.test_case "peak entries" `Quick test_table_peak_entries;
+         Alcotest.test_case "deadlines" `Quick test_table_deadlines;
+         Alcotest.test_case "check_invariants clean" `Quick
+           test_table_check_invariants_clean;
          Alcotest.test_case "waits_for edges" `Quick
            test_table_waits_for_edges ]);
       ("deadlock",
@@ -390,4 +551,10 @@ let () =
          Alcotest.test_case "no cycle" `Quick test_deadlock_no_cycle;
          Alcotest.test_case "long cycle" `Quick test_deadlock_long_cycle;
          Alcotest.test_case "victim" `Quick test_deadlock_victim;
-         Alcotest.test_case "via table" `Quick test_deadlock_via_table ]) ]
+         Alcotest.test_case "via table" `Quick test_deadlock_via_table;
+         Alcotest.test_case "overlapping cycles terminate" `Quick
+           test_deadlock_overlapping_cycles_terminate ]);
+      ("policy",
+       [ Alcotest.test_case "choose_victim" `Quick test_policy_choose_victim;
+         Alcotest.test_case "backoff" `Quick test_policy_backoff;
+         Alcotest.test_case "strings" `Quick test_policy_strings ]) ]

@@ -104,7 +104,10 @@ let test_runner_gave_up () =
           { Sim.Runner.plan = fixed_plan [ request [ second ] Mode.X ];
             access_cost = 50 } ] }
   in
-  let config = { Sim.Runner.deadlock_backoff = 10; max_restarts = 0 } in
+  let config =
+    { Sim.Runner.default_config with backoff = Lockmgr.Policy.Fixed 10;
+      max_restarts = 0 }
+  in
   let metrics =
     Sim.Runner.run ~config ~table [ two_step "a" "b"; two_step "b" "a" ]
   in
@@ -124,7 +127,10 @@ let test_avg_response_counts_gave_up () =
           { Sim.Runner.plan = fixed_plan [ request [ second ] Mode.X ];
             access_cost = 50 } ] }
   in
-  let config = { Sim.Runner.deadlock_backoff = 10; max_restarts = 0 } in
+  let config =
+    { Sim.Runner.default_config with backoff = Lockmgr.Policy.Fixed 10;
+      max_restarts = 0 }
+  in
   let metrics =
     Sim.Runner.run ~config ~table [ two_step "a" "b"; two_step "b" "a" ]
   in
@@ -140,14 +146,200 @@ let test_avg_response_counts_gave_up () =
     (Sim.Metrics.avg_response metrics);
   (* pure accessor check on a synthetic record *)
   let synthetic =
-    { Sim.Metrics.committed = 1; deadlock_aborts = 1; gave_up = 1;
-      makespan = 100; total_response = 200; total_wait = 0;
-      lock_requests = 0; conflict_tests = 0; peak_lock_entries = 0;
-      escalations = 0 }
+    { Sim.Metrics.committed = 1; deadlock_aborts = 1; timeout_aborts = 0;
+      gave_up = 1; crashed = 0; makespan = 100; total_response = 200;
+      total_wait = 0; lock_requests = 0; conflict_tests = 0;
+      peak_lock_entries = 0; escalations = 0 }
   in
   Alcotest.(check (float 1e-9))
     "synthetic mean" 100.0
     (Sim.Metrics.avg_response synthetic)
+
+(* Regression: a job victimized while it sits in a wait queue must credit
+   the time it already spent blocked — the abort used to clear [waiting_on]
+   without booking [time - blocked_since]. *)
+let test_victim_wait_time_credited () =
+  let table = Table.create () in
+  let two_step arrival first second =
+    { Sim.Runner.arrival;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
+            access_cost = 50 };
+          { Sim.Runner.plan = fixed_plan [ request [ second ] Mode.X ];
+            access_cost = 50 } ] }
+  in
+  (* T1 (arrival 0) blocks on b at t=50; T2 (arrival 5) closes the cycle at
+     t=55; the Oldest policy sacrifices T1, which by then has waited 5. *)
+  let config =
+    { Sim.Runner.default_config with victim = Lockmgr.Policy.Oldest;
+      backoff = Lockmgr.Policy.Fixed 50 }
+  in
+  let metrics =
+    Sim.Runner.run ~config ~table
+      [ two_step 0 "a" "b"; two_step 5 "b" "a" ]
+  in
+  check_int "both commit" 2 metrics.Sim.Metrics.committed;
+  check_int "one deadlock abort" 1 metrics.Sim.Metrics.deadlock_aborts;
+  check_int "victim's blocked time survives the abort" 5
+    metrics.Sim.Metrics.total_wait
+
+let test_timeout_resolution () =
+  (* T1 camps on a for 500 ticks; T2 cannot deadlock (no cycle), so only
+     the lock-wait timeout can break its stall. *)
+  let table = Table.create () in
+  let config =
+    { Sim.Runner.default_config with
+      resolution = Lockmgr.Policy.Timeout 100;
+      backoff = Lockmgr.Policy.Fixed 50; check_invariants = true }
+  in
+  let holder =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ "a" ] Mode.X ];
+            access_cost = 500 } ] }
+  in
+  let contender =
+    { Sim.Runner.arrival = 10;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ "a" ] Mode.X ];
+            access_cost = 100 } ] }
+  in
+  let metrics = Sim.Runner.run ~config ~table [ holder; contender ] in
+  check_int "both commit" 2 metrics.Sim.Metrics.committed;
+  check_int "no detection ran" 0 metrics.Sim.Metrics.deadlock_aborts;
+  (* waits of 100 abort at t=110, 260, 410; the 460 wait is granted at 500 *)
+  check_int "three timeout aborts" 3 metrics.Sim.Metrics.timeout_aborts;
+  check_int "wait fully accounted" 340 metrics.Sim.Metrics.total_wait;
+  check_int "nothing left locked" 0 (Table.entry_count table)
+
+let test_timeout_breaks_deadlock () =
+  (* AB-BA with detection switched off entirely: the deadline is the only
+     thing standing between the cycle and a hung simulation. *)
+  let table = Table.create () in
+  let config =
+    { Sim.Runner.default_config with
+      resolution = Lockmgr.Policy.Timeout 80;
+      backoff = Lockmgr.Policy.Exponential { base = 20; cap = 200; seed = 3 };
+      check_invariants = true }
+  in
+  let two_step first second =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
+            access_cost = 50 };
+          { Sim.Runner.plan = fixed_plan [ request [ second ] Mode.X ];
+            access_cost = 50 } ] }
+  in
+  let metrics = Sim.Runner.run ~config ~table [ two_step "a" "b"; two_step "b" "a" ] in
+  check_int "both commit" 2 metrics.Sim.Metrics.committed;
+  check_int "no cycle search" 0 metrics.Sim.Metrics.deadlock_aborts;
+  check_bool "timeout had to fire" true (metrics.Sim.Metrics.timeout_aborts >= 1);
+  check_int "nothing left locked" 0 (Table.entry_count table)
+
+let test_victim_policy_selects () =
+  (* Same AB-BA, staggered arrivals; which side dies is pure policy. *)
+  let victim_of policy =
+    let sink, ring = Obs.Sink.memory ~capacity:4096 () in
+    let table = Table.create ~obs:sink () in
+    let two_step arrival first second =
+      { Sim.Runner.arrival;
+        steps =
+          [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
+              access_cost = 50 };
+            { Sim.Runner.plan = fixed_plan [ request [ second ] Mode.X ];
+              access_cost = 50 } ] }
+    in
+    let config = { Sim.Runner.default_config with victim = policy } in
+    let (_ : Sim.Metrics.t) =
+      Sim.Runner.run ~config ~table
+        [ two_step 0 "a" "b"; two_step 5 "b" "a" ]
+    in
+    List.filter_map
+      (fun event ->
+        match event.Obs.Event.kind with
+        | Obs.Event.Victim_aborted { txn; _ } -> Some txn
+        | _ -> None)
+      (Obs.Ring.to_list ring)
+  in
+  Alcotest.(check (list int)) "youngest: the later arrival dies" [ 2 ]
+    (victim_of Lockmgr.Policy.Youngest);
+  Alcotest.(check (list int)) "oldest: the earlier arrival dies" [ 1 ]
+    (victim_of Lockmgr.Policy.Oldest)
+
+let test_fault_fates () =
+  let spec =
+    { Sim.Fault.crash = 0.3; stall = 0.3; stall_factor = 4; hog = 0.2;
+      fault_seed = 11 }
+  in
+  (* pure in (seed, txn) *)
+  List.iter
+    (fun txn ->
+      check_bool "fate is deterministic" true
+        (Sim.Fault.fate spec ~txn ~steps:3 = Sim.Fault.fate spec ~txn ~steps:3))
+    [ 1; 2; 3; 50; 999 ];
+  (* every kind shows up across enough draws *)
+  let fates = List.init 200 (fun i -> Sim.Fault.fate spec ~txn:(i + 1) ~steps:3) in
+  let has predicate = List.exists predicate fates in
+  check_bool "normals" true (has (fun f -> f = Sim.Fault.Normal));
+  check_bool "crashes" true
+    (has (function Sim.Fault.Crash_at _ -> true | _ -> false));
+  check_bool "stalls" true
+    (has (function Sim.Fault.Stall _ -> true | _ -> false));
+  check_bool "hogs" true (has (fun f -> f = Sim.Fault.Hog));
+  (* parser round-trips the clause syntax *)
+  (match Sim.Fault.of_string "crash:0.1,stall:0.2x4,hog:0.05" with
+   | Ok parsed ->
+     check_bool "parse" true
+       (parsed.Sim.Fault.crash = 0.1 && parsed.Sim.Fault.stall = 0.2
+        && parsed.Sim.Fault.stall_factor = 4 && parsed.Sim.Fault.hog = 0.05)
+   | Error (`Msg message) -> Alcotest.fail message);
+  check_bool "over-unity rejected" true
+    (match Sim.Fault.of_string "crash:0.9,hog:0.9" with
+     | Error _ -> true
+     | Ok _ -> false)
+
+let test_fault_crash_releases_locks () =
+  let table = Table.create () in
+  let job =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ "a" ] Mode.X ];
+            access_cost = 100 } ] }
+  in
+  let faults = { Sim.Fault.none with crash = 1.0; fault_seed = 7 } in
+  let config = { Sim.Runner.default_config with check_invariants = true } in
+  let metrics = Sim.Runner.run ~config ~faults ~table [ job; job; job ] in
+  check_int "all crashed" 3 metrics.Sim.Metrics.crashed;
+  check_int "none committed" 0 metrics.Sim.Metrics.committed;
+  check_int "locks released" 0 (Table.entry_count table)
+
+let test_fault_hog_eventually_yields () =
+  (* One hog camps on a; under pure Detection no cycle ever forms, so only
+     the hog-hold crash lets the honest job through. *)
+  let table = Table.create () in
+  let job cost =
+    { Sim.Runner.arrival = 0;
+      steps =
+        [ { Sim.Runner.plan = fixed_plan [ request [ "a" ] Mode.X ];
+            access_cost = cost } ] }
+  in
+  (* hog probability 1 gives every job the hog fate; keep the honest job
+     honest by injecting faults only via a spec whose draw spares txn 2 *)
+  let faults = { Sim.Fault.none with hog = 0.45; fault_seed = 2 } in
+  (* seeded draws: txn 1 -> Hog, txn 2 -> Normal *)
+  check_bool "txn 1 drew hog" true
+    (Sim.Fault.fate faults ~txn:1 ~steps:1 = Sim.Fault.Hog);
+  check_bool "txn 2 drew normal" true
+    (Sim.Fault.fate faults ~txn:2 ~steps:1 = Sim.Fault.Normal);
+  let config =
+    { Sim.Runner.default_config with hog_hold = 300; check_invariants = true }
+  in
+  let metrics = Sim.Runner.run ~config ~faults ~table [ job 50; job 50 ] in
+  check_int "hog crashed" 1 metrics.Sim.Metrics.crashed;
+  check_int "honest job committed" 1 metrics.Sim.Metrics.committed;
+  (* the honest job waited exactly for the hog hold *)
+  check_int "waited out the hog" 300 metrics.Sim.Metrics.total_wait;
+  check_int "locks released" 0 (Table.entry_count table)
 
 let test_runner_deterministic () =
   let build () =
@@ -278,6 +470,20 @@ let () =
            test_avg_response_counts_gave_up;
          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
          Alcotest.test_case "on_begin" `Quick test_runner_on_begin ]);
+      ("resilience",
+       [ Alcotest.test_case "victim wait time credited" `Quick
+           test_victim_wait_time_credited;
+         Alcotest.test_case "timeout resolution" `Quick
+           test_timeout_resolution;
+         Alcotest.test_case "timeout breaks deadlock" `Quick
+           test_timeout_breaks_deadlock;
+         Alcotest.test_case "victim policy selects" `Quick
+           test_victim_policy_selects;
+         Alcotest.test_case "fault fates" `Quick test_fault_fates;
+         Alcotest.test_case "crash releases locks" `Quick
+           test_fault_crash_releases_locks;
+         Alcotest.test_case "hog eventually yields" `Quick
+           test_fault_hog_eventually_yields ]);
       ("contrasts",
        [ Alcotest.test_case "proposed vs whole-object" `Quick
            test_proposed_beats_whole_object_on_mixed_load;

@@ -114,6 +114,75 @@ let test_deadlock_youngest_dies () =
   | Txn.Txn_manager.Granted -> ()
   | _ -> Alcotest.fail "t1 proceeds after victim abort"
 
+let test_victim_abort_grants_caller () =
+  let env = make_env () in
+  Authz.Rights.set_relation_default env.rights ~relation:"effectors" false;
+  let t1 = Txn.Txn_manager.begin_txn env.manager in
+  let t2 = Txn.Txn_manager.begin_txn env.manager in
+  (match Txn.Txn_manager.acquire env.manager t1 robot_r1 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | _ -> Alcotest.fail "t1 r1");
+  (match Txn.Txn_manager.acquire env.manager t2 robot_r2 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | _ -> Alcotest.fail "t2 r2");
+  (match Txn.Txn_manager.acquire env.manager t2 robot_r1 Mode.X with
+   | Txn.Txn_manager.Waiting _ -> ()
+   | _ -> Alcotest.fail "t2 waits for r1");
+  (* t1 closes the cycle but survives (t2 is younger). The victim's abort
+     releases r2, whose grant satisfies this very request — the call must
+     report the true outcome, not a stale wait. *)
+  (match Txn.Txn_manager.acquire env.manager t1 robot_r2 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | Txn.Txn_manager.Waiting _ ->
+     Alcotest.fail "stale Waiting after victim abort unblocked the caller"
+   | Txn.Txn_manager.Deadlock_victim -> Alcotest.fail "wrong victim");
+  check_bool "t1 still active" true
+    (t1.Txn.Transaction.status = Txn.Transaction.Active);
+  check_bool "t2 aborted" true
+    (t2.Txn.Transaction.status
+     = Txn.Transaction.Aborted Txn.Transaction.Deadlock_victim)
+
+let test_expire_timeouts () =
+  let db = Workload.Figure1.database () in
+  let graph = Graph.build db in
+  let table = Table.create () in
+  let rights = Authz.Rights.create () in
+  let protocol = Colock.Protocol.create ~rights graph table in
+  let now = ref 0 in
+  let config =
+    { Txn.Txn_manager.resolution = Lockmgr.Policy.Timeout 100;
+      victim = Lockmgr.Policy.Youngest }
+  in
+  let manager =
+    Txn.Txn_manager.create ~clock:(fun () -> !now) ~config protocol
+  in
+  let t1 = Txn.Txn_manager.begin_txn manager in
+  let t2 = Txn.Txn_manager.begin_txn manager in
+  (match Txn.Txn_manager.acquire manager t1 cell_c1 Mode.X with
+   | Txn.Txn_manager.Granted -> ()
+   | _ -> Alcotest.fail "t1 grant");
+  (* under Timeout there is no detection: even a conflict just waits *)
+  (match Txn.Txn_manager.acquire manager t2 cell_c1 Mode.S with
+   | Txn.Txn_manager.Waiting _ -> ()
+   | _ -> Alcotest.fail "t2 should wait");
+  check_int "nothing expired before the deadline" 0
+    (List.length (Txn.Txn_manager.expire_timeouts ~now:99 manager));
+  check_bool "t2 still waiting" true
+    (match t2.Txn.Transaction.status with
+     | Txn.Transaction.Waiting _ -> true
+     | _ -> false);
+  let victims = Txn.Txn_manager.expire_timeouts ~now:100 manager in
+  check_int "one victim at the deadline" 1 (List.length victims);
+  check_bool "t2 timed out" true
+    (t2.Txn.Transaction.status
+     = Txn.Transaction.Aborted Txn.Transaction.Timeout_victim);
+  check_bool "t1 unaffected" true
+    (t1.Txn.Transaction.status = Txn.Transaction.Active);
+  check_int "t2 holds nothing" 0
+    (List.length (Table.locks_of table ~txn:t2.Txn.Transaction.id));
+  check_int "no second expiry" 0
+    (List.length (Txn.Txn_manager.expire_timeouts ~now:500 manager))
+
 let test_abort_releases_everything () =
   let env = make_env () in
   let t1 = Txn.Txn_manager.begin_txn env.manager in
@@ -335,6 +404,9 @@ let () =
            test_waiting_and_unblock;
          Alcotest.test_case "deadlock youngest dies" `Quick
            test_deadlock_youngest_dies;
+         Alcotest.test_case "victim abort grants caller" `Quick
+           test_victim_abort_grants_caller;
+         Alcotest.test_case "expire timeouts" `Quick test_expire_timeouts;
          Alcotest.test_case "abort releases" `Quick
            test_abort_releases_everything ]);
       ("checkout",
