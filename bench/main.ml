@@ -292,7 +292,7 @@ let () =
        experiment ();
        Report.write ~experiment:name ()
      | None ->
-       Printf.eprintf "unknown experiment %s (use E1..E13, E15)\n" name;
+       Printf.eprintf "unknown experiment %s (use E1..E13, E15, E16)\n" name;
        exit 1)
    | None, false ->
      Experiments.run_all ();

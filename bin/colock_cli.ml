@@ -257,9 +257,11 @@ let technique_of graph table = function
   | `Tuple_level -> Sim.Scenario.Tuple_level
 
 (* An instrumented capture context: ring buffer for raw events, collector
-   for latency histograms, both fed by one sink. *)
-let make_capture () =
-  let sink, ring = Obs.Sink.memory ~capacity:262144 () in
+   for latency histograms, both fed by one sink.  [?keep] filters what the
+   ring retains (the collector always sees everything, so counters stay
+   complete). *)
+let make_capture ?keep () =
+  let sink, ring = Obs.Sink.memory ~capacity:262144 ?keep () in
   let collector = Obs.Collector.create () in
   Obs.Sink.attach sink (Obs.Collector.handle collector);
   (sink, ring, collector)
@@ -294,22 +296,47 @@ let simulate_cmd =
     Arg.(value & opt (some string) None
          & info [ "stats-json" ] ~docv:"FILE"
              ~doc:"Write per-technique metrics (simulator counters, lock \
-                   table counters, wait/grant/response latency quantiles) as \
-                   JSON to $(docv). Use '-' for stdout; the table is then \
-                   suppressed.")
+                   table counters, wait/grant/response latency quantiles and \
+                   histogram buckets) as JSON to $(docv). Use '-' for \
+                   stdout; the table is then suppressed.")
+  in
+  let jsonl_file =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Write the raw event stream of the run(s) as JSON lines to \
+                   $(docv) ('-' for stdout), one run_meta delimiter line per \
+                   technique — the input format of $(b,colock analyze).")
+  in
+  let snapshot_every =
+    Arg.(value & opt (some int) None
+         & info [ "snapshot-every" ] ~docv:"TICKS"
+             ~doc:"Emit a wait-for-graph snapshot event every $(docv) \
+                   virtual ticks, so deadlock structure is observable over \
+                   time in traces and contention reports.")
+  in
+  let trace_all =
+    Arg.(value & flag
+         & info [ "trace-all" ]
+             ~doc:"Keep per-step sim_step noise in captures; by default it \
+                   is filtered out of --trace/--jsonl output (counters still \
+                   see every event).")
   in
   let run () techniques jobs cells read_fraction seed resolution victim
-      backoff max_restarts faults check_invariants trace_file stats_json_file =
+      backoff max_restarts faults check_invariants trace_file stats_json_file
+      jsonl_file snapshot_every trace_all =
     let graph, specs =
       manufacturing_scenario ~jobs ~cells ~read_fraction ~seed
     in
     let config =
       { Sim.Runner.default_config with resolution; victim; backoff;
-        max_restarts; check_invariants }
+        max_restarts; check_invariants; snapshot_every }
     in
     let faults = { faults with Sim.Fault.fault_seed = seed } in
-    let observing = trace_file <> None || stats_json_file <> None in
-    let quiet = stats_json_file = Some "-" in
+    let observing =
+      trace_file <> None || stats_json_file <> None || jsonl_file <> None
+    in
+    let keep = if trace_all then None else Some Obs.Sink.not_sim_step in
+    let quiet = stats_json_file = Some "-" || jsonl_file = Some "-" in
     if not quiet then
       Printf.printf "%-22s %9s %9s %9s %9s %9s %9s %9s %9s\n" "technique"
         "committed" "aborts" "crashed" "makespan" "thruput" "avg resp" "waits"
@@ -317,9 +344,16 @@ let simulate_cmd =
     let captures =
       List.map
         (fun selector ->
-          let capture = if observing then Some (make_capture ()) else None in
+          let capture =
+            if observing then Some (make_capture ?keep ()) else None
+          in
           let obs = Option.map (fun (sink, _, _) -> sink) capture in
-          let table = Lockmgr.Lock_table.create ?obs () in
+          (* tag lock events with granule metadata for every technique —
+             the baselines have no protocol to install the resolver *)
+          let table =
+            Lockmgr.Lock_table.create ?obs
+              ~meta:(Colock.Instance_graph.lu_resolver graph) ()
+          in
           let technique = technique_of graph table selector in
           let sim_jobs = Sim.Scenario.compile graph technique specs in
           let metrics = Sim.Runner.run ~config ~faults ~table sim_jobs in
@@ -348,6 +382,20 @@ let simulate_cmd =
            captures
        in
        with_out path (fun channel -> Obs.Trace.write channel groups));
+    (match jsonl_file with
+     | None -> ()
+     | Some path ->
+       with_out path (fun channel ->
+           List.iter
+             (fun (name, capture, _table, _metrics) ->
+               match capture with
+               | None -> ()
+               | Some (_, ring, _) ->
+                 Obs.Jsonl.write channel
+                   { Obs.Event.time = 0.0;
+                     kind = Obs.Event.Run_meta { label = name } };
+                 Obs.Jsonl.write_events channel (Obs.Ring.to_list ring))
+             captures));
     (match stats_json_file with
      | None -> ()
      | Some path ->
@@ -365,11 +413,19 @@ let simulate_cmd =
                        Obs.Registry.row (Obs.Collector.registry collector)
                      | None -> [])
                 in
+                let buckets =
+                  match capture with
+                  | Some (_, _, collector) ->
+                    Obs.Registry.bucket_fields
+                      (Obs.Collector.registry collector)
+                  | None -> []
+                in
                 ( name,
                   Obs.Json.Obj
                     (List.map
                        (fun (key, value) -> (key, Obs.Json.Float value))
-                       row) ))
+                       row
+                     @ buckets) ))
               captures)
        in
        with_out path (fun channel ->
@@ -384,7 +440,8 @@ let simulate_cmd =
     Term.(const run $ setup_logs $ technique $ jobs_arg $ cells_arg
           $ read_fraction_arg $ seed_arg $ resolution_arg $ victim_arg
           $ backoff_arg $ max_restarts_arg $ faults_arg $ check_invariants_arg
-          $ trace_file $ stats_json_file)
+          $ trace_file $ stats_json_file $ jsonl_file $ snapshot_every
+          $ trace_all)
 
 (* ------------------------------------------------------------------ trace *)
 
@@ -411,7 +468,10 @@ let trace_cmd =
       manufacturing_scenario ~jobs ~cells ~read_fraction ~seed
     in
     let sink, ring, collector = make_capture () in
-    let table = Lockmgr.Lock_table.create ~obs:sink () in
+    let table =
+      Lockmgr.Lock_table.create ~obs:sink
+        ~meta:(Colock.Instance_graph.lu_resolver graph) ()
+    in
     let technique = technique_of graph table selector in
     let sim_jobs = Sim.Scenario.compile graph technique specs in
     let metrics = Sim.Runner.run ~table sim_jobs in
@@ -443,6 +503,57 @@ let trace_cmd =
     Term.(const run $ setup_logs $ technique $ jobs_arg $ cells_arg
           $ read_fraction_arg $ seed_arg $ output $ jsonl)
 
+(* ---------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let trace_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"A JSONL event trace, as written by $(b,colock simulate \
+                   --jsonl) or $(b,colock trace --jsonl).")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the contention report(s) as JSON instead of tables.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows to show in the hot-resource and critical-path \
+                   tables (text output only).")
+  in
+  let run () trace json top =
+    let events, errors = Obs.Jsonl.load trace in
+    List.iter (fun message -> Fmt.epr "colock: %s: %s@." trace message) errors;
+    if events = [] then begin
+      Fmt.epr "colock: %s: no decodable events@." trace;
+      1
+    end
+    else begin
+      let reports = Obs.Profile.of_trace events in
+      if json then begin
+        Obs.Json.output stdout
+          (Obs.Json.List (List.map Obs.Profile.to_json reports));
+        print_newline ()
+      end
+      else
+        List.iteri
+          (fun index report ->
+            if index > 0 then print_newline ();
+            Obs.Profile.print ~top stdout report)
+          reports;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Fold a JSONL event trace into a contention report: blocked \
+             time attributed to lockable-unit levels (BLU/HoLU/HeLU), graph \
+             depths, hot resources, a waiter-by-holder conflict matrix, \
+             abort causes and per-transaction wait critical paths.")
+    Term.(const run $ setup_logs $ trace_arg $ json_flag $ top_arg)
+
 let () =
   let info =
     Cmd.info "colock" ~version:"0.1.0"
@@ -452,4 +563,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ graph_cmd; plan_cmd; query_cmd; simulate_cmd; trace_cmd ]))
+          [ graph_cmd; plan_cmd; query_cmd; simulate_cmd; trace_cmd;
+            analyze_cmd ]))

@@ -18,6 +18,10 @@ end)
 type t = {
   root : Node_id.t;
   nodes : (Node_id.t, node) Hashtbl.t;
+  by_resource : (string, Lockable.kind * int) Hashtbl.t;
+      (* resource string -> (granule kind, depth), the lockable-unit
+         metadata the lock table's obs events are tagged with; kept in sync
+         with [nodes] so the lookup is one hash probe per emitted event *)
   mutable segment_index : (string * Node_id.t) list;
   mutable relation_index : (string * Node_id.t) list;
   mutable object_index : Node_id.t Oid_map.t;
@@ -27,7 +31,11 @@ type t = {
 (* Construction builds children lists bottom-up: [emit] registers a node and
    returns its id so parents can list it. *)
 
-let register graph node = Hashtbl.replace graph.nodes node.id node
+let register graph node =
+  Hashtbl.replace graph.nodes node.id node;
+  Hashtbl.replace graph.by_resource
+    (Node_id.to_resource node.id)
+    (node.kind, Node_id.depth node.id)
 
 let add_referencer graph oid node_id =
   let known =
@@ -186,7 +194,8 @@ let build_object graph ~parent ~shared schema key value =
 let build db =
   let root = Node_id.database (Nf2.Database.name db) in
   let graph =
-    { root; nodes = Hashtbl.create 1024; segment_index = [];
+    { root; nodes = Hashtbl.create 1024;
+      by_resource = Hashtbl.create 1024; segment_index = [];
       relation_index = []; object_index = Oid_map.empty;
       referencer_index = Oid_map.empty }
   in
@@ -308,7 +317,8 @@ let delete_object graph oid =
                   Oid_map.add target holders graph.referencer_index)
             current.refs_out;
           List.iter drop current.children;
-          Hashtbl.remove graph.nodes id
+          Hashtbl.remove graph.nodes id;
+          Hashtbl.remove graph.by_resource (Node_id.to_resource id)
       in
       drop object_id;
       (match Hashtbl.find_opt graph.nodes (Option.get (Node_id.parent object_id)) with
@@ -353,6 +363,14 @@ let ancestors graph id =
     | Some parent -> climb (parent :: accu) parent
   in
   climb [] id
+
+let lu_of_resource graph resource =
+  match Hashtbl.find_opt graph.by_resource resource with
+  | Some (kind, depth) ->
+    Some { Obs.Event.lu_kind = Lockable.to_string kind; lu_depth = depth }
+  | None -> None
+
+let lu_resolver graph = fun resource -> lu_of_resource graph resource
 
 let fold visit graph accu =
   Hashtbl.fold (fun _id node accu -> visit node accu) graph.nodes accu

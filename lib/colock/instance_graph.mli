@@ -78,5 +78,15 @@ val nodes_at_path :
     fanning out over collection members; [Path.root] is the object node
     itself. *)
 
+val lu_of_resource : t -> string -> Obs.Event.lu option
+(** Lockable-unit metadata (granule kind as ["BLU"]/["HoLU"]/["HeLU"], plus
+    depth in the instance graph) for a resource string produced by
+    {!Node_id.to_resource}; [None] for resources outside this graph. One
+    hash probe — cheap enough to run on every emitted lock event. *)
+
+val lu_resolver : t -> string -> Obs.Event.lu option
+(** {!lu_of_resource} pre-applied, in the shape
+    {!Lockmgr.Lock_table.set_meta} expects. *)
+
 val fold : (node -> 'accu -> 'accu) -> t -> 'accu -> 'accu
 (** Over all nodes in no particular order. *)

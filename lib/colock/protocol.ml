@@ -18,6 +18,9 @@ type t = {
 let create ?(rule = Rule_4_prime) ?(rights = Authz.Rights.create ()) ?obs graph
     table =
   let obs = match obs with Some _ -> obs | None -> Lock_table.obs table in
+  (* The table's lock events get tagged with the granule metadata of this
+     protocol's lock graph (BLU/HoLU/HeLU + depth). *)
+  Lock_table.set_meta table (Instance_graph.lu_resolver graph);
   { graph; table; rights; rule; obs }
 
 let graph protocol = protocol.graph

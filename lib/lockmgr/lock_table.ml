@@ -29,17 +29,23 @@ type t = {
   mutable entry_count : int;
   mutable peak_entry_count : int;
   obs : Obs.Sink.t option;
+  mutable meta : string -> Obs.Event.lu option;
+      (* resolves a resource to its lockable-unit annotation; the table is
+         protocol-agnostic, so whoever owns the lock graph installs this *)
 }
 
 type outcome = Granted | Waiting of txn_id list
 type grant = { g_txn : txn_id; g_resource : string; g_mode : Lock_mode.t }
 
-let create ?obs () =
+let create ?obs ?(meta = fun _resource -> None) () =
   { entries = Hashtbl.create 256; by_txn = Hashtbl.create 64;
-    stats = Lock_stats.create (); entry_count = 0; peak_entry_count = 0; obs }
+    stats = Lock_stats.create (); entry_count = 0; peak_entry_count = 0; obs;
+    meta }
 
 let stats table = table.stats
 let obs table = table.obs
+let set_meta table meta = table.meta <- meta
+let resource_lu table resource = table.meta resource
 
 let emit table kind =
   match table.obs with
@@ -122,7 +128,8 @@ let install_grant table entry txn mode duration resource =
       emit table
         (Obs.Event.Conversion
            { txn; resource; from_mode = Lock_mode.to_string old_mode;
-             to_mode = Lock_mode.to_string (Lock_mode.sup old_mode mode) })
+             to_mode = Lock_mode.to_string (Lock_mode.sup old_mode mode);
+             lu = table.meta resource })
     end
   | None ->
     entry.granted <- (txn, mode, duration) :: entry.granted;
@@ -156,7 +163,8 @@ let drain table resource entry =
       emit table
         (Obs.Event.Lock_granted
            { txn = grant.g_txn; resource = grant.g_resource;
-             mode = Lock_mode.to_string grant.g_mode; immediate = false }))
+             mode = Lock_mode.to_string grant.g_mode; immediate = false;
+             lu = table.meta grant.g_resource }))
     served;
   served
 
@@ -177,7 +185,8 @@ let request table ~txn ?(duration = Short) ?deadline ~resource mode =
   table.stats.Lock_stats.requests <- table.stats.Lock_stats.requests + 1;
   emit table
     (Obs.Event.Lock_requested
-       { txn; resource; mode = Lock_mode.to_string mode });
+       { txn; resource; mode = Lock_mode.to_string mode;
+         lu = table.meta resource });
   let entry = entry_of table resource in
   let current =
     match held_triple entry txn with
@@ -194,7 +203,7 @@ let request table ~txn ?(duration = Short) ?deadline ~resource mode =
     emit table
       (Obs.Event.Lock_granted
          { txn; resource; mode = Lock_mode.to_string current;
-           immediate = true });
+           immediate = true; lu = table.meta resource });
     drop_entry_if_empty table resource entry;
     Granted
   end
@@ -214,7 +223,7 @@ let request table ~txn ?(duration = Short) ?deadline ~resource mode =
       emit table
         (Obs.Event.Lock_granted
            { txn; resource; mode = Lock_mode.to_string target;
-             immediate = true });
+             immediate = true; lu = table.meta resource });
       Log.debug (fun log ->
           log "T%d granted %s on %s" txn (Lock_mode.to_string target) resource);
       Granted
@@ -242,7 +251,8 @@ let request table ~txn ?(duration = Short) ?deadline ~resource mode =
       let blockers = List.sort_uniq Int.compare blockers in
       emit table
         (Obs.Event.Lock_waited
-           { txn; resource; mode = Lock_mode.to_string target; blockers });
+           { txn; resource; mode = Lock_mode.to_string target; blockers;
+             lu = table.meta resource });
       Waiting blockers
     end
   end
@@ -251,7 +261,8 @@ let try_request table ~txn ?(duration = Short) ~resource mode =
   table.stats.Lock_stats.requests <- table.stats.Lock_stats.requests + 1;
   emit table
     (Obs.Event.Lock_requested
-       { txn; resource; mode = Lock_mode.to_string mode });
+       { txn; resource; mode = Lock_mode.to_string mode;
+         lu = table.meta resource });
   let entry = entry_of table resource in
   let current =
     match held_triple entry txn with
@@ -265,7 +276,7 @@ let try_request table ~txn ?(duration = Short) ~resource mode =
     emit table
       (Obs.Event.Lock_granted
          { txn; resource; mode = Lock_mode.to_string current;
-           immediate = true });
+           immediate = true; lu = table.meta resource });
     drop_entry_if_empty table resource entry;
     `Granted
   end
@@ -280,7 +291,7 @@ let try_request table ~txn ?(duration = Short) ~resource mode =
       emit table
         (Obs.Event.Lock_granted
            { txn; resource; mode = Lock_mode.to_string target;
-             immediate = true });
+             immediate = true; lu = table.meta resource });
       `Granted
     end
     else begin
@@ -308,7 +319,8 @@ let release table ~txn ~resource =
           entry.granted;
       table.entry_count <- table.entry_count - 1;
       table.stats.Lock_stats.releases <- table.stats.Lock_stats.releases + 1;
-      emit table (Obs.Event.Lock_released { txn; resource })
+      emit table
+        (Obs.Event.Lock_released { txn; resource; lu = table.meta resource })
     end;
     let served = drain table resource entry in
     unindex_txn table txn resource entry;
@@ -376,7 +388,9 @@ let release_matching table ~txn keep_long =
           table.entry_count <- table.entry_count - 1;
           table.stats.Lock_stats.releases <-
             table.stats.Lock_stats.releases + 1;
-          emit table (Obs.Event.Lock_released { txn; resource })
+          emit table
+            (Obs.Event.Lock_released
+               { txn; resource; lu = table.meta resource })
         end;
         let served =
           if drop_grant || dropped_wait then drain table resource entry else []

@@ -24,16 +24,30 @@ type outcome =
 type grant = { g_txn : txn_id; g_resource : string; g_mode : Lock_mode.t }
 (** A queued request that became granted after a release. *)
 
-val create : ?obs:Obs.Sink.t -> unit -> t
+val create :
+  ?obs:Obs.Sink.t -> ?meta:(string -> Obs.Event.lu option) -> unit -> t
 (** [?obs] attaches an observability sink: the table emits
     {!Obs.Event.kind} lock-lifecycle events (requested / granted / waited /
-    released / conversion) through it. Omitted means zero overhead. *)
+    released / conversion) through it. Omitted means zero overhead.
+
+    [?meta] resolves a resource string to its lockable-unit annotation
+    (granule kind and depth); every lock event the table emits for that
+    resource carries the result. The table itself knows nothing about lock
+    graphs, so the default resolves everything to [None] — the colock
+    protocol installs the real resolver via {!set_meta}. *)
 
 val stats : t -> Lock_stats.t
 
 val obs : t -> Obs.Sink.t option
 (** The sink passed to {!create}, so higher layers (protocol, transaction
     manager) can inherit it. *)
+
+val set_meta : t -> (string -> Obs.Event.lu option) -> unit
+(** Replaces the lockable-unit resolver (see {!create}). *)
+
+val resource_lu : t -> string -> Obs.Event.lu option
+(** Resolves a resource through the installed [meta] — for emitters above
+    the table (timeout aborts, snapshots) that tag their own events. *)
 
 val request :
   t -> txn:txn_id -> ?duration:duration -> ?deadline:int -> resource:string ->

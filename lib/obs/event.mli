@@ -7,26 +7,42 @@
     emitting sink's clock uses: the discrete-event simulator stamps virtual
     ticks; wall-clock users stamp seconds. *)
 
+type lu = { lu_kind : string; lu_depth : int }
+(** Lockable-unit annotation for a resource: the granule kind from the
+    object-specific lock graph (["BLU"], ["HoLU"], ["HeLU"], or a
+    technique-specific label such as ["object"]/["tuple"] for the
+    baselines) and the resource's depth in the instance graph. Carried as
+    an option on every resource-bearing lock event; [None] means the
+    emitter had no graph metadata for that resource. *)
+
 type kind =
-  | Lock_requested of { txn : int; resource : string; mode : string }
+  | Lock_requested of {
+      txn : int;
+      resource : string;
+      mode : string;
+      lu : lu option;
+    }
   | Lock_granted of {
       txn : int;
       resource : string;
       mode : string;
       immediate : bool;  (** [false]: served from the wait queue *)
+      lu : lu option;
     }
   | Lock_waited of {
       txn : int;
       resource : string;
       mode : string;
       blockers : int list;
+      lu : lu option;
     }
-  | Lock_released of { txn : int; resource : string }
+  | Lock_released of { txn : int; resource : string; lu : lu option }
   | Conversion of {
       txn : int;
       resource : string;
       from_mode : string;
       to_mode : string;
+      lu : lu option;
     }
   | Escalation of {
       txn : int;
@@ -37,7 +53,12 @@ type kind =
   | Deescalation of { txn : int; node : string; mode : string }
   | Deadlock_detected of { cycle : int list }
   | Victim_aborted of { txn : int; restarts : int }
-  | Timeout_abort of { txn : int; resource : string; waited : int }
+  | Timeout_abort of {
+      txn : int;
+      resource : string;
+      waited : int;
+      lu : lu option;
+    }
       (** a lock wait exceeded its deadline and the waiter was aborted *)
   | Txn_begin of { txn : int }
   | Txn_commit of { txn : int }
@@ -49,6 +70,13 @@ type kind =
       locks_requested : int;
     }
   | Sim_step of { txn : int; step : int }
+  | Waits_for of { edges : (int * int) list }
+      (** periodic snapshot of the wait-for graph: [(waiter, blocker)]
+          edges at the event's timestamp *)
+  | Run_meta of { label : string }
+      (** stream delimiter: everything after it (until the next [Run_meta])
+          belongs to the labelled run, letting one JSONL file carry several
+          techniques' captures *)
 
 type t = { time : float; kind : kind }
 
@@ -59,5 +87,17 @@ val name : kind -> string
 val txn : kind -> int option
 (** The transaction an event belongs to ([None] for whole-system events). *)
 
+val lu_of : kind -> lu option
+(** The lockable-unit annotation, for the six resource-bearing lock events;
+    [None] everywhere else. *)
+
+val resource_of : kind -> string option
+(** The resource (or escalation node) an event refers to, when any. *)
+
 val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}: decodes one trace line back into a typed event,
+    accepting exactly the field layout the encoder writes. *)
+
 val pp : Format.formatter -> t -> unit

@@ -84,6 +84,14 @@ let quantile histogram q =
     Float.min histogram.max_value (Float.max histogram.min_value interpolated)
   end
 
+let bucket_counts histogram =
+  let cells = ref [] in
+  for bucket = bucket_count - 1 downto 0 do
+    if histogram.buckets.(bucket) > 0 then
+      cells := (lower_bound bucket, histogram.buckets.(bucket)) :: !cells
+  done;
+  !cells
+
 let row ?(prefix = "") histogram =
   let key suffix = if prefix = "" then suffix else prefix ^ "_" ^ suffix in
   [ (key "count", float_of_int histogram.count);

@@ -24,6 +24,11 @@ val max_value : t -> float
 val quantile : t -> float -> float
 (** [quantile h q] for [q] in [0, 1] (clamped). 0 when empty. *)
 
+val bucket_counts : t -> (float * int) list
+(** Non-empty buckets as [(inclusive lower bound, count)], in bucket order —
+    enough to reconstruct the distribution downstream (plots, exports)
+    without shipping 64 mostly-zero cells. *)
+
 val row : ?prefix:string -> t -> (string * float) list
 (** [count, mean, p50, p95, p99, max], each key optionally
     ["<prefix>_"]-qualified. *)

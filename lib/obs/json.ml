@@ -90,3 +90,192 @@ let output ?(indent = 0) channel json =
   output_string channel (to_string ~indent json)
 
 let pp formatter json = Format.pp_print_string formatter (to_string ~indent:2 json)
+
+(* ------------------------------------------------------------- parsing *)
+
+(* Recursive-descent parser for the subset this module emits (which is all
+   of standard JSON).  Numbers without '.', 'e' or 'E' decode as [Int];
+   everything else numeric decodes as [Float], mirroring the encoder's
+   Int/Float split. *)
+
+exception Parse_error of string
+
+let of_string text =
+  let length = String.length text in
+  let pos = ref 0 in
+  let fail message = raise (Parse_error message) in
+  let peek () = if !pos < length then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < length
+      && match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect char =
+    match peek () with
+    | Some c when c = char -> advance ()
+    | Some c -> fail (Printf.sprintf "expected %C, found %C" char c)
+    | None -> fail (Printf.sprintf "expected %C, found end of input" char)
+  in
+  let literal word value =
+    let stop = !pos + String.length word in
+    if stop <= length && String.sub text !pos (String.length word) = word then begin
+      pos := stop;
+      value
+    end
+    else fail (Printf.sprintf "invalid literal, expected %S" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > length then fail "truncated \\u escape";
+    let code = ref 0 in
+    for _ = 1 to 4 do
+      let digit =
+        match text.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> fail (Printf.sprintf "invalid hex digit %C" c)
+      in
+      code := (!code * 16) + digit;
+      advance ()
+    done;
+    !code
+  in
+  let add_utf8 buffer code =
+    (* Escaped code points re-encode as UTF-8 bytes; surrogates and
+       astral-plane pairs are out of scope for trace data. *)
+    if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buffer (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buffer (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | None -> fail "unterminated escape"
+         | Some '"' -> Buffer.add_char buffer '"'; advance ()
+         | Some '\\' -> Buffer.add_char buffer '\\'; advance ()
+         | Some '/' -> Buffer.add_char buffer '/'; advance ()
+         | Some 'b' -> Buffer.add_char buffer '\b'; advance ()
+         | Some 'f' -> Buffer.add_char buffer '\012'; advance ()
+         | Some 'n' -> Buffer.add_char buffer '\n'; advance ()
+         | Some 'r' -> Buffer.add_char buffer '\r'; advance ()
+         | Some 't' -> Buffer.add_char buffer '\t'; advance ()
+         | Some 'u' ->
+           advance ();
+           add_utf8 buffer (parse_hex4 ())
+         | Some c -> fail (Printf.sprintf "invalid escape \\%C" c));
+        loop ()
+      | Some c ->
+        Buffer.add_char buffer c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buffer
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let consume () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') -> advance (); true
+      | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance ();
+        true
+      | _ -> false
+    in
+    while consume () do () done;
+    let repr = String.sub text start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt repr with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "invalid number %S" repr)
+    else
+      match int_of_string_opt repr with
+      | Some n -> Int n
+      | None -> (
+        match float_of_string_opt repr with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "invalid number %S" repr))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let parse_field () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          (key, value)
+        in
+        let fields = ref [ parse_field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := parse_field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let value = parse_value () in
+    skip_ws ();
+    if !pos < length then fail "trailing garbage after document";
+    value
+  with
+  | value -> Ok value
+  | exception Parse_error message -> Error message

@@ -1,9 +1,10 @@
-(** A minimal JSON document type and serializer.
+(** A minimal JSON document type, serializer and parser.
 
     The observability layer emits JSONL event streams, Chrome trace files and
     metrics snapshots; this module is the single encoder all of them share
-    (the container carries no JSON library, and the needs here are purely
-    write-side). *)
+    (the container carries no JSON library). The parser exists for the
+    offline side of the same pipeline — [colock analyze] reading a JSONL
+    trace back into {!Event.t}s. *)
 
 type t =
   | Null
@@ -21,3 +22,8 @@ val to_string : ?indent:int -> t -> string
 
 val output : ?indent:int -> out_channel -> t -> unit
 val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parses one JSON document. Numbers without a fractional part or exponent
+    decode as [Int]; the rest as [Float] — mirroring the encoder's split.
+    Trailing non-whitespace input is an error. *)

@@ -1,7 +1,48 @@
+(* Each line is rendered into a buffer and written with a single
+   [output_string] followed by a flush: a run killed mid-stream (fault
+   plans abort anywhere) leaves a file of complete lines, never a torn
+   one. *)
+
+let render event =
+  let buffer = Buffer.create 128 in
+  Buffer.add_string buffer (Json.to_string (Event.to_json event));
+  Buffer.add_char buffer '\n';
+  Buffer.contents buffer
+
 let write channel event =
-  output_string channel (Json.to_string (Event.to_json event));
-  output_char channel '\n'
+  output_string channel (render event);
+  flush channel
 
 let handler channel = fun event -> write channel event
 
-let write_events channel events = List.iter (write channel) events
+let write_events channel events =
+  List.iter (fun event -> output_string channel (render event)) events;
+  flush channel
+
+let read_events in_channel =
+  let events = ref [] in
+  let errors = ref [] in
+  let line_number = ref 0 in
+  (try
+     while true do
+       let line = input_line in_channel in
+       incr line_number;
+       if String.trim line <> "" then
+         match Json.of_string line with
+         | Error message ->
+           errors := Printf.sprintf "line %d: %s" !line_number message :: !errors
+         | Ok json -> (
+           match Event.of_json json with
+           | Ok event -> events := event :: !events
+           | Error message ->
+             errors :=
+               Printf.sprintf "line %d: %s" !line_number message :: !errors)
+     done
+   with End_of_file -> ());
+  (List.rev !events, List.rev !errors)
+
+let load path =
+  let in_channel = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr in_channel)
+    (fun () -> read_events in_channel)

@@ -1,11 +1,23 @@
 (** JSON-lines event sink: one self-describing JSON object per line
     (fields [event], [time], then the event's own payload), suitable for
-    [jq], spreadsheet import, or replay into the {!Trace} exporter. *)
+    [jq], spreadsheet import, replay into the {!Trace} exporter, or offline
+    analysis via {!Profile}. *)
 
 val write : out_channel -> Event.t -> unit
+(** Writes one complete line and flushes: a run aborted mid-stream leaves
+    only whole lines behind. *)
 
 val handler : out_channel -> Event.t -> unit
 (** Partial application form for {!Sink.create}. The caller owns the
-    channel (and its flush/close). *)
+    channel (and its close). *)
 
 val write_events : out_channel -> Event.t list -> unit
+(** Batch form: renders every line, writes them, flushes once. *)
+
+val read_events : in_channel -> Event.t list * string list
+(** Reads a JSONL stream back into typed events. Blank lines are skipped;
+    each malformed line becomes a ["line N: ..."] diagnostic in the second
+    list instead of poisoning the whole read. *)
+
+val load : string -> Event.t list * string list
+(** {!read_events} on a file path; the channel is closed either way. *)

@@ -53,8 +53,28 @@ let row registry =
       (fun (name, histogram) -> Histogram.row ~prefix:name histogram)
       (histograms registry)
 
+(* Bucket cells ride next to the flat row as ["<name>_buckets"] keys, each a
+   list of [lower_bound, count] pairs: quantile summaries stay greppable
+   floats while plots can rebuild the full distribution. *)
+let bucket_fields registry =
+  List.filter_map
+    (fun (name, histogram) ->
+      match Histogram.bucket_counts histogram with
+      | [] -> None
+      | cells ->
+        Some
+          ( name ^ "_buckets",
+            Json.List
+              (List.map
+                 (fun (lower, count) ->
+                   Json.List [ Json.Float lower; Json.Int count ])
+                 cells) ))
+    (histograms registry)
+
 let to_json registry =
-  Json.Obj (List.map (fun (name, value) -> (name, Json.Float value)) (row registry))
+  Json.Obj
+    (List.map (fun (name, value) -> (name, Json.Float value)) (row registry)
+     @ bucket_fields registry)
 
 let pp formatter registry =
   Format.fprintf formatter "@[<v>";

@@ -32,6 +32,13 @@ val row : t -> (string * float) list
 (** Counters (as floats) followed by each histogram expanded to
     [name_count/_mean/_p50/_p95/_p99/_max]. *)
 
+val bucket_fields : t -> (string * Json.t) list
+(** One ["<name>_buckets"] field per histogram with data: a list of
+    [[lower_bound, count]] pairs (see {!Histogram.bucket_counts}), for
+    exports that want full distributions next to the flat {!row}. *)
+
 val to_json : t -> Json.t
+(** The flat {!row} plus {!bucket_fields}. *)
+
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -24,8 +24,26 @@ let emit sink kind =
   | [] -> ()
   | _ :: _ -> emit_at sink ~time:(sink.clock ()) kind
 
+let filter keep handler = fun event -> if keep event then handler event
+
+let sample ~every handler =
+  if every <= 0 then invalid_arg "Sink.sample: every must be positive";
+  let count = ref 0 in
+  fun event ->
+    let index = !count in
+    count := index + 1;
+    if index mod every = 0 then handler event
+
+let not_sim_step event =
+  match event.Event.kind with Event.Sim_step _ -> false | _ -> true
+
 let to_ring ring event = Ring.push ring event
 
-let memory ?clock ?(capacity = 65536) () =
+let memory ?clock ?(capacity = 65536) ?keep () =
   let ring = Ring.create ~capacity in
-  (create ?clock [ to_ring ring ], ring)
+  let handler =
+    match keep with
+    | None -> to_ring ring
+    | Some keep -> filter keep (to_ring ring)
+  in
+  (create ?clock [ handler ], ring)

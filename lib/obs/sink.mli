@@ -28,8 +28,25 @@ val emit : t -> Event.kind -> unit
 val emit_at : t -> time:float -> Event.kind -> unit
 (** Like {!emit} with an explicit timestamp. *)
 
+val filter : (Event.t -> bool) -> (Event.t -> unit) -> Event.t -> unit
+(** [filter keep handler] wraps a handler so it only sees events where
+    [keep] holds — e.g. drop [Sim_step] noise before a ring or JSONL sink
+    floods on a long soak. *)
+
+val sample : every:int -> (Event.t -> unit) -> Event.t -> unit
+(** [sample ~every handler] passes every [every]-th event (the first one
+    always passes). Raises [Invalid_argument] when [every <= 0]. Compose
+    with {!filter} to sample within one event class. *)
+
+val not_sim_step : Event.t -> bool
+(** Predicate for {!filter}: everything but [Sim_step]. *)
+
 val to_ring : Event.t Ring.t -> Event.t -> unit
 (** Handler that appends to a bounded ring buffer. *)
 
-val memory : ?clock:(unit -> float) -> ?capacity:int -> unit -> t * Event.t Ring.t
-(** A sink backed by a fresh ring buffer (default capacity 65536). *)
+val memory :
+  ?clock:(unit -> float) -> ?capacity:int -> ?keep:(Event.t -> bool) ->
+  unit -> t * Event.t Ring.t
+(** A sink backed by a fresh ring buffer (default capacity 65536). [?keep]
+    filters what reaches the ring (see {!filter}); everything still reaches
+    handlers attached later with {!attach}. *)

@@ -75,7 +75,7 @@ let group_events ~pid ~scale events =
           Hashtbl.remove begins txn;
           txn_span ~txn ~start ~finish:time ~outcome:reason ~finished:true
         | None -> ())
-      | Event.Lock_waited { txn; resource; mode; blockers } ->
+      | Event.Lock_waited { txn; resource; mode; blockers; _ } ->
         if not (Hashtbl.mem waits (txn, resource)) then
           Hashtbl.replace waits (txn, resource) (time, mode, blockers)
       | Event.Lock_granted { txn; resource; _ } -> (
@@ -98,7 +98,7 @@ let group_events ~pid ~scale events =
           (instant ~pid ~tid:txn ~name:"victim aborted" ~cat:"deadlock"
              ~ts:(time *. scale)
              [ ("restarts", Json.Int restarts) ])
-      | Event.Timeout_abort { txn; resource; waited } ->
+      | Event.Timeout_abort { txn; resource; waited; _ } ->
         Hashtbl.iter
           (fun (waiter, res) (start, mode, blockers) ->
             if waiter = txn then begin
@@ -138,7 +138,17 @@ let group_events ~pid ~scale events =
         push
           (instant ~pid ~tid:txn ~name:(Printf.sprintf "step %d" step)
              ~cat:"sim" ~ts:(time *. scale) [])
-      | Event.Lock_requested _ | Event.Lock_released _ | Event.Conversion _ ->
+      | Event.Waits_for { edges } ->
+        push
+          (instant ~pid ~tid:0 ~name:"waits-for" ~cat:"deadlock"
+             ~ts:(time *. scale)
+             [ ( "edges",
+                 Json.List
+                   (List.map
+                      (fun (waiter, blocker) -> ints [ waiter; blocker ])
+                      edges) ) ])
+      | Event.Lock_requested _ | Event.Lock_released _ | Event.Conversion _
+      | Event.Run_meta _ ->
         ())
     events;
   (* capture ended with spans still open *)

@@ -16,12 +16,13 @@ type config = {
   backoff : Policy.backoff;
   hog_hold : int;
   check_invariants : bool;
+  snapshot_every : int option;
 }
 
 let default_config =
   { max_restarts = 20; resolution = Policy.Detection;
     victim = Policy.Youngest; backoff = Policy.Fixed 50; hog_hold = 4000;
-    check_invariants = false }
+    check_invariants = false; snapshot_every = None }
 
 type status =
   | Idle
@@ -54,6 +55,7 @@ type event =
   | Restart of job_state
   | Timeout_check of job_state * int  (* wait epoch the check was armed for *)
   | Hog_release of job_state
+  | Snapshot  (* periodic wait-for-graph emission *)
 
 type abort_reason = Deadlock | Timeout
 
@@ -125,7 +127,8 @@ and abort_and_restart sim time ~reason state =
        stats.Lockmgr.Lock_stats.timeout_aborts + 1;
      emit sim
        (Obs.Event.Timeout_abort
-          { txn = state.txn; resource = waited_on; waited = blocked_wait }));
+          { txn = state.txn; resource = waited_on; waited = blocked_wait;
+            lu = Table.resource_lu sim.table waited_on }));
   if state.restarts > sim.config.max_restarts then begin
     state.status <- Gave_up;
     (* record when the job abandoned, so response time accounts for it *)
@@ -289,6 +292,14 @@ let handle sim time = function
     match state.status with
     | Accessing -> crash sim time ~reason:"hog" state
     | Idle | Locking | Waiting | Committed | Gave_up | Crashed -> ())
+  | Snapshot -> (
+    emit sim (Obs.Event.Waits_for { edges = Table.waits_for_edges sim.table });
+    (* only reschedule while real work remains queued, or the drain loop
+       would follow snapshots forever *)
+    match sim.config.snapshot_every with
+    | Some period when not (Event_queue.is_empty sim.queue) ->
+      Event_queue.schedule sim.queue ~time:(time + period) Snapshot
+    | Some _ | None -> ())
 
 (* Chaos-run oracle: after every event the table must be structurally sound,
    every blocked job must really be queued, and — when detection runs — the
@@ -350,6 +361,10 @@ let run ?(config = default_config) ?(faults = Fault.none)
       on_begin state.txn;
       Event_queue.schedule sim.queue ~time:state.job.arrival (Begin state))
     states;
+  (match config.snapshot_every with
+   | Some period when period > 0 && Array.length states > 0 ->
+     Event_queue.schedule sim.queue ~time:period Snapshot
+   | Some _ | None -> ());
   let last_time = ref 0 in
   let rec drain () =
     match Event_queue.pop sim.queue with

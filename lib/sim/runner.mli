@@ -36,11 +36,16 @@ type config = {
   check_invariants : bool;
       (** audit the lock table and job states after {e every} event; any
           violation raises [Failure] (chaos-test oracle — expensive) *)
+  snapshot_every : int option;
+      (** emit an {!Obs.Event.Waits_for} wait-for-graph snapshot every this
+          many virtual ticks (deadlock structure over time, not just at
+          detection); [None] disables. Snapshots stop once the event queue
+          drains, so runs still terminate. *)
 }
 
 val default_config : config
 (** Detection, youngest victim, fixed backoff 50, max 20 restarts, hog hold
-    4000, no invariant checking. *)
+    4000, no invariant checking, no snapshots. *)
 
 val run :
   ?config:config -> ?faults:Fault.spec ->

@@ -198,7 +198,9 @@ let expire_timeouts ?now manager =
           (* a multi-resource waiter appears once per expired wait; the
              first abort finishes it, so the rest fall through here *)
           emit manager
-            (Obs.Event.Timeout_abort { txn = id; resource; waited = timeout });
+            (Obs.Event.Timeout_abort
+               { txn = id; resource; waited = timeout;
+                 lu = Table.resource_lu table resource });
           let grants = abort manager ~reason:Transaction.Timeout_victim txn in
           let (_ : Transaction.t list) = unblocked manager grants in
           Some txn

@@ -1,0 +1,87 @@
+The offline trace analyzer folds a committed JSONL fixture (two runs
+separated by run_meta delimiter lines) into per-run contention reports.
+The blocked-time totals must equal the sum of the fixture's wait spans:
+proposed = 20 (BLU grant) + 25 (HoLU victim) + 10 (unfinished) = 55,
+whole-object = 500.
+
+  $ colock analyze fixture.jsonl
+  === contention report: proposed (rule 4') ===
+  events 12, time 0..60
+  blocked time 55 across 3 wait(s), 1 unfinished
+  wait-for snapshots 1, peak 2 edge(s)
+  aborts: deadlock=1
+  
+  blocked time by lockable-unit level:
+    LEVEL           BLOCKED    WAITS  RESOURCES
+    HoLU                 25        1          1
+    BLU                  20        1          1
+    untagged             10        1          1
+  
+  blocked time by graph depth:
+    DEPTH           BLOCKED    WAITS
+    3                    25        1
+    5                    20        1
+  
+  hot resources (top 3 of 3):
+         BLOCKED    WAITS LU         RESOURCE
+              25        1 HoLU@3     db1/seg1/cells
+              20        1 BLU@5      db1/seg1/cells/c1/cell_id
+              10        1 -          db1/seg2/effectors/e1
+  
+  conflicts (waiter mode x holder mode):
+    WAITER   HOLDER      COUNT      BLOCKED
+    S        queue           1           25
+    X        S               1           20
+    X        queue           1           10
+  
+  critical paths (top 3 of 3):
+    T3 blocked 25, critical 25: db1/seg1/cells (25)
+    T1 blocked 20, critical 20: db1/seg1/cells/c1/cell_id (20)
+    T2 blocked 10, critical 10: db1/seg2/effectors/e1 (10)
+  
+  
+  === contention report: whole-object (XSQL) ===
+  events 3, time 0..500
+  blocked time 500 across 1 wait(s), 0 unfinished
+  
+  blocked time by lockable-unit level:
+    LEVEL           BLOCKED    WAITS  RESOURCES
+    HeLU                500        1          1
+  
+  blocked time by graph depth:
+    DEPTH           BLOCKED    WAITS
+    4                   500        1
+  
+  hot resources (top 1 of 1):
+         BLOCKED    WAITS LU         RESOURCE
+             500        1 HeLU@4     db1/seg1/cells/c1
+  
+  conflicts (waiter mode x holder mode):
+    WAITER   HOLDER      COUNT      BLOCKED
+    X        X               1          500
+  
+  critical paths (top 1 of 1):
+    T5 blocked 500, critical 500: db1/seg1/cells/c1 (500)
+  
+
+The JSON form carries the same totals, one report object per run:
+
+  $ colock analyze --json fixture.jsonl | tr ',' '\n' | grep -c 'total_blocked'
+  2
+  $ colock analyze --json fixture.jsonl | tr ',' '\n' | grep 'total_blocked'
+  "total_blocked": 55
+  "total_blocked": 500
+
+Bounding the tables with --top:
+
+  $ colock analyze --top 1 fixture.jsonl | grep 'hot resources'
+  hot resources (top 1 of 3):
+  hot resources (top 1 of 1):
+
+A trace with no decodable events is an error:
+
+  $ printf 'garbage\n' > bad.jsonl
+  $ colock analyze bad.jsonl
+  colock: bad.jsonl: line 1: unexpected character 'g'
+  colock: bad.jsonl: no decodable events
+  [1]

@@ -70,6 +70,20 @@ let test_histogram_quantiles_ordered () =
      right power-of-two neighbourhood *)
   check_bool "p50 in [32, 64]" true (p50 >= 32.0 && p50 <= 64.0)
 
+let test_histogram_bucket_counts () =
+  let histogram = Histogram.create () in
+  check_bool "empty histogram has no buckets" true
+    (Histogram.bucket_counts histogram = []);
+  List.iter (Histogram.observe histogram) [ 1.0; 1.5; 100.0 ];
+  let buckets = Histogram.bucket_counts histogram in
+  check_int "samples preserved" 3
+    (List.fold_left (fun acc (_, count) -> acc + count) 0 buckets);
+  check_bool "lower bounds ascend" true
+    (let bounds = List.map fst buckets in
+     List.sort compare bounds = bounds);
+  check_bool "only non-empty buckets" true
+    (List.for_all (fun (_, count) -> count > 0) buckets)
+
 (* ------------------------------------------------------------------- Ring *)
 
 let test_ring_wraparound () =
@@ -100,10 +114,10 @@ let test_ring_rejects_bad_capacity () =
 (* -------------------------------------------------------------- Collector *)
 
 let wait txn resource =
-  Event.Lock_waited { txn; resource; mode = "X"; blockers = [ 99 ] }
+  Event.Lock_waited { txn; resource; mode = "X"; blockers = [ 99 ]; lu = None }
 
 let grant ?(immediate = false) txn resource =
-  Event.Lock_granted { txn; resource; mode = "X"; immediate }
+  Event.Lock_granted { txn; resource; mode = "X"; immediate; lu = None }
 
 let test_collector_pairs_wait_to_grant () =
   let collector = Obs.Collector.create () in
@@ -130,6 +144,47 @@ let test_collector_txn_response () =
   in
   check_int "only the commit is a response sample" 1 (Histogram.count histogram);
   check_float "response time" 100.0 (Histogram.max_value histogram)
+
+(* ------------------------------------------------------------------- Sink *)
+
+let test_sink_filter_drops_sim_steps () =
+  let seen = ref [] in
+  let sink =
+    Obs.Sink.create
+      [ Obs.Sink.filter Obs.Sink.not_sim_step
+          (fun event -> seen := event :: !seen) ]
+  in
+  Obs.Sink.emit sink (Event.Txn_begin { txn = 1 });
+  Obs.Sink.emit sink (Event.Sim_step { txn = 1; step = 0 });
+  Obs.Sink.emit sink (Event.Sim_step { txn = 1; step = 1 });
+  Obs.Sink.emit sink (Event.Txn_commit { txn = 1 });
+  check_int "sim steps filtered out" 2 (List.length !seen)
+
+let test_sink_sample () =
+  let count = ref 0 in
+  let handler = Obs.Sink.sample ~every:3 (fun _event -> incr count) in
+  let sink = Obs.Sink.create [ handler ] in
+  for step = 0 to 8 do
+    Obs.Sink.emit sink (Event.Sim_step { txn = 1; step })
+  done;
+  check_int "every third event passes" 3 !count;
+  Alcotest.check_raises "rejects non-positive rate"
+    (Invalid_argument "Sink.sample: every must be positive") (fun () ->
+      ignore
+        (Obs.Sink.sample ~every:0 (fun _event -> ()) : Event.t -> unit))
+
+let test_memory_keep_filters_ring_only () =
+  let sink, ring = Obs.Sink.memory ~keep:Obs.Sink.not_sim_step () in
+  let collector = Obs.Collector.create () in
+  Obs.Sink.attach sink (Obs.Collector.handle collector);
+  Obs.Sink.emit sink (Event.Txn_begin { txn = 1 });
+  Obs.Sink.emit sink (Event.Sim_step { txn = 1; step = 0 });
+  Obs.Sink.emit sink (Event.Txn_commit { txn = 1 });
+  check_int "ring skips the noise" 2 (Ring.length ring);
+  check_int "collector still counts it" 1
+    (Obs.Registry.counter
+       (Obs.Collector.registry collector)
+       "events.sim_step")
 
 (* ------------------------------------------------------------------ Trace *)
 
@@ -168,7 +223,9 @@ let () =
          Alcotest.test_case "negative clamps" `Quick
            test_histogram_negative_clamps;
          Alcotest.test_case "quantiles ordered" `Quick
-           test_histogram_quantiles_ordered ]);
+           test_histogram_quantiles_ordered;
+         Alcotest.test_case "bucket counts" `Quick
+           test_histogram_bucket_counts ]);
       ("ring",
        [ Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
          Alcotest.test_case "partial fill" `Quick test_ring_partial_fill;
@@ -179,6 +236,11 @@ let () =
            test_collector_pairs_wait_to_grant;
          Alcotest.test_case "txn response" `Quick
            test_collector_txn_response ]);
+      ("sink",
+       [ Alcotest.test_case "filter" `Quick test_sink_filter_drops_sim_steps;
+         Alcotest.test_case "sample" `Quick test_sink_sample;
+         Alcotest.test_case "memory keep" `Quick
+           test_memory_keep_filters_ring_only ]);
       ("trace",
        [ Alcotest.test_case "wait span" `Quick test_trace_exports_wait_span ])
     ]
