@@ -276,6 +276,171 @@ let with_out path f =
       Fmt.epr "colock: cannot write output: %s@." message;
       exit 1
 
+(* ------------------------------------------------- live monitoring common *)
+
+let window_arg =
+  Arg.(value & opt float 200.0
+       & info [ "window" ] ~docv:"TICKS"
+           ~doc:"Sliding-window length (virtual clock ticks) behind the \
+                 windowed rates, wait quantiles and SLO evaluation.")
+
+let slo_arg =
+  Arg.(value & opt (some file) None
+       & info [ "slo" ] ~docv:"FILE"
+           ~doc:"Evaluate SLO rules from $(docv) (one per line, e.g. \
+                 $(b,p99_wait < 40), $(b,abort_rate < 0.25), optionally \
+                 $(b,p95_wait{lu=HoLU} < 25)) once per window; every \
+                 violation emits an slo_breach event into the captures.")
+
+let load_slo = function
+  | None -> None
+  | Some path ->
+    (match Obs.Slo.load path with
+     | Ok slo -> Some slo
+     | Error message ->
+       Fmt.epr "colock: %s: %s@." path message;
+       exit 1)
+
+(* The run can end with SLO breaches (exit 3) — distinct from usage errors
+   (124/125) and ordinary failures (1). *)
+let exit_slo_breach = 3
+
+let health_response monitor =
+  let body =
+    Obs.Monitor.locked monitor (fun () ->
+        Obs.Json.to_string
+          (Obs.Json.Obj
+             [ ("status", Obs.Json.String "ok");
+               ( "run",
+                 match Obs.Monitor.label monitor with
+                 | Some label -> Obs.Json.String label
+                 | None -> Obs.Json.Null );
+               ("now", Obs.Json.Float (Obs.Monitor.now monitor));
+               ( "commits",
+                 Obs.Json.Float (float_of_int (Obs.Monitor.commits monitor))
+               ) ]))
+    ^ "\n"
+  in
+  { Obs.Http.status = 200; content_type = "application/json"; body }
+
+(* [sink ()] is consulted per scrape: simulate re-creates its capture sink
+   for every technique, and the self-accounting gauges should describe the
+   one currently live. *)
+let start_metrics_server ~port monitor sink =
+  let handler path =
+    match path with
+    | "/metrics" ->
+      let body =
+        Obs.Monitor.locked monitor (fun () ->
+            (match sink () with
+             | Some sink -> Obs.Monitor.sync_sink monitor sink
+             | None -> ());
+            Obs.Expo.render (Obs.Monitor.registry monitor))
+      in
+      Some
+        { Obs.Http.status = 200; content_type = Obs.Expo.content_type; body }
+    | "/health" -> Some (health_response monitor)
+    | _ -> None
+  in
+  let server = Obs.Http.start ~port handler in
+  Printf.eprintf "colock: serving /metrics and /health on 127.0.0.1:%d\n%!"
+    (Obs.Http.port server);
+  server
+
+let print_verdicts ~label verdicts =
+  List.iter
+    (fun { Obs.Slo.rule; value; ok } ->
+      Printf.printf "%-22s %s %s (value %g)\n" label
+        (if ok then "ok    " else "BREACH")
+        rule.Obs.Slo.text value)
+    verdicts
+
+(* ------------------------------------------------------------- dashboard *)
+
+(* One [colock top] frame as a string: plain text under [--once] (golden
+   testable), ANSI-highlighted live. *)
+let render_dashboard ?(color = false) ?(top = 8) monitor watch =
+  let buffer = Buffer.create 1024 in
+  let add format = Printf.ksprintf (Buffer.add_string buffer) format in
+  let bold text = if color then "\027[1m" ^ text ^ "\027[0m" else text in
+  let red text = if color then "\027[31m" ^ text ^ "\027[0m" else text in
+  let registry = Obs.Monitor.registry monitor in
+  let gauge name = int_of_float (Obs.Registry.gauge_value registry name) in
+  let window name = Obs.Registry.find_window registry name in
+  let label =
+    match Obs.Monitor.label monitor with
+    | Some label -> label
+    | None -> "(unlabelled run)"
+  in
+  add "%s\n" (bold (Printf.sprintf "colock top — %s" label));
+  add "now %.0f  elapsed %.0f  throughput %.4f commits/tick\n"
+    (Obs.Monitor.now monitor)
+    (Obs.Monitor.elapsed monitor)
+    (Obs.Monitor.throughput monitor);
+  add "active txns %d  lock entries %d  wait queue %d\n"
+    (gauge "active_txns") (gauge "lock_entries") (gauge "wait_queue_depth");
+  (match window "window.lock_wait" with
+   | Some waits ->
+     add
+       "window wait  p50 %.1f  p95 %.1f  p99 %.1f  max %.1f  (%d waits, \
+        %.3f/tick)\n"
+       (Obs.Window.quantile waits 0.50)
+       (Obs.Window.quantile waits 0.95)
+       (Obs.Window.quantile waits 0.99)
+       (Obs.Window.max_value waits) (Obs.Window.count waits)
+       (Obs.Window.rate waits)
+   | None -> ());
+  let window_line name window =
+    add "window %-9s %4d  (%.3f/tick)\n" name (Obs.Window.count window)
+      (Obs.Window.rate window)
+  in
+  List.iter
+    (fun (title, name) ->
+      match window name with
+      | Some window -> window_line title window
+      | None -> ())
+    [ ("grants", "window.grants"); ("commits", "window.commits");
+      ("aborts", "window.aborts"); ("deadlocks", "window.deadlocks") ];
+  (match
+     List.filter (fun (_, count) -> count > 0) (Obs.Monitor.aborts monitor)
+   with
+   | [] -> ()
+   | aborts ->
+     add "aborts: %s\n"
+       (String.concat "  "
+          (List.map
+             (fun (reason, count) -> Printf.sprintf "%s %d" reason count)
+             aborts)));
+  (match Obs.Monitor.hot_resources ~top monitor with
+   | [] -> ()
+   | hot ->
+     add "%s\n" (bold "hot resources                    blocked  waits  lu");
+     List.iter
+       (fun (resource, stat) ->
+         add "  %-30s %7.1f  %5d  %s\n" resource
+           stat.Obs.Monitor.r_blocked stat.Obs.Monitor.r_waits
+           (match stat.Obs.Monitor.r_lu with
+            | Some { Obs.Event.lu_kind; _ } -> lu_kind
+            | None -> "-"))
+       hot);
+  (match watch with
+   | None -> ()
+   | Some watch ->
+     let verdicts =
+       Obs.Slo.evaluate (Obs.Slo.watched watch) monitor
+     in
+     let breaches = Obs.Slo.breach_count watch in
+     add "%s\n"
+       (bold
+          (Printf.sprintf "SLO (%d rule(s), %d breach(es) this run)"
+             (List.length verdicts) breaches));
+     List.iter
+       (fun { Obs.Slo.rule; value; ok } ->
+         let status = if ok then "ok    " else red "BREACH" in
+         add "  %s %s (value %g)\n" status rule.Obs.Slo.text value)
+       verdicts);
+  Buffer.contents buffer
+
 (* --------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
@@ -321,22 +486,63 @@ let simulate_cmd =
                    is filtered out of --trace/--jsonl output (counters still \
                    see every event).")
   in
+  let serve_port =
+    Arg.(value & opt (some int) None
+         & info [ "serve" ] ~docv:"PORT"
+             ~doc:"Serve live Prometheus metrics ($(b,/metrics)) and a \
+                   health probe ($(b,/health)) on 127.0.0.1:$(docv) while \
+                   the simulation runs (0 picks an ephemeral port). Combine \
+                   with $(b,--pace) so there is wall time to scrape.")
+  in
+  let pace =
+    Arg.(value & opt float 0.0
+         & info [ "pace" ] ~docv:"TICKS/SEC"
+             ~doc:"Pace the simulation against wall time at $(docv) virtual \
+                   ticks per second (0 = run flat out). Makes $(b,--serve) \
+                   endpoints show the run unfolding live.")
+  in
   let run () techniques jobs cells read_fraction seed resolution victim
       backoff max_restarts faults check_invariants trace_file stats_json_file
-      jsonl_file snapshot_every trace_all =
+      jsonl_file snapshot_every trace_all serve_port pace window slo_file =
     let graph, specs =
       manufacturing_scenario ~jobs ~cells ~read_fraction ~seed
     in
+    let slo = load_slo slo_file in
+    let monitoring = serve_port <> None || slo <> None in
+    let on_advance =
+      if pace > 0.0 then begin
+        let previous = ref 0 in
+        Some
+          (fun time ->
+            let delta = time - !previous in
+            previous := time;
+            if delta > 0 then Unix.sleepf (float_of_int delta /. pace))
+      end
+      else None
+    in
     let config =
       { Sim.Runner.default_config with resolution; victim; backoff;
-        max_restarts; check_invariants; snapshot_every }
+        max_restarts; check_invariants; snapshot_every; on_advance }
     in
     let faults = { faults with Sim.Fault.fault_seed = seed } in
     let observing =
       trace_file <> None || stats_json_file <> None || jsonl_file <> None
+      || monitoring
     in
     let keep = if trace_all then None else Some Obs.Sink.not_sim_step in
     let quiet = stats_json_file = Some "-" || jsonl_file = Some "-" in
+    let monitor =
+      if monitoring then Some (Obs.Monitor.create ~span:window ()) else None
+    in
+    let live_sink = ref None in
+    let server =
+      Option.map
+        (fun port ->
+          let monitor = Option.get monitor in
+          start_metrics_server ~port monitor (fun () -> !live_sink))
+        serve_port
+    in
+    let breach_total = ref 0 in
     if not quiet then
       Printf.printf "%-22s %9s %9s %9s %9s %9s %9s %9s %9s\n" "technique"
         "committed" "aborts" "crashed" "makespan" "thruput" "avg resp" "waits"
@@ -348,6 +554,7 @@ let simulate_cmd =
             if observing then Some (make_capture ?keep ()) else None
           in
           let obs = Option.map (fun (sink, _, _) -> sink) capture in
+          live_sink := obs;
           (* tag lock events with granule metadata for every technique —
              the baselines have no protocol to install the resolver *)
           let table =
@@ -355,11 +562,36 @@ let simulate_cmd =
               ~meta:(Colock.Instance_graph.lu_resolver graph) ()
           in
           let technique = technique_of graph table selector in
+          let name = Sim.Scenario.technique_name technique in
+          (* one live monitor across techniques: a begin_run reset per
+             technique keeps the /metrics endpoint from bleeding stats
+             between runs; a fresh SLO watch per technique restarts the
+             breach tally and window phase *)
+          let watch =
+            match monitor, obs with
+            | Some monitor, Some sink ->
+              Obs.Monitor.begin_run monitor ~label:name;
+              Obs.Sink.attach sink (Obs.Monitor.handle monitor);
+              Option.map
+                (fun slo ->
+                  let watch = Obs.Slo.watch ~sink slo monitor in
+                  Obs.Sink.attach sink (Obs.Slo.handler watch);
+                  watch)
+                slo
+            | _ -> None
+          in
           let sim_jobs = Sim.Scenario.compile graph technique specs in
           let metrics = Sim.Runner.run ~config ~faults ~table sim_jobs in
+          (match watch with
+           | None -> ()
+           | Some watch ->
+             let breaches =
+               Obs.Slo.finish watch
+                 ~time:(float_of_int metrics.Sim.Metrics.makespan)
+             in
+             breach_total := !breach_total + breaches);
           if not quiet then
-            Printf.printf "%-22s %9d %9d %9d %9d %9.2f %9.1f %9d %9d\n"
-              (Sim.Scenario.technique_name technique)
+            Printf.printf "%-22s %9d %9d %9d %9d %9.2f %9.1f %9d %9d\n" name
               metrics.Sim.Metrics.committed
               (metrics.Sim.Metrics.deadlock_aborts
                + metrics.Sim.Metrics.timeout_aborts)
@@ -367,9 +599,15 @@ let simulate_cmd =
               (Sim.Metrics.throughput metrics)
               (Sim.Metrics.avg_response metrics)
               metrics.Sim.Metrics.total_wait metrics.Sim.Metrics.lock_requests;
-          (Sim.Scenario.technique_name technique, capture, table, metrics))
+          (match watch, monitor with
+           | Some watch, Some monitor when not quiet ->
+             print_verdicts ~label:name
+               (Obs.Slo.evaluate (Obs.Slo.watched watch) monitor)
+           | _ -> ());
+          (name, capture, table, metrics))
         techniques
     in
+    Option.iter Obs.Http.stop server;
     (match trace_file with
      | None -> ()
      | Some path ->
@@ -431,17 +669,22 @@ let simulate_cmd =
        with_out path (fun channel ->
            Obs.Json.output channel json;
            output_char channel '\n'));
-    0
+    if !breach_total > 0 then begin
+      Fmt.epr "colock: %d SLO breach(es)@." !breach_total;
+      exit_slo_breach
+    end
+    else 0
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the concurrency simulator on a generated manufacturing \
-             workload and compare techniques.")
+             workload and compare techniques; optionally serve live metrics \
+             and enforce SLOs while it runs.")
     Term.(const run $ setup_logs $ technique $ jobs_arg $ cells_arg
           $ read_fraction_arg $ seed_arg $ resolution_arg $ victim_arg
           $ backoff_arg $ max_restarts_arg $ faults_arg $ check_invariants_arg
           $ trace_file $ stats_json_file $ jsonl_file $ snapshot_every
-          $ trace_all)
+          $ trace_all $ serve_port $ pace $ window_arg $ slo_arg)
 
 (* ------------------------------------------------------------------ trace *)
 
@@ -502,6 +745,189 @@ let trace_cmd =
              a Chrome trace_event file (chrome://tracing, Perfetto).")
     Term.(const run $ setup_logs $ technique $ jobs_arg $ cells_arg
           $ read_fraction_arg $ seed_arg $ output $ jsonl)
+
+(* ------------------------------------------------------------ serve / top *)
+
+let trace_pos_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"TRACE"
+           ~doc:"A JSONL event trace, as written by $(b,colock simulate \
+                 --jsonl) or $(b,colock trace --jsonl).")
+
+let load_trace path =
+  let events, errors = Obs.Jsonl.load path in
+  List.iter (fun message -> Fmt.epr "colock: %s: %s@." path message) errors;
+  if events = [] then begin
+    Fmt.epr "colock: %s: no decodable events@." path;
+    exit 1
+  end;
+  events
+
+(* A monitor (plus optional SLO watch) fed by a fresh sink — the replay
+   pipeline behind both [colock serve] and [colock top]. *)
+let make_replay ~window slo_file =
+  let monitor = Obs.Monitor.create ~span:window () in
+  let sink = Obs.Sink.create [] in
+  Obs.Sink.attach sink (Obs.Monitor.handle monitor);
+  let watch =
+    Option.map
+      (fun slo ->
+        let watch = Obs.Slo.watch ~sink slo monitor in
+        Obs.Sink.attach sink (Obs.Slo.handler watch);
+        watch)
+      (load_slo slo_file)
+  in
+  (monitor, sink, watch)
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 9090
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Listen on 127.0.0.1:$(docv); 0 picks an ephemeral port.")
+  in
+  let rate =
+    Arg.(value & opt float 1000.0
+         & info [ "rate" ] ~docv:"TICKS/SEC"
+             ~doc:"Replay speed: virtual ticks per wall second (0 = replay \
+                   instantly).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Exit after the replay finishes instead of serving the \
+                   final snapshot until interrupted (smoke tests, scripts).")
+  in
+  let run () trace port rate window slo_file once =
+    let events = load_trace trace in
+    let monitor, sink, watch = make_replay ~window slo_file in
+    let server = start_metrics_server ~port monitor (fun () -> Some sink) in
+    let last = ref 0.0 in
+    List.iter
+      (fun event ->
+        (match event.Obs.Event.kind with
+         | Obs.Event.Run_meta _ -> last := event.Obs.Event.time
+         | _ ->
+           let delta = event.Obs.Event.time -. !last in
+           if delta > 0.0 && rate > 0.0 then Unix.sleepf (delta /. rate);
+           last := event.Obs.Event.time);
+        Obs.Sink.emit_at sink ~time:event.Obs.Event.time event.Obs.Event.kind)
+      events;
+    (match watch with
+     | Some watch -> ignore (Obs.Slo.finish watch ~time:!last : int)
+     | None -> ());
+    Printf.eprintf "colock: replayed %d event(s) from %s\n%!"
+      (List.length events) trace;
+    if not once then begin
+      Printf.eprintf "colock: serving final snapshot — interrupt to stop\n%!";
+      let rec hold () =
+        Unix.sleep 3600;
+        hold ()
+      in
+      hold ()
+    end;
+    Obs.Http.stop server;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Replay a JSONL event trace at a given rate behind a live \
+             Prometheus $(b,/metrics) endpoint — rehearse dashboards and \
+             alert rules against recorded contention.")
+    Term.(const run $ setup_logs $ trace_pos_arg $ port $ rate $ window_arg
+          $ slo_arg $ once)
+
+let top_cmd =
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render one plain-text frame per run in the trace and \
+                   exit (deterministic; no ANSI escapes).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Seconds between live screen refreshes.")
+  in
+  let rate =
+    Arg.(value & opt float 1000.0
+         & info [ "rate" ] ~docv:"TICKS/SEC"
+             ~doc:"Replay speed: virtual ticks per wall second (0 = replay \
+                   instantly).")
+  in
+  let top =
+    Arg.(value & opt int 8
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows in the hot-resources panel.")
+  in
+  let run () trace once interval rate top window slo_file =
+    let events = load_trace trace in
+    let monitor, sink, watch = make_replay ~window slo_file in
+    if once then begin
+      (* instant replay; a Run_meta boundary flushes the finished run's
+         frame before the monitor resets for the next one *)
+      let since_meta = ref 0 and frames = ref 0 in
+      let flush () =
+        if !since_meta > 0 then begin
+          (match watch with
+           | Some watch ->
+             ignore
+               (Obs.Slo.finish watch ~time:(Obs.Monitor.now monitor) : int)
+           | None -> ());
+          if !frames > 0 then print_newline ();
+          print_string (render_dashboard ~top monitor watch);
+          incr frames;
+          since_meta := 0
+        end
+      in
+      List.iter
+        (fun event ->
+          (match event.Obs.Event.kind with
+           | Obs.Event.Run_meta _ -> flush ()
+           | _ -> incr since_meta);
+          Obs.Sink.emit_at sink ~time:event.Obs.Event.time
+            event.Obs.Event.kind)
+        events;
+      flush ();
+      0
+    end
+    else begin
+      let clear () = print_string "\027[2J\027[H" in
+      let render () =
+        clear ();
+        print_string (render_dashboard ~color:true ~top monitor watch);
+        flush stdout
+      in
+      let next_render = ref (Unix.gettimeofday ()) in
+      let last = ref 0.0 in
+      List.iter
+        (fun event ->
+          (match event.Obs.Event.kind with
+           | Obs.Event.Run_meta _ -> last := event.Obs.Event.time
+           | _ ->
+             let delta = event.Obs.Event.time -. !last in
+             if delta > 0.0 && rate > 0.0 then Unix.sleepf (delta /. rate);
+             last := event.Obs.Event.time);
+          Obs.Sink.emit_at sink ~time:event.Obs.Event.time
+            event.Obs.Event.kind;
+          if Unix.gettimeofday () >= !next_render then begin
+            render ();
+            next_render := Unix.gettimeofday () +. interval
+          end)
+        events;
+      (match watch with
+       | Some watch -> ignore (Obs.Slo.finish watch ~time:!last : int)
+       | None -> ());
+      render ();
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"A terminal dashboard over a JSONL event trace: throughput, \
+             windowed wait quantiles, abort taxonomy, hot resources and SLO \
+             status, refreshed as the trace replays.")
+    Term.(const run $ setup_logs $ trace_pos_arg $ once $ interval $ rate
+          $ top $ window_arg $ slo_arg)
 
 (* ---------------------------------------------------------------- analyze *)
 
@@ -564,4 +990,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ graph_cmd; plan_cmd; query_cmd; simulate_cmd; trace_cmd;
-            analyze_cmd ]))
+            serve_cmd; top_cmd; analyze_cmd ]))

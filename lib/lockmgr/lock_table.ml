@@ -449,6 +449,11 @@ let resources table =
 let entry_count table = table.entry_count
 let peak_entry_count table = table.peak_entry_count
 
+let waiter_count table =
+  Hashtbl.fold
+    (fun _resource entry count -> count + List.length entry.waiting)
+    table.entries 0
+
 let waits_for_edges table =
   let edges = ref [] in
   Hashtbl.iter

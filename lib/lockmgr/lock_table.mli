@@ -108,6 +108,10 @@ val peak_entry_count : t -> int
 (** High-water mark of {!entry_count} — "the number of the lock table
     entries" of §4.4.2.1. *)
 
+val waiter_count : t -> int
+(** Queued (not yet granted) requests across all resources — the live
+    wait-queue depth a monitor gauge should agree with. *)
+
 val waits_for_edges : t -> (txn_id * txn_id) list
 (** Edges [waiter -> blocker] for deadlock detection: each queued request
     waits for the incompatible holders and for incompatible earlier

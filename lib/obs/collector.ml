@@ -71,5 +71,6 @@ let handle collector event =
       (Hashtbl.copy collector.waits)
   | Event.Lock_released _ | Event.Conversion _ | Event.Escalation _
   | Event.Deescalation _ | Event.Deadlock_detected _ | Event.Query_executed _
-  | Event.Sim_step _ | Event.Waits_for _ | Event.Run_meta _ ->
+  | Event.Sim_step _ | Event.Waits_for _ | Event.Run_meta _
+  | Event.Slo_breach _ ->
     ()

@@ -60,6 +60,7 @@ type kind =
   | Sim_step of { txn : int; step : int }
   | Waits_for of { edges : (int * int) list }
   | Run_meta of { label : string }
+  | Slo_breach of { rule : string; value : float; threshold : float }
 
 type t = { time : float; kind : kind }
 
@@ -81,6 +82,7 @@ let name = function
   | Sim_step _ -> "sim_step"
   | Waits_for _ -> "waits_for"
   | Run_meta _ -> "run_meta"
+  | Slo_breach _ -> "slo_breach"
 
 let txn = function
   | Lock_requested { txn; _ } | Lock_granted { txn; _ }
@@ -90,7 +92,7 @@ let txn = function
   | Txn_commit { txn } | Txn_abort { txn; _ } | Query_executed { txn; _ }
   | Sim_step { txn; _ } ->
     Some txn
-  | Deadlock_detected _ | Waits_for _ | Run_meta _ -> None
+  | Deadlock_detected _ | Waits_for _ | Run_meta _ | Slo_breach _ -> None
 
 let lu_of = function
   | Lock_requested { lu; _ } | Lock_granted { lu; _ } | Lock_waited { lu; _ }
@@ -98,7 +100,7 @@ let lu_of = function
     lu
   | Escalation _ | Deescalation _ | Deadlock_detected _ | Victim_aborted _
   | Txn_begin _ | Txn_commit _ | Txn_abort _ | Query_executed _ | Sim_step _
-  | Waits_for _ | Run_meta _ ->
+  | Waits_for _ | Run_meta _ | Slo_breach _ ->
     None
 
 let resource_of = function
@@ -108,7 +110,8 @@ let resource_of = function
     Some resource
   | Escalation { node; _ } | Deescalation { node; _ } -> Some node
   | Deadlock_detected _ | Victim_aborted _ | Txn_begin _ | Txn_commit _
-  | Txn_abort _ | Query_executed _ | Sim_step _ | Waits_for _ | Run_meta _ ->
+  | Txn_abort _ | Query_executed _ | Sim_step _ | Waits_for _ | Run_meta _
+  | Slo_breach _ ->
     None
 
 (* LU annotations serialize flat ([lu], [depth]) so jq filters stay one
@@ -171,6 +174,9 @@ let kind_fields = function
                Json.List [ Json.Int waiter; Json.Int blocker ])
              edges) ) ]
   | Run_meta { label } -> [ ("label", Json.String label) ]
+  | Slo_breach { rule; value; threshold } ->
+    [ ("rule", Json.String rule); ("value", Json.Float value);
+      ("threshold", Json.Float threshold) ]
 
 let to_json event =
   Json.Obj
@@ -336,6 +342,11 @@ let kind_of_fields event_name fields =
   | "run_meta" ->
     let* label = string_field fields "label" in
     Ok (Run_meta { label })
+  | "slo_breach" ->
+    let* rule = string_field fields "rule" in
+    let* value = float_field fields "value" in
+    let* threshold = float_field fields "threshold" in
+    Ok (Slo_breach { rule; value; threshold })
   | other -> Error (Printf.sprintf "unknown event %S" other)
 
 let of_json = function

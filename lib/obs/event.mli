@@ -77,6 +77,10 @@ type kind =
       (** stream delimiter: everything after it (until the next [Run_meta])
           belongs to the labelled run, letting one JSONL file carry several
           techniques' captures *)
+  | Slo_breach of { rule : string; value : float; threshold : float }
+      (** a declarative service-level objective (see [Slo]) was violated in
+          the window that just closed: [rule] is the rule's source text,
+          [value] the measured signal, [threshold] the bound it crossed *)
 
 type t = { time : float; kind : kind }
 

@@ -1,0 +1,142 @@
+(* Prometheus text exposition (format version 0.0.4) over a registry
+   snapshot.
+
+   Registry metric names may carry a label block inline — the monitor
+   registers per-granule instruments as [window.lock_wait{lu="HoLU"}] — and
+   this renderer splits the block back off, so every LU-labelled variant
+   joins its base family under one # TYPE header.  Mapping:
+
+     counter    colock_<name>_total               TYPE counter
+     gauge      colock_<name>                     TYPE gauge
+     histogram  colock_<name>{quantile="..."}     TYPE summary  (+_sum/_count)
+     window     colock_<name>_rate/_p50/.../_count  TYPE gauge  (point-in-time)
+
+   Windows are sliding, not cumulative, so they expose as plain gauges with
+   quantile suffixes rather than as summaries. *)
+
+let content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let sanitize name =
+  let buffer = Buffer.create (String.length name) in
+  String.iteri
+    (fun index char ->
+      match char with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char buffer char
+      | '0' .. '9' ->
+        (* a leading digit is kept but escaped, not erased — "9lives" and
+           "8lives" must stay distinct families *)
+        if index = 0 then Buffer.add_char buffer '_';
+        Buffer.add_char buffer char
+      | _ -> Buffer.add_char buffer '_')
+    name;
+  if Buffer.length buffer = 0 then "_" else Buffer.contents buffer
+
+(* ["window.lock_wait{lu=\"HoLU\"}"] -> (["window_lock_wait"], [{lu="HoLU"}]) *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (sanitize name, "")
+  | Some brace ->
+    ( sanitize (String.sub name 0 brace),
+      String.sub name brace (String.length name - brace) )
+
+let number value =
+  if Float.is_nan value then "NaN"
+  else if value = Float.infinity then "+Inf"
+  else if value = Float.neg_infinity then "-Inf"
+  else if Float.is_integer value && Float.abs value < 1e15 then
+    Printf.sprintf "%.0f" value
+  else Printf.sprintf "%.6g" value
+
+(* Merge extra label pairs (e.g. quantile) into an existing label block. *)
+let with_labels labels extra =
+  match labels, extra with
+  | "", [] -> ""
+  | "", extra ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (key, value) -> Printf.sprintf "%s=\"%s\"" key value) extra)
+    ^ "}"
+  | labels, [] -> labels
+  | labels, extra ->
+    let inner = String.sub labels 1 (String.length labels - 2) in
+    "{" ^ inner ^ ","
+    ^ String.concat ","
+        (List.map (fun (key, value) -> Printf.sprintf "%s=\"%s\"" key value) extra)
+    ^ "}"
+
+type family = {
+  f_name : string;  (* fully qualified, sans label block *)
+  f_type : string;
+  f_samples : (string * string * float) list;
+      (* (suffix, label block, value) *)
+}
+
+let families ?(namespace = "colock") registry =
+  let qualify base = namespace ^ "_" ^ base in
+  let table : (string, family) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let add ~name ~type_ samples =
+    let base, labels = split_labels name in
+    let f_name = qualify base in
+    let samples =
+      List.map (fun (suffix, extra, value) ->
+          (suffix, with_labels labels extra, value))
+        samples
+    in
+    match Hashtbl.find_opt table f_name with
+    | Some family ->
+      Hashtbl.replace table f_name
+        { family with f_samples = family.f_samples @ samples }
+    | None ->
+      Hashtbl.replace table f_name
+        { f_name; f_type = type_; f_samples = samples };
+      order := f_name :: !order
+  in
+  List.iter
+    (fun (name, value) ->
+      add ~name:(name ^ "_total") ~type_:"counter"
+        [ ("", [], float_of_int value) ])
+    (Registry.counters registry);
+  List.iter
+    (fun (name, gauge) ->
+      add ~name ~type_:"gauge" [ ("", [], Gauge.value gauge) ])
+    (Registry.gauges registry);
+  List.iter
+    (fun (name, histogram) ->
+      add ~name ~type_:"summary"
+        [ ("", [ ("quantile", "0.5") ], Histogram.quantile histogram 0.50);
+          ("", [ ("quantile", "0.95") ], Histogram.quantile histogram 0.95);
+          ("", [ ("quantile", "0.99") ], Histogram.quantile histogram 0.99);
+          ("_sum", [], Histogram.sum histogram);
+          ("_count", [], float_of_int (Histogram.count histogram)) ])
+    (Registry.histograms registry);
+  List.iter
+    (fun (name, window) ->
+      add ~name ~type_:"gauge"
+        [ ("_count", [], float_of_int (Window.count window));
+          ("_rate", [], Window.rate window);
+          ("_p50", [], Window.quantile window 0.50);
+          ("_p95", [], Window.quantile window 0.95);
+          ("_p99", [], Window.quantile window 0.99);
+          ("_max", [], Window.max_value window) ])
+    (Registry.windows registry);
+  List.rev !order
+  |> List.map (fun f_name -> Hashtbl.find table f_name)
+  |> List.sort (fun a b -> String.compare a.f_name b.f_name)
+
+let render ?namespace registry =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun family ->
+      Buffer.add_string buffer
+        (Printf.sprintf "# TYPE %s %s\n" family.f_name family.f_type);
+      List.iter
+        (fun (suffix, labels, value) ->
+          (* the suffix lands between the family name and its labels:
+             colock_lock_wait_sum{lu="HoLU"} *)
+          Buffer.add_string buffer
+            (Printf.sprintf "%s%s%s %s\n" family.f_name suffix labels
+               (number value)))
+        family.f_samples)
+    (families ?namespace registry);
+  Buffer.contents buffer

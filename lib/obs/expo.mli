@@ -1,0 +1,22 @@
+(** Prometheus text-exposition rendering (format 0.0.4) over a
+    {!Registry} snapshot.
+
+    Counters expose as [counter] families with a [_total] suffix, gauges as
+    [gauge]s, histograms as [summary] families (quantile samples plus
+    [_sum]/[_count]), and sliding windows as point-in-time [gauge]s with
+    [_rate]/[_p50]/[_p95]/[_p99]/[_count]/[_max] suffixes. Registry names
+    carrying an inline label block — [window.lock_wait{lu="HoLU"}] — keep
+    their labels and join the base family, so per-granule (BLU/HoLU/HeLU)
+    variants scrape as one labelled metric. *)
+
+val content_type : string
+(** The value to serve as [Content-Type] next to {!render} output. *)
+
+val render : ?namespace:string -> Registry.t -> string
+(** The full exposition document; metric names are prefixed
+    [<namespace>_] (default ["colock"]) and sanitized to the Prometheus
+    charset. Families sort by name, so output is deterministic. *)
+
+val sanitize : string -> string
+(** Maps a registry name to the Prometheus name charset
+    ([[a-zA-Z_][a-zA-Z0-9_]*], every other byte becomes ['_']). *)

@@ -13,7 +13,15 @@ let write channel event =
   output_string channel (render event);
   flush channel
 
-let handler channel = fun event -> write channel event
+let handler ?meter channel =
+  match meter with
+  | None -> fun event -> write channel event
+  | Some meter ->
+    fun event ->
+      let line = render event in
+      meter.Sink.m_bytes <- meter.Sink.m_bytes + String.length line;
+      output_string channel line;
+      flush channel
 
 let write_events channel events =
   List.iter (fun event -> output_string channel (render event)) events;

@@ -7,9 +7,10 @@ val write : out_channel -> Event.t -> unit
 (** Writes one complete line and flushes: a run aborted mid-stream leaves
     only whole lines behind. *)
 
-val handler : out_channel -> Event.t -> unit
+val handler : ?meter:Sink.meter -> out_channel -> Event.t -> unit
 (** Partial application form for {!Sink.create}. The caller owns the
-    channel (and its close). *)
+    channel (and its close). [?meter] accounts bytes written (see
+    {!Sink.bytes_written}). *)
 
 val write_events : out_channel -> Event.t list -> unit
 (** Batch form: renders every line, writes them, flushes once. *)

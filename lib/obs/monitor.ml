@@ -1,0 +1,267 @@
+(* The live half of the observability stack: a sink handler that folds the
+   event stream into gauges (levels right now), sliding windows (rates and
+   quantiles of the recent past, labelled by lockable-unit kind) and
+   per-resource contention tallies — everything [colock top], the SLO
+   engine and the Prometheus endpoint read.
+
+   It owns a Collector on the same registry, so cumulative counters
+   ([events.*]) and whole-run histograms ride along for free; the monitor
+   itself only adds what has to be live.  A [Run_meta] delimiter resets the
+   whole registry (run isolation when one process serves several technique
+   runs) and relabels the monitor. *)
+
+type resource_stat = {
+  mutable r_blocked : float;
+  mutable r_waits : int;
+  mutable r_lu : Event.lu option;
+}
+
+type t = {
+  registry : Registry.t;
+  collector : Collector.t;
+  span : float;
+  mutex : Mutex.t;
+  (* the windows list mirrors the registry's, kept here so per-event
+     advancing does not re-sort a hashtable *)
+  mutable live_windows : Window.t list;
+  waits : (int * string, float * Event.lu option) Hashtbl.t;
+  held : (int * string, unit) Hashtbl.t;
+  active : (int, unit) Hashtbl.t;
+  resources : (string, resource_stat) Hashtbl.t;
+  mutable breaches : (float * string) list;  (* newest first, capped *)
+  mutable label : string option;
+  mutable started : float;
+  mutable now : float;
+  mutable seen : bool;  (* any event at all (so [started] is meaningful) *)
+}
+
+let breach_memory = 32
+
+(* ----------------------------------------------------- instrument names *)
+
+let gauge_active = "active_txns"
+let gauge_entries = "lock_entries"
+let gauge_depth = "wait_queue_depth"
+let window_wait = "window.lock_wait"
+let window_grants = "window.grants"
+let window_commits = "window.commits"
+let window_aborts = "window.aborts"
+let window_deadlocks = "window.deadlocks"
+
+let labelled base lu_kind = Printf.sprintf "%s{lu=\"%s\"}" base lu_kind
+
+let create ?registry ?(span = 200.0) () =
+  let registry =
+    match registry with Some registry -> registry | None -> Registry.create ()
+  in
+  let collector = Collector.create ~registry () in
+  let monitor =
+    { registry; collector; span; mutex = Mutex.create (); live_windows = [];
+      waits = Hashtbl.create 64; held = Hashtbl.create 256;
+      active = Hashtbl.create 64; resources = Hashtbl.create 256;
+      breaches = []; label = None; started = 0.0; now = 0.0; seen = false }
+  in
+  (* pre-declare the unlabelled instruments so exports carry stable keys *)
+  List.iter
+    (fun name ->
+      let window = Registry.window ~span monitor.registry name in
+      monitor.live_windows <- window :: monitor.live_windows)
+    [ window_wait; window_grants; window_commits; window_aborts;
+      window_deadlocks ];
+  List.iter
+    (fun name -> ignore (Registry.gauge monitor.registry name : Gauge.t))
+    [ gauge_active; gauge_entries; gauge_depth ];
+  monitor
+
+let registry monitor = monitor.registry
+let span monitor = monitor.span
+let label monitor = monitor.label
+let now monitor = monitor.now
+let started monitor = if monitor.seen then monitor.started else 0.0
+
+let locked monitor f =
+  Mutex.lock monitor.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock monitor.mutex) f
+
+let window monitor name =
+  match Registry.find_window monitor.registry name with
+  | Some window -> window
+  | None ->
+    let window = Registry.window ~span:monitor.span monitor.registry name in
+    monitor.live_windows <- window :: monitor.live_windows;
+    window
+
+let observe_window monitor name value =
+  Window.observe (window monitor name) ~now:monitor.now value
+
+let mark_window monitor name = observe_window monitor name 1.0
+
+let mark_lu monitor base lu =
+  match lu with
+  | None -> ()
+  | Some { Event.lu_kind; _ } -> mark_window monitor (labelled base lu_kind)
+
+let set_gauge monitor name value =
+  Registry.set_gauge monitor.registry name (float_of_int value)
+
+let sync_gauges monitor =
+  set_gauge monitor gauge_active (Hashtbl.length monitor.active);
+  set_gauge monitor gauge_entries (Hashtbl.length monitor.held);
+  set_gauge monitor gauge_depth (Hashtbl.length monitor.waits)
+
+let resource_stat monitor resource =
+  match Hashtbl.find_opt monitor.resources resource with
+  | Some stat -> stat
+  | None ->
+    let stat = { r_blocked = 0.0; r_waits = 0; r_lu = None } in
+    Hashtbl.replace monitor.resources resource stat;
+    stat
+
+let charge_wait monitor ~resource ~lu ~start =
+  let blocked = Float.max 0.0 (monitor.now -. start) in
+  let stat = resource_stat monitor resource in
+  stat.r_blocked <- stat.r_blocked +. blocked;
+  stat.r_waits <- stat.r_waits + 1;
+  (match lu with Some _ -> stat.r_lu <- lu | None -> ());
+  observe_window monitor window_wait blocked;
+  (match lu with
+   | None -> ()
+   | Some { Event.lu_kind; _ } ->
+     observe_window monitor (labelled window_wait lu_kind) blocked)
+
+(* A victim's queued waits die with it; their elapsed blocked time was real
+   contention and is charged (aborted waits hurt p99 too). *)
+let drop_waits_of monitor txn =
+  Hashtbl.iter
+    (fun ((waiter, resource) as key) (start, lu) ->
+      if waiter = txn then begin
+        charge_wait monitor ~resource ~lu ~start;
+        Hashtbl.remove monitor.waits key
+      end)
+    (Hashtbl.copy monitor.waits)
+
+let finish_txn monitor txn =
+  Hashtbl.remove monitor.active txn
+
+let reset monitor =
+  Registry.reset monitor.registry;
+  Hashtbl.reset monitor.waits;
+  Hashtbl.reset monitor.held;
+  Hashtbl.reset monitor.active;
+  Hashtbl.reset monitor.resources;
+  monitor.breaches <- [];
+  monitor.started <- monitor.now;
+  monitor.seen <- false
+
+let begin_run monitor ~label =
+  locked monitor (fun () ->
+      reset monitor;
+      monitor.label <- Some label)
+
+let count_abort monitor reason =
+  Registry.incr monitor.registry ("aborts." ^ reason);
+  mark_window monitor window_aborts
+
+let handle_kind monitor kind =
+  match kind with
+  | Event.Txn_begin { txn } ->
+    Hashtbl.replace monitor.active txn ()
+  | Event.Txn_commit { txn } ->
+    finish_txn monitor txn;
+    mark_window monitor window_commits
+  | Event.Txn_abort { txn; reason } ->
+    finish_txn monitor txn;
+    drop_waits_of monitor txn;
+    (* deadlock/timeout victims already counted through their paired
+       Victim_aborted/Timeout_abort events (same taxonomy as Profile) *)
+    if reason <> "deadlock_victim" && reason <> "timeout_victim" then
+      count_abort monitor reason
+  | Event.Victim_aborted { txn; _ } ->
+    count_abort monitor "deadlock";
+    drop_waits_of monitor txn
+  | Event.Timeout_abort { txn; _ } ->
+    count_abort monitor "timeout";
+    drop_waits_of monitor txn
+  | Event.Lock_waited { txn; resource; lu; _ } ->
+    if not (Hashtbl.mem monitor.waits (txn, resource)) then
+      Hashtbl.replace monitor.waits (txn, resource) (monitor.now, lu)
+  | Event.Lock_granted { txn; resource; lu; _ } ->
+    (match Hashtbl.find_opt monitor.waits (txn, resource) with
+     | Some (start, wait_lu) ->
+       Hashtbl.remove monitor.waits (txn, resource);
+       let lu = match wait_lu with Some _ -> wait_lu | None -> lu in
+       charge_wait monitor ~resource ~lu ~start
+     | None -> ());
+    Hashtbl.replace monitor.held (txn, resource) ();
+    mark_window monitor window_grants;
+    mark_lu monitor window_grants lu
+  | Event.Lock_released { txn; resource; _ } ->
+    Hashtbl.remove monitor.held (txn, resource)
+  | Event.Deadlock_detected _ ->
+    mark_window monitor window_deadlocks
+  | Event.Slo_breach { rule; _ } ->
+    let kept =
+      monitor.breaches
+      |> List.filteri (fun index _ -> index < breach_memory - 1)
+    in
+    monitor.breaches <- (monitor.now, rule) :: kept
+  | Event.Run_meta { label } ->
+    reset monitor;
+    monitor.label <- Some label
+  | Event.Lock_requested _ | Event.Conversion _ | Event.Escalation _
+  | Event.Deescalation _ | Event.Query_executed _ | Event.Sim_step _
+  | Event.Waits_for _ ->
+    ()
+
+let handle monitor event =
+  locked monitor (fun () ->
+      let { Event.time; _ } = event in
+      if not monitor.seen then begin
+        monitor.seen <- true;
+        monitor.started <- time
+      end;
+      if time > monitor.now then monitor.now <- time;
+      List.iter
+        (fun window -> Window.advance window ~now:monitor.now)
+        monitor.live_windows;
+      Collector.handle monitor.collector event;
+      handle_kind monitor event.Event.kind;
+      sync_gauges monitor)
+
+(* ------------------------------------------------------------ snapshots *)
+
+let elapsed monitor =
+  if monitor.seen then Float.max 0.0 (monitor.now -. monitor.started) else 0.0
+
+let commits monitor = Registry.counter monitor.registry "events.txn_commit"
+
+let throughput monitor =
+  let elapsed = elapsed monitor in
+  if elapsed > 0.0 then float_of_int (commits monitor) /. elapsed else 0.0
+
+let aborts monitor =
+  Registry.counters monitor.registry
+  |> List.filter_map (fun (name, value) ->
+         match String.length name > 7 && String.sub name 0 7 = "aborts." with
+         | true -> Some (String.sub name 7 (String.length name - 7), value)
+         | false -> None)
+
+let hot_resources ?(top = 10) monitor =
+  Hashtbl.fold
+    (fun resource stat accu -> (resource, stat) :: accu)
+    monitor.resources []
+  |> List.sort (fun (resource_a, a) (resource_b, b) ->
+         match Float.compare b.r_blocked a.r_blocked with
+         | 0 -> String.compare resource_a resource_b
+         | order -> order)
+  |> List.filteri (fun index _ -> index < top)
+
+let breaches monitor = List.rev monitor.breaches
+
+let sync_sink monitor sink =
+  Registry.set_gauge monitor.registry "obs_events_emitted"
+    (float_of_int (Sink.emit_count sink));
+  Registry.set_gauge monitor.registry "obs_events_dropped"
+    (float_of_int (Sink.drop_count sink));
+  Registry.set_gauge monitor.registry "obs_bytes_written"
+    (float_of_int (Sink.bytes_written sink))

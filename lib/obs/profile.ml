@@ -194,7 +194,8 @@ let handle profile event =
     if count > profile.peak_wait_edges then profile.peak_wait_edges <- count
   | Event.Lock_requested _ | Event.Escalation _ | Event.Deescalation _
   | Event.Deadlock_detected _ | Event.Txn_begin _ | Event.Txn_commit _
-  | Event.Query_executed _ | Event.Sim_step _ | Event.Run_meta _ ->
+  | Event.Query_executed _ | Event.Sim_step _ | Event.Run_meta _
+  | Event.Slo_breach _ ->
     ()
 
 (* ----------------------------------------------------- report assembly *)

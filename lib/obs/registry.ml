@@ -1,9 +1,13 @@
 type t = {
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
+  gauges : (string, Gauge.t) Hashtbl.t;
+  windows : (string, Window.t) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 32; histograms = Hashtbl.create 8 }
+let create () =
+  { counters = Hashtbl.create 32; histograms = Hashtbl.create 8;
+    gauges = Hashtbl.create 8; windows = Hashtbl.create 8 }
 
 let counter_ref registry name =
   match Hashtbl.find_opt registry.counters name with
@@ -34,6 +38,35 @@ let observe registry name value = Histogram.observe (histogram registry name) va
 
 let find_histogram registry name = Hashtbl.find_opt registry.histograms name
 
+let gauge registry name =
+  match Hashtbl.find_opt registry.gauges name with
+  | Some gauge -> gauge
+  | None ->
+    let gauge = Gauge.create () in
+    Hashtbl.replace registry.gauges name gauge;
+    gauge
+
+let set_gauge registry name value = Gauge.set (gauge registry name) value
+let add_gauge registry name delta = Gauge.add (gauge registry name) delta
+
+let gauge_value registry name =
+  match Hashtbl.find_opt registry.gauges name with
+  | Some gauge -> Gauge.value gauge
+  | None -> 0.0
+
+(* The span is fixed at creation: a later [window] call with a different
+   [?span] returns the existing window unchanged (same get-or-create
+   contract as [histogram]). *)
+let window ?(span = 1000.0) registry name =
+  match Hashtbl.find_opt registry.windows name with
+  | Some window -> window
+  | None ->
+    let window = Window.create ~span () in
+    Hashtbl.replace registry.windows name window;
+    window
+
+let find_window registry name = Hashtbl.find_opt registry.windows name
+
 let sorted_bindings table =
   Hashtbl.fold (fun name value accu -> (name, value) :: accu) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -42,16 +75,24 @@ let counters registry =
   List.map (fun (name, cell) -> (name, !cell)) (sorted_bindings registry.counters)
 
 let histograms registry = sorted_bindings registry.histograms
+let gauges registry = sorted_bindings registry.gauges
+let windows registry = sorted_bindings registry.windows
 
 let reset registry =
   Hashtbl.iter (fun _name cell -> cell := 0) registry.counters;
-  Hashtbl.iter (fun _name histogram -> Histogram.reset histogram) registry.histograms
+  Hashtbl.iter (fun _name histogram -> Histogram.reset histogram) registry.histograms;
+  Hashtbl.iter (fun _name gauge -> Gauge.reset gauge) registry.gauges;
+  Hashtbl.iter (fun _name window -> Window.reset window) registry.windows
 
 let row registry =
   List.map (fun (name, value) -> (name, float_of_int value)) (counters registry)
+  @ List.map (fun (name, gauge) -> (name, Gauge.value gauge)) (gauges registry)
   @ List.concat_map
       (fun (name, histogram) -> Histogram.row ~prefix:name histogram)
       (histograms registry)
+  @ List.concat_map
+      (fun (name, window) -> Window.row ~prefix:name window)
+      (windows registry)
 
 (* Bucket cells ride next to the flat row as ["<name>_buckets"] keys, each a
    list of [lower_bound, count] pairs: quantile summaries stay greppable
@@ -82,7 +123,15 @@ let pp formatter registry =
     (fun (name, value) -> Format.fprintf formatter "%s: %d@," name value)
     (counters registry);
   List.iter
+    (fun (name, gauge) ->
+      Format.fprintf formatter "%s: %a@," name Gauge.pp gauge)
+    (gauges registry);
+  List.iter
     (fun (name, histogram) ->
       Format.fprintf formatter "%s: %a@," name Histogram.pp histogram)
     (histograms registry);
+  List.iter
+    (fun (name, window) ->
+      Format.fprintf formatter "%s: %a@," name Window.pp window)
+    (windows registry);
   Format.fprintf formatter "@]"

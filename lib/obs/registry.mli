@@ -1,10 +1,16 @@
-(** A metrics registry: named monotonic counters plus named log-scale
-    histograms, with a uniform flat export.
+(** A metrics registry: named monotonic counters, log-scale histograms,
+    gauges and sliding windows, with a uniform flat export.
 
     This replaces ad-hoc records of mutable ints as the substrate for
     run-time metrics; [Lockmgr.Lock_stats] and [Sim.Metrics] remain as thin
     record views over what a run produced, and both now serialize through
-    the same [(string * float) list] row shape used here. *)
+    the same [(string * float) list] row shape used here. Counters and
+    histograms accumulate a whole run; gauges and windows carry the live
+    state the Prometheus exposition and [colock top] render.
+
+    Metric names may carry Prometheus-style labels inline —
+    [{lu="HoLU"}] — which {!Expo} splits back into label sets; to the
+    registry they are just distinct names. *)
 
 type t
 
@@ -23,14 +29,31 @@ val histogram : t -> string -> Histogram.t
 
 val find_histogram : t -> string -> Histogram.t option
 
+val gauge : t -> string -> Gauge.t
+(** Get-or-create. *)
+
+val set_gauge : t -> string -> float -> unit
+val add_gauge : t -> string -> float -> unit
+val gauge_value : t -> string -> float
+(** 0 for a gauge never set. *)
+
+val window : ?span:float -> t -> string -> Window.t
+(** Get-or-create; [span] (default 1000 clock units) binds on first
+    creation and is ignored on later lookups. *)
+
+val find_window : t -> string -> Window.t option
+
 val counters : t -> (string * int) list
 (** Sorted by name. *)
 
 val histograms : t -> (string * Histogram.t) list
+val gauges : t -> (string * Gauge.t) list
+val windows : t -> (string * Window.t) list
 
 val row : t -> (string * float) list
-(** Counters (as floats) followed by each histogram expanded to
-    [name_count/_mean/_p50/_p95/_p99/_max]. *)
+(** Counters (as floats), then gauge values, then each histogram expanded
+    to [name_count/_mean/_p50/_p95/_p99/_max], then each window expanded to
+    [name_count/_rate/_p50/_p95/_p99/_max]. *)
 
 val bucket_fields : t -> (string * Json.t) list
 (** One ["<name>_buckets"] field per histogram with data: a list of
@@ -41,4 +64,8 @@ val to_json : t -> Json.t
 (** The flat {!row} plus {!bucket_fields}. *)
 
 val reset : t -> unit
+(** Zeroes every counter and gauge and clears every histogram and window —
+    run isolation when one process compares several techniques against a
+    single live registry. *)
+
 val pp : Format.formatter -> t -> unit

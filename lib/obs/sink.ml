@@ -1,21 +1,45 @@
+type meter = {
+  mutable m_emitted : int;
+  mutable m_dropped : int;
+  mutable m_bytes : int;
+}
+
 type t = {
   mutable clock : unit -> float;
   mutable handlers : (Event.t -> unit) list;
+  meter : meter;
+  mutable drop_sources : (unit -> int) list;
 }
 
 let default_clock () = 0.0
 
-let create ?(clock = default_clock) handlers = { clock; handlers }
+let create ?(clock = default_clock) handlers =
+  { clock; handlers; meter = { m_emitted = 0; m_dropped = 0; m_bytes = 0 };
+    drop_sources = [] }
+
 let null () = create []
 
 let attach sink handler = sink.handlers <- sink.handlers @ [ handler ]
 let set_clock sink clock = sink.clock <- clock
 let now sink = sink.clock ()
 
+let meter sink = sink.meter
+let emit_count sink = sink.meter.m_emitted
+let bytes_written sink = sink.meter.m_bytes
+
+let add_drop_source sink count =
+  sink.drop_sources <- sink.drop_sources @ [ count ]
+
+let drop_count sink =
+  List.fold_left
+    (fun accu count -> accu + count ())
+    sink.meter.m_dropped sink.drop_sources
+
 let emit_at sink ~time kind =
   match sink.handlers with
   | [] -> ()
   | handlers ->
+    sink.meter.m_emitted <- sink.meter.m_emitted + 1;
     let event = { Event.time; kind } in
     List.iter (fun handler -> handler event) handlers
 
@@ -24,15 +48,39 @@ let emit sink kind =
   | [] -> ()
   | _ :: _ -> emit_at sink ~time:(sink.clock ()) kind
 
-let filter keep handler = fun event -> if keep event then handler event
+let drop meter =
+  match meter with
+  | None -> ()
+  | Some meter -> meter.m_dropped <- meter.m_dropped + 1
 
-let sample ~every handler =
+let filter ?meter keep handler =
+  fun event -> if keep event then handler event else drop meter
+
+(* Stratified sampling driven by an explicit seeded PRNG (a 64-bit LCG, the
+   MMIX constants): each consecutive stride of [every] events passes exactly
+   one, at a stride-local offset drawn from the PRNG.  The same seed always
+   selects the same events — runs stay reproducible — while the offsets
+   move around so periodic event patterns cannot alias with the stride. *)
+let sample ?meter ~seed ~every handler =
   if every <= 0 then invalid_arg "Sink.sample: every must be positive";
-  let count = ref 0 in
+  let state = ref (Int64.of_int seed) in
+  let next_offset () =
+    state :=
+      Int64.add
+        (Int64.mul !state 6364136223846793005L)
+        1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical !state 33) mod every
+  in
+  let position = ref 0 in
+  let chosen = ref (next_offset ()) in
   fun event ->
-    let index = !count in
-    count := index + 1;
-    if index mod every = 0 then handler event
+    let passes = !position = !chosen in
+    position := !position + 1;
+    if !position >= every then begin
+      position := 0;
+      chosen := next_offset ()
+    end;
+    if passes then handler event else drop meter
 
 let not_sim_step event =
   match event.Event.kind with Event.Sim_step _ -> false | _ -> true
@@ -41,9 +89,15 @@ let to_ring ring event = Ring.push ring event
 
 let memory ?clock ?(capacity = 65536) ?keep () =
   let ring = Ring.create ~capacity in
-  let handler =
+  let sink =
     match keep with
-    | None -> to_ring ring
-    | Some keep -> filter keep (to_ring ring)
+    | None -> create ?clock [ to_ring ring ]
+    | Some keep ->
+      let sink = create ?clock [] in
+      attach sink (filter ~meter:sink.meter keep (to_ring ring));
+      sink
   in
-  (create ?clock [ handler ], ring)
+  (* entries the full ring overwrote are drops too: backpressure stays
+     visible through [drop_count] instead of silently shrinking captures *)
+  add_drop_source sink (fun () -> Ring.dropped ring);
+  (sink, ring)

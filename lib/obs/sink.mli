@@ -7,7 +7,19 @@
     The clock stamps events at emission time. It is mutable on purpose: the
     discrete-event simulator re-points it at the virtual clock of the run,
     so events emitted deep inside the lock table carry simulation ticks
-    rather than wall time. *)
+    rather than wall time.
+
+    Every sink self-accounts: events emitted, events dropped by its
+    filter/sample stages (and ring overwrites), bytes written by JSONL
+    handlers wired to its {!meter}. [Monitor] surfaces these as [obs_*]
+    meta-metrics, so the observability pipeline's own backpressure is never
+    silent. *)
+
+type meter = {
+  mutable m_emitted : int;  (** events fanned out to at least one handler *)
+  mutable m_dropped : int;  (** events a filter/sample stage discarded *)
+  mutable m_bytes : int;  (** bytes written by handlers that report here *)
+}
 
 type t
 
@@ -22,21 +34,46 @@ val attach : t -> (Event.t -> unit) -> unit
 val set_clock : t -> (unit -> float) -> unit
 val now : t -> float
 
+val meter : t -> meter
+(** The sink's own accounting cell — pass it to {!filter}/{!sample} or
+    [Jsonl.handler] so their drops and bytes land here. *)
+
+val emit_count : t -> int
+(** Events emitted through this sink (emissions with no handlers attached
+    are not counted — they never left the caller). *)
+
+val drop_count : t -> int
+(** Events dropped before reaching a terminal handler: filter/sample
+    discards recorded in the {!meter} plus every registered drop source
+    (e.g. ring-buffer overwrites — see {!memory}). *)
+
+val bytes_written : t -> int
+(** Bytes reported to the {!meter} by writing handlers. *)
+
+val add_drop_source : t -> (unit -> int) -> unit
+(** Registers an external drop counter folded into {!drop_count}. *)
+
 val emit : t -> Event.kind -> unit
 (** Stamps the event with the sink's clock and fans out to every handler. *)
 
 val emit_at : t -> time:float -> Event.kind -> unit
 (** Like {!emit} with an explicit timestamp. *)
 
-val filter : (Event.t -> bool) -> (Event.t -> unit) -> Event.t -> unit
+val filter :
+  ?meter:meter -> (Event.t -> bool) -> (Event.t -> unit) -> Event.t -> unit
 (** [filter keep handler] wraps a handler so it only sees events where
     [keep] holds — e.g. drop [Sim_step] noise before a ring or JSONL sink
-    floods on a long soak. *)
+    floods on a long soak. Discards are counted in [?meter] when given. *)
 
-val sample : every:int -> (Event.t -> unit) -> Event.t -> unit
-(** [sample ~every handler] passes every [every]-th event (the first one
-    always passes). Raises [Invalid_argument] when [every <= 0]. Compose
-    with {!filter} to sample within one event class. *)
+val sample :
+  ?meter:meter -> seed:int -> every:int -> (Event.t -> unit) -> Event.t ->
+  unit
+(** [sample ~seed ~every handler] passes exactly one event out of every
+    consecutive [every], at a stride-local offset drawn from a PRNG seeded
+    with [seed] at construction — deterministic for a fixed seed, immune to
+    aliasing with periodic event patterns. Raises [Invalid_argument] when
+    [every <= 0]. Compose with {!filter} to sample within one event
+    class. Discards are counted in [?meter] when given. *)
 
 val not_sim_step : Event.t -> bool
 (** Predicate for {!filter}: everything but [Sim_step]. *)
@@ -49,4 +86,5 @@ val memory :
   unit -> t * Event.t Ring.t
 (** A sink backed by a fresh ring buffer (default capacity 65536). [?keep]
     filters what reaches the ring (see {!filter}); everything still reaches
-    handlers attached later with {!attach}. *)
+    handlers attached later with {!attach}. Filter discards and ring
+    overwrites both show in the sink's {!drop_count}. *)

@@ -1,0 +1,76 @@
+(** Declarative service-level objectives, evaluated live against the
+    {!Monitor}'s sliding windows.
+
+    Config syntax (one rule per line, ['#'] comments):
+    {v
+    p99_wait < 40            # windowed lock-wait quantile
+    p95_wait{lu=HoLU} < 25   # one lockable-unit kind only
+    abort_rate < 0.25        # aborts / (aborts + commits), windowed
+    deadlock_rate < 0.01     # deadlocks per clock unit, windowed
+    wait_rate < 2.5          # completed waits per clock unit, windowed
+    throughput > 0.05        # commits per clock unit, windowed
+    v}
+
+    A {!watch} evaluates every rule once per window and emits one
+    [Event.Slo_breach] per violated rule through the run's sink — so
+    breaches land in rings, JSONL captures, the monitor and any trace a
+    later [colock analyze] reads — and tallies them for a nonzero exit. *)
+
+type comparator = Lt | Le | Gt | Ge
+
+type signal =
+  | Wait_quantile of { q : float; lu : string option }
+  | Abort_rate
+  | Deadlock_rate
+  | Wait_rate
+  | Throughput
+
+type rule = {
+  text : string;
+      (** normalized source text, carried as [Slo_breach.rule] *)
+  signal : signal;
+  cmp : comparator;
+  threshold : float;
+}
+
+type t
+
+val rules : t -> rule list
+
+val parse : string -> (t, string) result
+(** Parses a whole config text; the error aggregates every bad line as
+    ["line N: ..."] diagnostics. *)
+
+val load : string -> (t, string) result
+(** {!parse} on a file's contents. *)
+
+type verdict = { rule : rule; value : float; ok : bool }
+
+val evaluate : t -> Monitor.t -> verdict list
+(** One verdict per rule against the monitor's current windows. *)
+
+val measure : Monitor.t -> signal -> float
+(** The current value of one signal. *)
+
+type watch
+
+val watch : ?sink:Sink.t -> ?every:float -> t -> Monitor.t -> watch
+(** A periodic evaluator: attach {!handler} to the run's sink after the
+    monitor's handler. [every] is the evaluation period in clock units
+    (default: the monitor's window span). Breach events are emitted through
+    [?sink] when given, else recorded directly into the monitor. *)
+
+val handler : watch -> Event.t -> unit
+(** Evaluates whenever an event's timestamp crosses the next period
+    boundary; ignores [Slo_breach] events (no feedback loops) and resets on
+    [Run_meta]. *)
+
+val finish : watch -> time:float -> int
+(** Final evaluation at end of run (the tail window would otherwise go
+    unchecked); returns the total breach count. *)
+
+val breach_count : watch -> int
+(** Breaches tallied so far in the current run. *)
+
+val watched : watch -> t
+(** The rule set behind a watch (e.g. to re-{!evaluate} for a display). *)

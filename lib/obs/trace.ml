@@ -147,6 +147,12 @@ let group_events ~pid ~scale events =
                    (List.map
                       (fun (waiter, blocker) -> ints [ waiter; blocker ])
                       edges) ) ])
+      | Event.Slo_breach { rule; value; threshold } ->
+        push
+          (instant ~pid ~tid:0 ~name:"SLO breach" ~cat:"slo"
+             ~ts:(time *. scale)
+             [ ("rule", Json.String rule); ("value", Json.Float value);
+               ("threshold", Json.Float threshold) ])
       | Event.Lock_requested _ | Event.Lock_released _ | Event.Conversion _
       | Event.Run_meta _ ->
         ())

@@ -17,12 +17,13 @@ type config = {
   hog_hold : int;
   check_invariants : bool;
   snapshot_every : int option;
+  on_advance : (int -> unit) option;
 }
 
 let default_config =
   { max_restarts = 20; resolution = Policy.Detection;
     victim = Policy.Youngest; backoff = Policy.Fixed 50; hog_hold = 4000;
-    check_invariants = false; snapshot_every = None }
+    check_invariants = false; snapshot_every = None; on_advance = None }
 
 type status =
   | Idle
@@ -371,6 +372,9 @@ let run ?(config = default_config) ?(faults = Fault.none)
     | None -> ()
     | Some (time, event) ->
       last_time := max !last_time time;
+      (match config.on_advance with
+       | Some hook when time > sim.now -> hook time
+       | Some _ | None -> ());
       sim.now <- time;
       handle sim time event;
       if config.check_invariants then audit sim time;

@@ -41,11 +41,17 @@ type config = {
           many virtual ticks (deadlock structure over time, not just at
           detection); [None] disables. Snapshots stop once the event queue
           drains, so runs still terminate. *)
+  on_advance : (int -> unit) option;
+      (** called with the new virtual time whenever the clock is about to
+          advance (before the event at that time is handled). Lets a caller
+          pace the simulation against wall time — e.g. [colock simulate
+          --serve] sleeping so a live [/metrics] endpoint shows the run
+          unfolding — without the simulator depending on [Unix]. *)
 }
 
 val default_config : config
 (** Detection, youngest victim, fixed backoff 50, max 20 restarts, hog hold
-    4000, no invariant checking, no snapshots. *)
+    4000, no invariant checking, no snapshots, no pacing hook. *)
 
 val run :
   ?config:config -> ?faults:Fault.spec ->

@@ -56,6 +56,11 @@ let active_txns manager =
     manager.txns []
   |> List.sort (fun a b -> Int.compare a.Transaction.id b.Transaction.id)
 
+let active_count manager =
+  Hashtbl.fold
+    (fun _id txn count -> if Transaction.is_active txn then count + 1 else count)
+    manager.txns 0
+
 type acquire_outcome =
   | Granted
   | Waiting of {

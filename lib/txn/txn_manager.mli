@@ -31,6 +31,10 @@ val begin_txn : ?kind:Transaction.kind -> t -> Transaction.t
 val find : t -> Lockmgr.Lock_table.txn_id -> Transaction.t option
 val active_txns : t -> Transaction.t list
 
+val active_count : t -> int
+(** [List.length (active_txns m)] without building the list — the live
+    active-transaction level a monitor gauge should agree with. *)
+
 type acquire_outcome =
   | Granted
   | Waiting of {

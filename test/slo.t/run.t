@@ -1,0 +1,45 @@
+Declarative SLOs over a live simulation: rules load from a file, are
+evaluated once per sliding window, every violation lands in the event
+stream as an slo_breach event, and a run that breached exits 3.
+
+  $ cat > rules.slo <<'EOF'
+  > # impossible latency target: every windowed evaluation breaches
+  > p99_wait < 1
+  > abort_rate < 0.9
+  > EOF
+
+  $ colock simulate --jobs 12 --cells 2 -t proposed --slo rules.slo --jsonl events.jsonl
+  colock: 2 SLO breach(es)
+  technique              committed    aborts   crashed  makespan   thruput  avg resp     waits     locks
+  proposed (rule 4')            12         0         0       330     36.36     135.0       420        90
+  proposed (rule 4')     BREACH p99_wait < 1 (value 149.6)
+  proposed (rule 4')     ok     abort_rate < 0.9 (value 0)
+  [3]
+
+The breaches are ordinary events in the JSONL capture, carrying the rule
+text, the measured value and the threshold — colock analyze, colock top
+and any later replay see them:
+
+  $ grep slo_breach events.jsonl
+  {"event": "slo_breach","time": 200,"rule": "p99_wait < 1","value": 80,"threshold": 1}
+  {"event": "slo_breach","time": 330,"rule": "p99_wait < 1","value": 149.6,"threshold": 1}
+
+A satisfiable rule set passes with exit 0 and quiet verdicts:
+
+  $ cat > ok.slo <<'EOF'
+  > p99_wait < 100000
+  > abort_rate < 0.9
+  > EOF
+
+  $ colock simulate --jobs 12 --cells 2 -t proposed --slo ok.slo
+  technique              committed    aborts   crashed  makespan   thruput  avg resp     waits     locks
+  proposed (rule 4')            12         0         0       330     36.36     135.0       420        90
+  proposed (rule 4')     ok     p99_wait < 100000 (value 149.6)
+  proposed (rule 4')     ok     abort_rate < 0.9 (value 0)
+
+A malformed rule file is rejected with per-line diagnostics:
+
+  $ printf 'p99_wait < 1\nbogus < 2\n' > bad.slo
+  $ colock simulate --jobs 2 --slo bad.slo
+  colock: bad.slo: line 2: unknown signal "bogus" (expected p50_wait/p95_wait/p99_wait [optionally {lu=KIND}], abort_rate, deadlock_rate, wait_rate or throughput)
+  [1]
