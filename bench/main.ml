@@ -7,7 +7,9 @@
      --bechamel       additionally run the Bechamel micro-benchmarks (one
                       Test.make per experiment's core operation, plus the
                       E14 index ablation)
-     --no-experiments skip the experiment tables *)
+     --no-experiments skip the experiment tables
+     --scenarios DIR  regenerate BENCH_scenarios.json from the committed
+                      scenario suite (then exit) *)
 
 open Bechamel
 open Toolkit
@@ -277,14 +279,20 @@ let () =
   let argv = Array.to_list Sys.argv in
   let with_bechamel = List.mem "--bechamel" argv in
   let skip_experiments = List.mem "--no-experiments" argv in
-  let only =
+  let arg_of flag =
     let rec find = function
-      | "--only" :: name :: _ -> Some name
+      | probe :: value :: _ when probe = flag -> Some value
       | _ :: rest -> find rest
       | [] -> None
     in
     find argv
   in
+  let only = arg_of "--only" in
+  (match arg_of "--scenarios" with
+   | Some dir ->
+     Report.write_scenarios ~dir ();
+     exit 0
+   | None -> ());
   (match only, skip_experiments with
    | Some name, _ -> (
      match List.assoc_opt name Experiments.by_name with

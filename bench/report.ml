@@ -59,3 +59,12 @@ let write ~experiment () =
       Obs.Json.output channel json;
       output_char channel '\n');
   Printf.printf "wrote %s\n" path
+
+let write_scenarios ?(out = "BENCH_scenarios.json") ~dir () =
+  match Workload.Dsl.load_path dir with
+  | Error message ->
+    Printf.eprintf "scenarios: %s\n" message;
+    exit 1
+  | Ok scenarios ->
+    Bench.Baseline.save out (Bench.Baseline.collect scenarios);
+    Printf.printf "wrote %s (%d scenario(s))\n" out (List.length scenarios)

@@ -9,3 +9,8 @@
     [txn_response_*]). *)
 
 val write : experiment:string -> unit -> unit
+
+val write_scenarios : ?out:string -> dir:string -> unit -> unit
+(** Runs every [.scn] scenario under [dir] through {!Bench.Baseline.collect}
+    and writes the baseline store (default [BENCH_scenarios.json]) — the
+    same file [colock bench diff --update-baseline] refreshes. *)

@@ -298,7 +298,8 @@ let load_slo = function
     (match Obs.Slo.load path with
      | Ok slo -> Some slo
      | Error message ->
-       Fmt.epr "colock: %s: %s@." path message;
+       (* diagnostics already carry "path:line:" positions *)
+       Fmt.epr "colock: %s@." message;
        exit 1)
 
 (* The run can end with SLO breaches (exit 3) — distinct from usage errors
@@ -980,6 +981,262 @@ let analyze_cmd =
              abort causes and per-transaction wait critical paths.")
     Term.(const run $ setup_logs $ trace_arg $ json_flag $ top_arg)
 
+(* ------------------------------------------------------------------- soak *)
+
+(* One scenario × technique run under a live monitor, with the scenario's
+   inline SLO rules watching the windows. *)
+let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
+  let technique_name = Workload.Dsl.technique_to_string selector in
+  let monitor = Obs.Monitor.create ~span:dsl.window () in
+  Obs.Monitor.begin_run monitor ~label:(dsl.name ^ "/" ^ technique_name);
+  (* the scenario's name rides along as an escaped label, so a /metrics
+     scrape of a soak (via sync from another process's trace, or future
+     --serve) can tell scenarios apart *)
+  Obs.Registry.set_gauge
+    (Obs.Monitor.registry monitor)
+    (Obs.Expo.labelled "scenario_info" [ ("scenario", dsl.name) ])
+    1.0;
+  let sink = Obs.Sink.create [ Obs.Monitor.handle monitor ] in
+  let watch =
+    match dsl.slo with
+    | [] -> None
+    | rules ->
+      let watch = Obs.Slo.watch ~sink (Obs.Slo.of_rules rules) monitor in
+      Obs.Sink.attach sink (Obs.Slo.handler watch);
+      Some watch
+  in
+  let table =
+    Lockmgr.Lock_table.create ~obs:sink
+      ~meta:(Colock.Instance_graph.lu_resolver graph) ()
+  in
+  let technique = Sim.Scenario.technique_of_dsl graph table selector in
+  let jobs =
+    Sim.Scenario.compile graph technique (Sim.Scenario.of_dsl db graph dsl)
+  in
+  let metrics =
+    Sim.Runner.run ~faults:(Sim.Scenario.faults_of_dsl dsl) ~table jobs
+  in
+  let breaches =
+    match watch with
+    | None -> 0
+    | Some watch ->
+      Obs.Slo.finish watch
+        ~time:(float_of_int metrics.Sim.Metrics.makespan)
+  in
+  if not quiet then begin
+    Printf.printf "%-14s %-14s %9d %6d %6d %7d %8d %7.2f %8d\n" dsl.name
+      technique_name metrics.Sim.Metrics.committed
+      (metrics.Sim.Metrics.deadlock_aborts + metrics.Sim.Metrics.timeout_aborts)
+      metrics.Sim.Metrics.gave_up metrics.Sim.Metrics.crashed
+      metrics.Sim.Metrics.makespan
+      (Sim.Metrics.throughput metrics)
+      breaches;
+    if breaches > 0 then
+      print_verdicts
+        ~label:("  " ^ dsl.name)
+        (match watch with
+         | Some watch -> Obs.Slo.evaluate (Obs.Slo.watched watch) monitor
+         | None -> [])
+  end;
+  breaches
+
+let soak_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATH"
+             ~doc:"A scenario file ($(b,*.scn)) or a directory holding a \
+                   suite of them (sorted, non-recursive).")
+  in
+  let parse_only =
+    Arg.(value & flag
+         & info [ "parse-only" ]
+             ~doc:"Parse every scenario and print it back in canonical \
+                   form instead of running — the round-trip check behind \
+                   the fixture tests.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet"; "q" ] ~doc:"Print only the summary line.")
+  in
+  let run () path parse_only quiet =
+    match Workload.Dsl.load_path path with
+    | Error message ->
+      Fmt.epr "colock: %s@." message;
+      1
+    | Ok [] ->
+      Fmt.epr "colock: %s: no scenarios@." path;
+      1
+    | Ok scenarios ->
+      if parse_only then begin
+        List.iteri
+          (fun index dsl ->
+            if index > 0 then print_newline ();
+            print_string (Workload.Dsl.print dsl))
+          scenarios;
+        0
+      end
+      else begin
+        if not quiet then
+          Printf.printf "%-14s %-14s %9s %6s %6s %7s %8s %7s %8s\n"
+            "scenario" "technique" "committed" "aborts" "gaveup" "crashed"
+            "makespan" "thruput" "breaches";
+        let runs = ref 0 in
+        let breach_total =
+          List.fold_left
+            (fun total (dsl : Workload.Dsl.t) ->
+              let db = Workload.Dsl.database dsl in
+              let graph = Colock.Instance_graph.build db in
+              List.fold_left
+                (fun total selector ->
+                  incr runs;
+                  total + soak_run ~quiet db graph dsl selector)
+                total dsl.techniques)
+            0 scenarios
+        in
+        Printf.printf "soak: %d run(s), %d scenario(s), %d breach(es)\n" !runs
+          (List.length scenarios) breach_total;
+        if breach_total > 0 then exit_slo_breach else 0
+      end
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run a committed scenario suite (declarative $(b,.scn) files: \
+             catalog scale, arrival process, Zipf popularity, operation \
+             mix, faults, inline SLO rules) under the live monitor; exit 3 \
+             if any scenario breaches its SLOs.")
+    Term.(const run $ setup_logs $ path_arg $ parse_only $ quiet)
+
+(* ------------------------------------------------------------------ bench *)
+
+let bench_diff_cmd =
+  let scenarios_arg =
+    Arg.(value & opt string "scenarios"
+         & info [ "scenarios" ] ~docv:"PATH"
+             ~doc:"Scenario file or directory to measure.")
+  in
+  let baseline_arg =
+    Arg.(value & opt string "BENCH_scenarios.json"
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"The committed baseline store to compare against.")
+  in
+  let update_arg =
+    Arg.(value & flag
+         & info [ "update-baseline" ]
+             ~doc:"Write the fresh measurement to the baseline file \
+                   instead of comparing.")
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"List every metric comparison, not only the ones \
+                   outside their tolerance band.")
+  in
+  let perturb_arg =
+    let parse text =
+      match String.index_opt text '=' with
+      | Some eq -> (
+        let metric = String.sub text 0 eq in
+        let factor =
+          String.sub text (eq + 1) (String.length text - eq - 1)
+        in
+        match float_of_string_opt factor with
+        | Some factor when metric <> "" -> Ok (metric, factor)
+        | _ -> Error (`Msg (Printf.sprintf "bad perturbation %S" text)))
+      | None ->
+        Error
+          (`Msg (Printf.sprintf "bad perturbation %S (want METRIC=FACTOR)"
+                   text))
+    in
+    let print ppf (metric, factor) = Fmt.pf ppf "%s=%g" metric factor in
+    Arg.(value & opt_all (conv (parse, print)) []
+         & info [ "perturb" ] ~docv:"METRIC=FACTOR"
+             ~doc:"Scale a fresh metric by $(b,FACTOR) before comparing — \
+                   a sensitivity self-test proving the gate fires \
+                   (repeatable).")
+  in
+  let verdict_row finding =
+    let open Bench.Baseline in
+    let status, detail =
+      match finding.f_verdict with
+      | Within { delta } -> ("within", Printf.sprintf "%+g" delta)
+      | Improved { delta } -> ("IMPROVED", Printf.sprintf "%+g" delta)
+      | Regressed { delta; slack } ->
+        ("REGRESSED", Printf.sprintf "%+g (slack %g)" delta slack)
+    in
+    Printf.printf "%-10s %-14s %-22s %12g %12g  %-9s %s\n" finding.f_scenario
+      finding.f_technique finding.f_metric finding.f_base finding.f_fresh
+      status detail
+  in
+  let run () scenarios_path baseline_path update all perturbations =
+    match Workload.Dsl.load_path scenarios_path with
+    | Error message ->
+      Fmt.epr "colock: %s@." message;
+      1
+    | Ok scenarios ->
+      let fresh =
+        Bench.Baseline.perturb perturbations
+          (Bench.Baseline.collect scenarios)
+      in
+      if update then begin
+        Bench.Baseline.save baseline_path fresh;
+        Printf.printf "bench diff: wrote %s (%d run(s))\n" baseline_path
+          (List.length fresh);
+        0
+      end
+      else begin
+        match Bench.Baseline.load baseline_path with
+        | Error message ->
+          Fmt.epr "colock: %s: %s@." baseline_path message;
+          1
+        | Ok baseline ->
+          let report = Bench.Baseline.diff ~baseline ~fresh in
+          let regressions = Bench.Baseline.regressions report in
+          let improvements = Bench.Baseline.improvements report in
+          let shown =
+            if all then report.Bench.Baseline.findings
+            else regressions @ improvements
+          in
+          if shown <> [] then begin
+            Printf.printf "%-10s %-14s %-22s %12s %12s  %-9s %s\n" "scenario"
+              "technique" "metric" "baseline" "fresh" "status" "delta";
+            List.iter verdict_row shown
+          end;
+          List.iter
+            (fun (scenario, technique) ->
+              Printf.printf "missing: %s/%s (in baseline, not measured)\n"
+                scenario technique)
+            report.Bench.Baseline.missing;
+          List.iter
+            (fun (scenario, technique) ->
+              Printf.printf
+                "added: %s/%s (measured, not in baseline — rerun with \
+                 --update-baseline)\n"
+                scenario technique)
+            report.Bench.Baseline.added;
+          Printf.printf
+            "bench diff: %d comparison(s), %d regression(s), %d \
+             improvement(s)\n"
+            (List.length report.Bench.Baseline.findings)
+            (List.length regressions)
+            (List.length improvements);
+          if Bench.Baseline.clean report then 0 else 2
+      end
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Re-measure the scenario suite and compare against the \
+             committed baseline through per-metric tolerance bands; exit 2 \
+             on regressions (or baseline drift).")
+    Term.(const run $ setup_logs $ scenarios_arg $ baseline_arg $ update_arg
+          $ all_arg $ perturb_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Benchmark baseline management: track the perf trajectory of \
+             the committed scenario suite.")
+    [ bench_diff_cmd ]
+
 let () =
   let info =
     Cmd.info "colock" ~version:"0.1.0"
@@ -990,4 +1247,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ graph_cmd; plan_cmd; query_cmd; simulate_cmd; trace_cmd;
-            serve_cmd; top_cmd; analyze_cmd ]))
+            serve_cmd; top_cmd; analyze_cmd; soak_cmd; bench_cmd ]))

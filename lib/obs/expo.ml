@@ -31,13 +31,103 @@ let sanitize name =
     name;
   if Buffer.length buffer = 0 then "_" else Buffer.contents buffer
 
-(* ["window.lock_wait{lu=\"HoLU\"}"] -> (["window_lock_wait"], [{lu="HoLU"}]) *)
+(* Label values may contain arbitrary bytes (scenario names become label
+   values); the text exposition 0.0.4 spec requires backslash, double-quote
+   and newline escaped inside quoted values. *)
+let escape_label_value value =
+  let buffer = Buffer.create (String.length value + 8) in
+  String.iter
+    (fun char ->
+      match char with
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | char -> Buffer.add_char buffer char)
+    value;
+  Buffer.contents buffer
+
+let labelled name pairs =
+  match pairs with
+  | [] -> name
+  | pairs ->
+    name ^ "{"
+    ^ String.concat ","
+        (List.map
+           (fun (key, value) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize key)
+               (escape_label_value value))
+           pairs)
+    ^ "}"
+
+(* Inverse of {!labelled} on one "{k=\"v\",...}" block: unescapes values, so
+   a later render re-escapes exactly once. [None] on malformed blocks — the
+   renderer then passes the block through verbatim (legacy behavior). *)
+let parse_label_block block =
+  let length = String.length block in
+  if length < 2 || block.[0] <> '{' || block.[length - 1] <> '}' then None
+  else begin
+    let pairs = ref [] in
+    let index = ref 1 in
+    let stop = length - 1 in
+    let malformed = ref false in
+    while (not !malformed) && !index < stop do
+      (* KEY= *)
+      let key_start = !index in
+      while !index < stop && block.[!index] <> '=' do incr index done;
+      if !index >= stop || !index = key_start then malformed := true
+      else begin
+        let key = String.sub block key_start (!index - key_start) in
+        incr index;
+        if !index >= stop || block.[!index] <> '"' then malformed := true
+        else begin
+          (* "VALUE" with backslash escapes *)
+          incr index;
+          let value = Buffer.create 16 in
+          let closed = ref false in
+          while (not !closed) && (not !malformed) && !index < stop do
+            match block.[!index] with
+            | '"' ->
+              closed := true;
+              incr index
+            | '\\' when !index + 1 < stop ->
+              (match block.[!index + 1] with
+               | '\\' -> Buffer.add_char value '\\'
+               | '"' -> Buffer.add_char value '"'
+               | 'n' -> Buffer.add_char value '\n'
+               | other ->
+                 Buffer.add_char value '\\';
+                 Buffer.add_char value other);
+              index := !index + 2
+            | char ->
+              Buffer.add_char value char;
+              incr index
+          done;
+          if not !closed then malformed := true
+          else begin
+            pairs := (key, Buffer.contents value) :: !pairs;
+            if !index < stop then
+              if block.[!index] = ',' then incr index else malformed := true
+          end
+        end
+      end
+    done;
+    if !malformed then None else Some (List.rev !pairs)
+  end
+
+(* Parsed label pairs when the block is well-formed; a raw passthrough
+   otherwise. *)
+type labels = Pairs of (string * string) list | Raw of string
+
+(* ["window.lock_wait{lu=\"HoLU\"}"] -> ("window_lock_wait", Pairs [...]) *)
 let split_labels name =
   match String.index_opt name '{' with
-  | None -> (sanitize name, "")
+  | None -> (sanitize name, Pairs [])
   | Some brace ->
+    let block = String.sub name brace (String.length name - brace) in
     ( sanitize (String.sub name 0 brace),
-      String.sub name brace (String.length name - brace) )
+      match parse_label_block block with
+      | Some pairs -> Pairs pairs
+      | None -> Raw block )
 
 let number value =
   if Float.is_nan value then "NaN"
@@ -47,21 +137,30 @@ let number value =
     Printf.sprintf "%.0f" value
   else Printf.sprintf "%.6g" value
 
-(* Merge extra label pairs (e.g. quantile) into an existing label block. *)
+(* Merge extra label pairs (e.g. quantile) into an existing label set and
+   render the block, escaping every value. *)
 let with_labels labels extra =
   match labels, extra with
-  | "", [] -> ""
-  | "", extra ->
+  | Pairs [], [] -> ""
+  | Pairs pairs, extra ->
     "{"
     ^ String.concat ","
-        (List.map (fun (key, value) -> Printf.sprintf "%s=\"%s\"" key value) extra)
+        (List.map
+           (fun (key, value) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize key)
+               (escape_label_value value))
+           (pairs @ extra))
     ^ "}"
-  | labels, [] -> labels
-  | labels, extra ->
-    let inner = String.sub labels 1 (String.length labels - 2) in
+  | Raw block, [] -> block
+  | Raw block, extra ->
+    let inner = String.sub block 1 (String.length block - 2) in
     "{" ^ inner ^ ","
     ^ String.concat ","
-        (List.map (fun (key, value) -> Printf.sprintf "%s=\"%s\"" key value) extra)
+        (List.map
+           (fun (key, value) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize key)
+               (escape_label_value value))
+           extra)
     ^ "}"
 
 type family = {

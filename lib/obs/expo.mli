@@ -20,3 +20,14 @@ val render : ?namespace:string -> Registry.t -> string
 val sanitize : string -> string
 (** Maps a registry name to the Prometheus name charset
     ([[a-zA-Z_][a-zA-Z0-9_]*], every other byte becomes ['_']). *)
+
+val escape_label_value : string -> string
+(** Escapes a label value per the text exposition 0.0.4 spec: backslash,
+    double-quote and newline each become their backslash escape. Label
+    values are otherwise arbitrary — scenario names flow through here. *)
+
+val labelled : string -> (string * string) list -> string
+(** [labelled "scenario_info" [("scenario", name)]] builds a registry
+    metric name with an inline label block, keys sanitized and values
+    escaped, so {!render} round-trips arbitrary values safely. An empty
+    pair list returns the name unchanged. *)

@@ -33,6 +33,7 @@ type rule = {
 type t = { rules : rule list }
 
 let rules slo = slo.rules
+let of_rules rules = { rules }
 
 let comparator_text = function
   | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
@@ -46,34 +47,58 @@ let holds cmp value threshold =
 
 (* ------------------------------------------------------------- parsing *)
 
+let unknown_signal text =
+  Error
+    (Printf.sprintf
+       "unknown signal %S (expected p50_wait/p95_wait/p99_wait \
+        [optionally {lu=KIND}], abort_rate, deadlock_rate, wait_rate or \
+        throughput)"
+       text)
+
 let signal_of_string text =
   let quantile q lu = Ok (Wait_quantile { q; lu }) in
-  let base, lu =
-    match String.index_opt text '{' with
-    | None -> (text, None)
-    | Some brace ->
-      let rest = String.sub text brace (String.length text - brace) in
-      let base = String.sub text 0 brace in
-      let length = String.length rest in
-      if length >= 5 && String.sub rest 0 4 = "{lu=" && rest.[length - 1] = '}'
-      then (base, Some (String.sub rest 4 (length - 5)))
-      else (text, None)  (* malformed; falls through to the error below *)
-  in
-  match base, lu with
-  | "p50_wait", lu -> quantile 0.50 lu
-  | "p95_wait", lu -> quantile 0.95 lu
-  | "p99_wait", lu -> quantile 0.99 lu
-  | "abort_rate", None -> Ok Abort_rate
-  | "deadlock_rate", None -> Ok Deadlock_rate
-  | "wait_rate", None -> Ok Wait_rate
-  | "throughput", None -> Ok Throughput
-  | _ ->
-    Error
-      (Printf.sprintf
-         "unknown signal %S (expected p50_wait/p95_wait/p99_wait \
-          [optionally {lu=KIND}], abort_rate, deadlock_rate, wait_rate or \
-          throughput)"
-         text)
+  match String.index_opt text '{' with
+  | None -> (
+    match text with
+    | "p50_wait" -> quantile 0.50 None
+    | "p95_wait" -> quantile 0.95 None
+    | "p99_wait" -> quantile 0.99 None
+    | "abort_rate" -> Ok Abort_rate
+    | "deadlock_rate" -> Ok Deadlock_rate
+    | "wait_rate" -> Ok Wait_rate
+    | "throughput" -> Ok Throughput
+    | _ -> unknown_signal text)
+  | Some brace -> (
+    let base = String.sub text 0 brace in
+    let selector = String.sub text brace (String.length text - brace) in
+    let length = String.length selector in
+    let kind =
+      (* {lu=KIND} with a nonempty KIND *)
+      if length >= 6
+         && String.sub selector 0 4 = "{lu="
+         && selector.[length - 1] = '}'
+      then Some (String.sub selector 4 (length - 5))
+      else None
+    in
+    match kind with
+    | None ->
+      Error
+        (Printf.sprintf
+           "bad selector %S after %S (expected {lu=KIND}, e.g. \
+            p95_wait{lu=HoLU})"
+           selector base)
+    | Some kind -> (
+      match base with
+      | "p50_wait" -> quantile 0.50 (Some kind)
+      | "p95_wait" -> quantile 0.95 (Some kind)
+      | "p99_wait" -> quantile 0.99 (Some kind)
+      | "abort_rate" | "deadlock_rate" | "wait_rate" | "throughput" ->
+        Error
+          (Printf.sprintf
+             "signal %S takes no {lu=...} selector (only the wait \
+              quantiles do)"
+             base)
+      | _ -> unknown_signal base))
 
 let signal_text = function
   | Wait_quantile { q; lu } ->
@@ -89,7 +114,7 @@ let signal_text = function
   | Wait_rate -> "wait_rate"
   | Throughput -> "throughput"
 
-let parse_rule line =
+let parse_rule_text line =
   let tokens =
     String.split_on_char ' ' line
     |> List.concat_map (String.split_on_char '\t')
@@ -119,7 +144,23 @@ let parse_rule line =
     Ok { text; signal; cmp; threshold })
   | _ -> Error "expected `SIGNAL <|<=|>|>= NUMBER`"
 
-let parse text =
+(* "FILE:N: ..." with a file, "line N: ..." without — every diagnostic
+   points at its source. *)
+let position ?file line =
+  match file with
+  | Some file -> Printf.sprintf "%s:%d" file line
+  | None -> Printf.sprintf "line %d" line
+
+let parse_rule ?file ?line text =
+  match parse_rule_text text with
+  | Ok _ as ok -> ok
+  | Error message -> (
+    match line with
+    | None -> Error message
+    | Some line ->
+      Error (Printf.sprintf "%s: %s" (position ?file line) message))
+
+let parse ?file text =
   let lines = String.split_on_char '\n' text in
   let rules, errors =
     List.fold_left
@@ -132,10 +173,12 @@ let parse text =
         let line = String.trim line in
         if line = "" then (rules, errors)
         else
-          match parse_rule line with
+          match parse_rule_text line with
           | Ok rule -> (rule :: rules, errors)
           | Error message ->
-            (rules, Printf.sprintf "line %d: %s" number message :: errors))
+            ( rules,
+              Printf.sprintf "%s: %s" (position ?file number) message
+              :: errors ))
       ([], [])
       (List.mapi (fun index line -> (index + 1, line)) lines)
   in
@@ -150,7 +193,7 @@ let load path =
     let length = in_channel_length channel in
     let text = really_input_string channel length in
     close_in_noerr channel;
-    parse text
+    parse ~file:path text
 
 (* ---------------------------------------------------------- evaluation *)
 

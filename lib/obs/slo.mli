@@ -37,12 +37,22 @@ type t
 
 val rules : t -> rule list
 
-val parse : string -> (t, string) result
+val of_rules : rule list -> t
+(** A rule set assembled by another front end (e.g. the inline [slo]
+    directives of {!Workload.Dsl} scenario files). *)
+
+val parse : ?file:string -> string -> (t, string) result
 (** Parses a whole config text; the error aggregates every bad line as
-    ["line N: ..."] diagnostics. *)
+    ["FILE:N: ..."] (or ["line N: ..."] without [?file]) diagnostics,
+    each naming the offending token — unknown signal, bad comparator,
+    bad threshold or a malformed [{lu=...}] selector. *)
+
+val parse_rule : ?file:string -> ?line:int -> string -> (rule, string) result
+(** One rule line; [?file]/[?line] position the diagnostic the same way
+    {!parse} does. *)
 
 val load : string -> (t, string) result
-(** {!parse} on a file's contents. *)
+(** {!parse} on a file's contents, diagnostics prefixed with the path. *)
 
 type verdict = { rule : rule; value : float; ok : bool }
 

@@ -125,3 +125,135 @@ let manufacturing_mix db graph mix =
       { arrival = index * mix.arrival_gap;
         ops = List.init mix.steps_per_job (fun _step -> random_op ());
         access_cost = mix.access_cost })
+
+(* ------------------------------------------------- declarative scenarios *)
+
+let technique_of_dsl graph table = function
+  | Workload.Dsl.Proposed ->
+    Proposed (Colock.Protocol.create graph table)
+  | Workload.Dsl.Proposed_rule4 ->
+    Proposed (Colock.Protocol.create ~rule:Colock.Protocol.Rule_4 graph table)
+  | Workload.Dsl.Whole_object -> Whole_object
+  | Workload.Dsl.Tuple_level -> Tuple_level
+
+let faults_of_dsl (dsl : Workload.Dsl.t) =
+  { Fault.crash = dsl.faults.crash; stall = dsl.faults.stall;
+    stall_factor = dsl.faults.factor; hog = dsl.faults.hog;
+    fault_seed = dsl.seed }
+
+(* Zipf sampling over ranks 1..n: cumulative weights 1/r^skew, one binary
+   search per draw. Rank 0 of the key array is the most popular. *)
+let zipf_cumulative ~skew n =
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for rank = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (rank + 1) ** skew));
+    cumulative.(rank) <- !total
+  done;
+  cumulative
+
+let pick_rank state = function
+  | None -> fun n -> Random.State.int state n
+  | Some cumulative ->
+    fun n ->
+      let total = cumulative.(n - 1) in
+      let target = Random.State.float state total in
+      let rec search low high =
+        if low >= high then low
+        else
+          let middle = (low + high) / 2 in
+          if cumulative.(middle) < target then search (middle + 1) high
+          else search low middle
+      in
+      search 0 (n - 1)
+
+let arrival_times state (dsl : Workload.Dsl.t) =
+  match dsl.arrivals with
+  | Workload.Dsl.Uniform { gap } ->
+    Array.init dsl.jobs (fun index -> index * gap)
+  | Workload.Dsl.Bursty { burst; every; spread } ->
+    Array.init dsl.jobs (fun index ->
+        ((index / burst) * every) + (index mod burst * spread))
+  | Workload.Dsl.Poisson { mean } ->
+    let clock = ref 0.0 in
+    Array.init dsl.jobs (fun _index ->
+        let draw = Random.State.float state 1.0 in
+        clock := !clock +. (-.mean *. log (1.0 -. draw));
+        int_of_float !clock)
+
+let of_dsl db graph (dsl : Workload.Dsl.t) =
+  let state = Random.State.make [| dsl.seed |] in
+  let keys_of relation =
+    match Nf2.Database.relation db relation with
+    | Some store -> Array.of_list (Nf2.Relation.keys store)
+    | None -> invalid_arg (Printf.sprintf "Scenario: no %s relation" relation)
+  in
+  let cell_keys = keys_of "cells" in
+  let effector_keys = keys_of "effectors" in
+  let skew =
+    match dsl.popularity with
+    | Workload.Dsl.Flat -> None
+    | Workload.Dsl.Zipf skew -> Some skew
+  in
+  let cell_pick =
+    pick_rank state
+      (Option.map (fun skew -> zipf_cumulative ~skew (Array.length cell_keys)) skew)
+  in
+  let effector_pick =
+    pick_rank state
+      (Option.map
+         (fun skew -> zipf_cumulative ~skew (Array.length effector_keys))
+         skew)
+  in
+  let cell_node key =
+    match Graph.object_node graph (Nf2.Oid.make ~relation:"cells" ~key) with
+    | Some node -> node
+    | None -> invalid_arg "Scenario: unknown cell"
+  in
+  let random_cell () = cell_keys.(cell_pick (Array.length cell_keys)) in
+  let read_op () =
+    Node_read (Node_id.child (cell_node (random_cell ())) "c_objects")
+  in
+  let update_op () =
+    let holu = Node_id.child (cell_node (random_cell ())) "robots" in
+    let members = (Graph.node_exn graph holu).Graph.children in
+    Node_update (List.nth members (Random.State.int state (List.length members)))
+  in
+  let library_op () =
+    let key = effector_keys.(effector_pick (Array.length effector_keys)) in
+    match
+      Graph.object_node graph (Nf2.Oid.make ~relation:"effectors" ~key)
+    with
+    | Some node -> Node_update node
+    | None -> invalid_arg "Scenario: unknown effector"
+  in
+  let arrivals = arrival_times state dsl in
+  List.init dsl.jobs (fun index ->
+      let arrival = arrivals.(index) in
+      let dice = Random.State.float state 1.0 in
+      let mix = dsl.mix in
+      if dice < mix.Workload.Dsl.read then
+        { arrival;
+          ops = List.init dsl.steps (fun _step -> read_op ());
+          access_cost = dsl.cost }
+      else if dice < mix.Workload.Dsl.read +. mix.Workload.Dsl.update then
+        { arrival;
+          ops = List.init dsl.steps (fun _step -> update_op ());
+          access_cost = dsl.cost }
+      else if
+        dice
+        < mix.Workload.Dsl.read +. mix.Workload.Dsl.update
+          +. mix.Workload.Dsl.library
+      then
+        { arrival;
+          ops = List.init dsl.steps (fun _step -> library_op ());
+          access_cost = dsl.cost }
+      else begin
+        (* a long check-out session: X on one whole cell object, held for
+           [checkout_hold] ticks per step — the Txn.Checkout usage pattern
+           compressed into the simulator's step shape *)
+        let root = cell_node (random_cell ()) in
+        { arrival;
+          ops = List.init dsl.checkout_steps (fun _step -> Node_update root);
+          access_cost = dsl.checkout_hold }
+      end)

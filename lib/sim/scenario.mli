@@ -52,3 +52,32 @@ val manufacturing_mix :
 (** Random Q1-like (read the c_objects of a cell) / Q2-like (update one robot
     of a cell) / library-update operations over the generated cells,
     deterministic in [mix.seed]. *)
+
+(** {2 Declarative scenarios}
+
+    The bridge from a parsed {!Workload.Dsl} scenario onto the simulator:
+    jobs, faults and techniques all derive from the one scenario record, so
+    [colock soak] and the benchmark baseline pipeline share a single
+    compilation path. *)
+
+val of_dsl :
+  Nf2.Database.t -> Colock.Instance_graph.t -> Workload.Dsl.t -> job_spec list
+(** Compiles the scenario's job population, deterministic in the scenario
+    seed: arrivals per the [arrivals] directive (uniform, bursty or
+    Poisson), object choice per [popularity] (flat or Zipf-ranked over the
+    cell/effector key order), one category per job drawn against the [mix]
+    thresholds. Read jobs touch a cell's [c_objects], update jobs one
+    robot, library jobs one effector object, and checkout jobs hold X on a
+    whole cell object for [checkout_hold] per step. *)
+
+val faults_of_dsl : Workload.Dsl.t -> Fault.spec
+(** The scenario's [faults] directive as a runner fault spec; the fault
+    seed is the scenario seed. *)
+
+val technique_of_dsl :
+  Colock.Instance_graph.t ->
+  Lockmgr.Lock_table.t ->
+  Workload.Dsl.technique ->
+  technique
+(** Instantiates a DSL technique name against a concrete graph and lock
+    table ([Proposed] uses rule 4′, [Proposed_rule4] rule 4). *)

@@ -1,0 +1,516 @@
+(* The scenario language behind `colock soak` and the perf baseline.
+
+   One directive per line ('#' comments, blank lines skipped), every
+   directive optional, canonical printing — so committed .scn files
+   round-trip through parse/print and diagnostics can always point at
+   FILE:LINE and the offending token. *)
+
+type catalog = {
+  cells : int;
+  objects : int;
+  robots : int;
+  effectors : int;
+  refs : int;
+}
+
+type arrivals =
+  | Uniform of { gap : int }
+  | Bursty of { burst : int; every : int; spread : int }
+  | Poisson of { mean : float }
+
+type popularity = Flat | Zipf of float
+
+type mix = {
+  read : float;
+  update : float;
+  library : float;
+  checkout : float;
+}
+
+type faults = { crash : float; stall : float; factor : int; hog : float }
+
+type technique = Proposed | Proposed_rule4 | Whole_object | Tuple_level
+
+let technique_to_string = function
+  | Proposed -> "proposed"
+  | Proposed_rule4 -> "rule4"
+  | Whole_object -> "whole-object"
+  | Tuple_level -> "tuple-level"
+
+let technique_of_string = function
+  | "proposed" -> Ok Proposed
+  | "rule4" -> Ok Proposed_rule4
+  | "whole-object" -> Ok Whole_object
+  | "tuple-level" -> Ok Tuple_level
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown technique %S (expected proposed, rule4, whole-object or \
+          tuple-level)"
+         other)
+
+type t = {
+  name : string;
+  catalog : catalog;
+  jobs : int;
+  seed : int;
+  window : float;
+  techniques : technique list;
+  arrivals : arrivals;
+  popularity : popularity;
+  mix : mix;
+  checkout_hold : int;
+  checkout_steps : int;
+  steps : int;
+  cost : int;
+  faults : faults;
+  slo : Obs.Slo.rule list;
+}
+
+let default_catalog =
+  { cells = 4; objects = 20; robots = 4; effectors = 16; refs = 2 }
+
+let no_faults = { crash = 0.0; stall = 0.0; factor = 8; hog = 0.0 }
+let faults_active faults = faults.crash +. faults.stall +. faults.hog > 0.0
+
+let default ~name =
+  { name; catalog = default_catalog; jobs = 40; seed = 17; window = 200.0;
+    techniques = [ Proposed; Whole_object; Tuple_level ];
+    arrivals = Uniform { gap = 10 }; popularity = Flat;
+    mix = { read = 0.5; update = 0.5; library = 0.0; checkout = 0.0 };
+    checkout_hold = 500; checkout_steps = 1; steps = 1; cost = 100;
+    faults = no_faults; slo = [] }
+
+(* ------------------------------------------------------------- printing *)
+
+let print scenario =
+  let buffer = Buffer.create 512 in
+  let add format = Printf.ksprintf (Buffer.add_string buffer) format in
+  add "scenario %s\n" scenario.name;
+  add "catalog cells=%d objects=%d robots=%d effectors=%d refs=%d\n"
+    scenario.catalog.cells scenario.catalog.objects scenario.catalog.robots
+    scenario.catalog.effectors scenario.catalog.refs;
+  add "jobs %d\n" scenario.jobs;
+  add "seed %d\n" scenario.seed;
+  add "window %g\n" scenario.window;
+  add "techniques %s\n"
+    (String.concat " " (List.map technique_to_string scenario.techniques));
+  (match scenario.arrivals with
+   | Uniform { gap } -> add "arrivals uniform gap=%d\n" gap
+   | Bursty { burst; every; spread } ->
+     add "arrivals bursty burst=%d every=%d spread=%d\n" burst every spread
+   | Poisson { mean } -> add "arrivals poisson mean=%g\n" mean);
+  (match scenario.popularity with
+   | Flat -> add "popularity uniform\n"
+   | Zipf skew -> add "popularity zipf skew=%g\n" skew);
+  add "mix read=%g update=%g library=%g checkout=%g\n" scenario.mix.read
+    scenario.mix.update scenario.mix.library scenario.mix.checkout;
+  add "checkout hold=%d steps=%d\n" scenario.checkout_hold
+    scenario.checkout_steps;
+  add "steps %d\n" scenario.steps;
+  add "cost %d\n" scenario.cost;
+  if faults_active scenario.faults then
+    add "faults crash=%g stall=%g factor=%d hog=%g\n" scenario.faults.crash
+      scenario.faults.stall scenario.faults.factor scenario.faults.hog;
+  List.iter (fun rule -> add "slo %s\n" rule.Obs.Slo.text) scenario.slo;
+  Buffer.contents buffer
+
+(* -------------------------------------------------------------- parsing *)
+
+let ( let* ) = Result.bind
+
+(* ["k=v"; ...] -> [(k, v); ...], complaining about the offending token. *)
+let fields ~directive tokens =
+  List.fold_left
+    (fun accu token ->
+      let* pairs = accu in
+      match String.index_opt token '=' with
+      | Some eq when eq > 0 && eq < String.length token - 1 ->
+        let key = String.sub token 0 eq in
+        let value = String.sub token (eq + 1) (String.length token - eq - 1) in
+        Ok ((key, value) :: pairs)
+      | _ ->
+        Error
+          (Printf.sprintf "bad %s field %S (expected KEY=VALUE)" directive
+             token))
+    (Ok []) tokens
+  |> Result.map List.rev
+
+let int_value ~directive (key, value) =
+  match int_of_string_opt value with
+  | Some n -> Ok n
+  | None ->
+    Error
+      (Printf.sprintf "bad %s field %s=%S (expected an integer)" directive key
+         value)
+
+let float_value ~directive (key, value) =
+  match float_of_string_opt value with
+  | Some x -> Ok x
+  | None ->
+    Error
+      (Printf.sprintf "bad %s field %s=%S (expected a number)" directive key
+         value)
+
+let apply_fields ~directive ~known tokens init =
+  let* pairs = fields ~directive tokens in
+  List.fold_left
+    (fun accu (key, value) ->
+      let* state = accu in
+      match List.assoc_opt key known with
+      | Some set -> set state (key, value)
+      | None ->
+        Error
+          (Printf.sprintf "unknown %s field %S (expected %s)" directive key
+             (String.concat "/" (List.map fst known))))
+    (Ok init) pairs
+
+let parse_catalog tokens catalog =
+  let int set = fun state pair ->
+    let* n = int_value ~directive:"catalog" pair in
+    Ok (set state n)
+  in
+  apply_fields ~directive:"catalog"
+    ~known:
+      [ ("cells", int (fun c n -> { c with cells = n }));
+        ("objects", int (fun c n -> { c with objects = n }));
+        ("robots", int (fun c n -> { c with robots = n }));
+        ("effectors", int (fun c n -> { c with effectors = n }));
+        ("refs", int (fun c n -> { c with refs = n })) ]
+    tokens catalog
+
+let parse_arrivals tokens =
+  match tokens with
+  | "uniform" :: rest ->
+    let int set = fun state pair ->
+      let* n = int_value ~directive:"arrivals" pair in
+      Ok (set state n)
+    in
+    let* gap =
+      apply_fields ~directive:"arrivals"
+        ~known:[ ("gap", int (fun _ n -> n)) ]
+        rest 10
+    in
+    Ok (Uniform { gap })
+  | "bursty" :: rest ->
+    let* burst, every, spread =
+      let int set = fun state pair ->
+        let* n = int_value ~directive:"arrivals" pair in
+        Ok (set state n)
+      in
+      apply_fields ~directive:"arrivals"
+        ~known:
+          [ ("burst", int (fun (_, e, s) n -> (n, e, s)));
+            ("every", int (fun (b, _, s) n -> (b, n, s)));
+            ("spread", int (fun (b, e, _) n -> (b, e, n))) ]
+        rest (10, 100, 1)
+    in
+    Ok (Bursty { burst; every; spread })
+  | "poisson" :: rest ->
+    let float set = fun state pair ->
+      let* x = float_value ~directive:"arrivals" pair in
+      Ok (set state x)
+    in
+    let* mean =
+      apply_fields ~directive:"arrivals"
+        ~known:[ ("mean", float (fun _ x -> x)) ]
+        rest 10.0
+    in
+    Ok (Poisson { mean })
+  | process :: _ ->
+    Error
+      (Printf.sprintf
+         "unknown arrival process %S (expected uniform, bursty or poisson)"
+         process)
+  | [] -> Error "arrivals needs a process (uniform, bursty or poisson)"
+
+let parse_popularity tokens =
+  match tokens with
+  | [ "uniform" ] -> Ok Flat
+  | "zipf" :: rest ->
+    let float set = fun state pair ->
+      let* x = float_value ~directive:"popularity" pair in
+      Ok (set state x)
+    in
+    let* skew =
+      apply_fields ~directive:"popularity"
+        ~known:[ ("skew", float (fun _ x -> x)) ]
+        rest 1.0
+    in
+    Ok (Zipf skew)
+  | shape :: _ ->
+    Error
+      (Printf.sprintf "unknown popularity %S (expected uniform or zipf)" shape)
+  | [] -> Error "popularity needs a shape (uniform or zipf)"
+
+let parse_mix tokens =
+  let float set = fun state pair ->
+    let* x = float_value ~directive:"mix" pair in
+    Ok (set state x)
+  in
+  apply_fields ~directive:"mix"
+    ~known:
+      [ ("read", float (fun m x -> { m with read = x }));
+        ("update", float (fun m x -> { m with update = x }));
+        ("library", float (fun m x -> { m with library = x }));
+        ("checkout", float (fun m x -> { m with checkout = x })) ]
+    tokens
+    { read = 0.0; update = 0.0; library = 0.0; checkout = 0.0 }
+
+let parse_faults tokens faults =
+  let float set = fun state pair ->
+    let* x = float_value ~directive:"faults" pair in
+    Ok (set state x)
+  in
+  let int set = fun state pair ->
+    let* n = int_value ~directive:"faults" pair in
+    Ok (set state n)
+  in
+  apply_fields ~directive:"faults"
+    ~known:
+      [ ("crash", float (fun f x -> { f with crash = x }));
+        ("stall", float (fun f x -> { f with stall = x }));
+        ("factor", int (fun f n -> { f with factor = n }));
+        ("hog", float (fun f x -> { f with hog = x })) ]
+    tokens faults
+
+let parse_techniques tokens =
+  match tokens with
+  | [] -> Error "techniques needs at least one technique"
+  | tokens ->
+    List.fold_left
+      (fun accu token ->
+        let* chosen = accu in
+        let* technique = technique_of_string token in
+        Ok (technique :: chosen))
+      (Ok []) tokens
+    |> Result.map List.rev
+
+let single_int ~directive tokens =
+  match tokens with
+  | [ value ] -> int_value ~directive (directive, value)
+  | _ -> Error (Printf.sprintf "%s needs exactly one integer" directive)
+
+let single_float ~directive tokens =
+  match tokens with
+  | [ value ] -> float_value ~directive (directive, value)
+  | _ -> Error (Printf.sprintf "%s needs exactly one number" directive)
+
+let parse_line scenario ?file ~line tokens raw =
+  ignore raw;
+  match tokens with
+  | [] -> Ok scenario
+  | "scenario" :: rest when rest <> [] ->
+    Ok { scenario with name = String.concat " " rest }
+  | [ "scenario" ] -> Error "scenario needs a name"
+  | "catalog" :: rest ->
+    let* catalog = parse_catalog rest scenario.catalog in
+    Ok { scenario with catalog }
+  | "jobs" :: rest ->
+    let* jobs = single_int ~directive:"jobs" rest in
+    Ok { scenario with jobs }
+  | "seed" :: rest ->
+    let* seed = single_int ~directive:"seed" rest in
+    Ok { scenario with seed }
+  | "window" :: rest ->
+    let* window = single_float ~directive:"window" rest in
+    Ok { scenario with window }
+  | "techniques" :: rest ->
+    let* techniques = parse_techniques rest in
+    Ok { scenario with techniques }
+  | "arrivals" :: rest ->
+    let* arrivals = parse_arrivals rest in
+    Ok { scenario with arrivals }
+  | "popularity" :: rest ->
+    let* popularity = parse_popularity rest in
+    Ok { scenario with popularity }
+  | "mix" :: rest ->
+    let* mix = parse_mix rest in
+    Ok { scenario with mix }
+  | "checkout" :: rest ->
+    let int set = fun state pair ->
+      let* n = int_value ~directive:"checkout" pair in
+      Ok (set state n)
+    in
+    let* hold, steps =
+      apply_fields ~directive:"checkout"
+        ~known:
+          [ ("hold", int (fun (_, s) n -> (n, s)));
+            ("steps", int (fun (h, _) n -> (h, n))) ]
+        rest
+        (scenario.checkout_hold, scenario.checkout_steps)
+    in
+    Ok { scenario with checkout_hold = hold; checkout_steps = steps }
+  | "steps" :: rest ->
+    let* steps = single_int ~directive:"steps" rest in
+    Ok { scenario with steps }
+  | "cost" :: rest ->
+    let* cost = single_int ~directive:"cost" rest in
+    Ok { scenario with cost }
+  | "faults" :: rest ->
+    let* faults = parse_faults rest scenario.faults in
+    Ok { scenario with faults }
+  | "slo" :: rest ->
+    let* rule = Obs.Slo.parse_rule ?file ~line (String.concat " " rest) in
+    Ok { scenario with slo = scenario.slo @ [ rule ] }
+  | directive :: _ ->
+    Error
+      (Printf.sprintf
+         "unknown directive %S (expected scenario, catalog, jobs, seed, \
+          window, techniques, arrivals, popularity, mix, checkout, steps, \
+          cost, faults or slo)"
+         directive)
+
+let validate scenario =
+  let bad format = Printf.ksprintf (fun message -> Some message) format in
+  let fraction label x =
+    if x < 0.0 || x > 1.0 then
+      bad "%s must lie in [0,1] (got %g)" label x
+    else None
+  in
+  let positive label n = if n < 1 then bad "%s must be >= 1 (got %d)" label n else None in
+  let checks =
+    [ positive "catalog cells" scenario.catalog.cells;
+      positive "catalog objects" scenario.catalog.objects;
+      positive "catalog robots" scenario.catalog.robots;
+      positive "catalog effectors" scenario.catalog.effectors;
+      (if scenario.catalog.refs < 0 then bad "catalog refs must be >= 0" else None);
+      positive "jobs" scenario.jobs;
+      (if scenario.window <= 0.0 then
+         bad "window must be positive (got %g)" scenario.window
+       else None);
+      (match scenario.arrivals with
+       | Uniform { gap } ->
+         if gap < 0 then bad "arrivals gap must be >= 0 (got %d)" gap else None
+       | Bursty { burst; every; spread } ->
+         if burst < 1 then bad "arrivals burst must be >= 1 (got %d)" burst
+         else if every < 1 then bad "arrivals every must be >= 1 (got %d)" every
+         else if spread < 0 then bad "arrivals spread must be >= 0 (got %d)" spread
+         else None
+       | Poisson { mean } ->
+         if mean <= 0.0 then bad "arrivals mean must be positive (got %g)" mean
+         else None);
+      (match scenario.popularity with
+       | Flat -> None
+       | Zipf skew ->
+         if skew <= 0.0 then
+           bad "popularity skew must be positive (got %g)" skew
+         else None);
+      fraction "mix read" scenario.mix.read;
+      fraction "mix update" scenario.mix.update;
+      fraction "mix library" scenario.mix.library;
+      fraction "mix checkout" scenario.mix.checkout;
+      (let sum =
+         scenario.mix.read +. scenario.mix.update +. scenario.mix.library
+         +. scenario.mix.checkout
+       in
+       if Float.abs (sum -. 1.0) > 1e-6 then
+         bad "mix fractions must sum to 1 (got %g)" sum
+       else None);
+      (if scenario.checkout_hold < 0 then bad "checkout hold must be >= 0" else None);
+      positive "checkout steps" scenario.checkout_steps;
+      positive "steps" scenario.steps;
+      (if scenario.cost < 0 then bad "cost must be >= 0" else None);
+      fraction "faults crash" scenario.faults.crash;
+      fraction "faults stall" scenario.faults.stall;
+      fraction "faults hog" scenario.faults.hog;
+      (let sum =
+         scenario.faults.crash +. scenario.faults.stall +. scenario.faults.hog
+       in
+       if sum > 1.0 +. 1e-9 then
+         bad "faults rates must sum to at most 1 (got %g)" sum
+       else None);
+      positive "faults factor" scenario.faults.factor ]
+  in
+  List.filter_map Fun.id checks
+
+let position ?file line =
+  match file with
+  | Some file -> Printf.sprintf "%s:%d" file line
+  | None -> Printf.sprintf "line %d" line
+
+let parse ?file ?(name = "scenario") text =
+  let lines = String.split_on_char '\n' text in
+  let scenario, errors =
+    List.fold_left
+      (fun (scenario, errors) (line, raw) ->
+        let stripped =
+          match String.index_opt raw '#' with
+          | None -> raw
+          | Some hash -> String.sub raw 0 hash
+        in
+        let tokens =
+          String.split_on_char ' ' stripped
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun token -> token <> "")
+        in
+        match parse_line scenario ?file ~line tokens stripped with
+        | Ok scenario -> (scenario, errors)
+        | Error message ->
+          (* SLO diagnostics already carry their position *)
+          let message =
+            if String.length message > 0
+               && (String.starts_with ~prefix:(position ?file line) message)
+            then message
+            else Printf.sprintf "%s: %s" (position ?file line) message
+          in
+          (scenario, message :: errors))
+      (default ~name, [])
+      (List.mapi (fun index raw -> (index + 1, raw)) lines)
+  in
+  match List.rev errors with
+  | [] -> (
+    match validate scenario with
+    | [] -> Ok scenario
+    | problems ->
+      let where = match file with Some file -> file ^ ": " | None -> "" in
+      Error
+        (String.concat "\n"
+           (List.map (fun problem -> where ^ problem) problems)))
+  | errors -> Error (String.concat "\n" errors)
+
+let basename_scenario path =
+  let base = Filename.basename path in
+  match Filename.chop_suffix_opt ~suffix:".scn" base with
+  | Some name -> name
+  | None -> base
+
+let load path =
+  match open_in path with
+  | exception Sys_error message -> Error message
+  | channel ->
+    let length = in_channel_length channel in
+    let text = really_input_string channel length in
+    close_in_noerr channel;
+    parse ~file:path ~name:(basename_scenario path) text
+
+let load_path path =
+  match Sys.is_directory path with
+  | exception Sys_error message -> Error message
+  | false -> Result.map (fun scenario -> [ scenario ]) (load path)
+  | true ->
+    let files =
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun file -> Filename.check_suffix file ".scn")
+      |> List.sort String.compare
+      |> List.map (Filename.concat path)
+    in
+    if files = [] then
+      Error (Printf.sprintf "%s: no .scn scenario files" path)
+    else
+      List.fold_left
+        (fun accu file ->
+          let* scenarios = accu in
+          let* scenario = load file in
+          Ok (scenario :: scenarios))
+        (Ok []) files
+      |> Result.map List.rev
+
+let database scenario =
+  Generator.manufacturing
+    { Generator.cells = scenario.catalog.cells;
+      objects_per_cell = scenario.catalog.objects;
+      robots_per_cell = scenario.catalog.robots;
+      effectors = scenario.catalog.effectors;
+      effectors_per_robot = scenario.catalog.refs;
+      seed = scenario.seed }

@@ -1,0 +1,120 @@
+(** A declarative scenario language for soak runs and perf baselines.
+
+    Scenarios live in committed [.scn] files — one directive per line,
+    ['#'] comments — and describe everything a run needs: catalog scale,
+    transaction mix, object popularity, the arrival process, long
+    check-out sessions, a fault profile and inline SLO rules (the
+    {!Obs.Slo} grammar). {!Sim.Scenario.of_dsl} compiles a parsed
+    scenario onto any of the three locking techniques.
+
+    {v
+    # hotspot.scn — skewed contention on a mid-size catalog
+    scenario hotspot
+    catalog cells=8 objects=20 robots=4 effectors=32 refs=2
+    jobs 100
+    seed 42
+    window 200
+    techniques proposed whole-object tuple-level
+    arrivals bursty burst=10 every=120 spread=1
+    popularity zipf skew=1.2
+    mix read=0.5 update=0.35 library=0.1 checkout=0.05
+    checkout hold=1200 steps=1
+    steps 2
+    cost 100
+    faults crash=0.05 stall=0.1 factor=4 hog=0.02
+    slo p99_wait < 500
+    slo abort_rate < 0.3
+    v}
+
+    Every directive is optional; {!default} supplies the rest. {!print}
+    renders the canonical form, and [parse (print t) = t] — scenario
+    files round-trip. *)
+
+type catalog = {
+  cells : int;
+  objects : int;  (** c_objects per cell *)
+  robots : int;  (** robots per cell *)
+  effectors : int;  (** size of the shared effector library *)
+  refs : int;  (** effector references per robot *)
+}
+
+type arrivals =
+  | Uniform of { gap : int }  (** one arrival every [gap] ticks *)
+  | Bursty of { burst : int; every : int; spread : int }
+      (** [burst] arrivals [spread] ticks apart, a burst every [every] *)
+  | Poisson of { mean : float }
+      (** exponential inter-arrival gaps of the given mean, seeded *)
+
+type popularity =
+  | Flat  (** uniform choice of cells and effectors *)
+  | Zipf of float
+      (** Zipf-skewed: cell/effector of rank [r] drawn with weight
+          [1/r^skew] (rank 1 = first key in order) *)
+
+type mix = {
+  read : float;  (** Q1-like: read a cell's c_objects *)
+  update : float;  (** Q2-like: update one robot *)
+  library : float;  (** Q3-like: update a shared effector *)
+  checkout : float;
+      (** long session: X on a whole cell object, held [checkout hold]
+          ticks per step — the {!Txn.Checkout} usage pattern *)
+}
+
+type faults = { crash : float; stall : float; factor : int; hog : float }
+(** Mirrors {!Sim.Fault.spec}; rates per job, [factor] is the stall
+    slowdown. *)
+
+type technique = Proposed | Proposed_rule4 | Whole_object | Tuple_level
+
+val technique_to_string : technique -> string
+val technique_of_string : string -> (technique, string) result
+
+type t = {
+  name : string;
+  catalog : catalog;
+  jobs : int;
+  seed : int;
+  window : float;  (** sliding-window span behind the SLO evaluation *)
+  techniques : technique list;
+  arrivals : arrivals;
+  popularity : popularity;
+  mix : mix;
+  checkout_hold : int;  (** access cost of each check-out step *)
+  checkout_steps : int;
+  steps : int;  (** ops per non-checkout job *)
+  cost : int;  (** access cost of each non-checkout step *)
+  faults : faults;
+  slo : Obs.Slo.rule list;
+}
+
+val default : name:string -> t
+(** 40 jobs, default catalog, all three techniques, uniform arrivals
+    (gap 10), flat popularity, a 50/50 read/update mix, no faults, no
+    SLO rules. *)
+
+val no_faults : faults
+val faults_active : faults -> bool
+
+val parse : ?file:string -> ?name:string -> string -> (t, string) result
+(** Parses a whole scenario text. The error aggregates every bad line as
+    ["FILE:N: ..."] (or ["line N: ..."] without [?file]) diagnostics,
+    always naming the offending token. [?name] is the default scenario
+    name when the text has no [scenario] directive. *)
+
+val load : string -> (t, string) result
+(** {!parse} on a file's contents; the default name is the file's
+    basename without its [.scn] extension. *)
+
+val load_path : string -> (t list, string) result
+(** [load] on one [.scn] file, or on every [*.scn] directly inside a
+    directory (sorted by name, subdirectories ignored). Errors when a
+    directory holds no scenario files. *)
+
+val print : t -> string
+(** The canonical form: every directive on its own line, defaults
+    included, SLO rules last. [parse (print t)] succeeds and yields
+    [t]. *)
+
+val database : t -> Nf2.Database.t
+(** The scenario's manufacturing catalog, generated deterministically
+    from [catalog] and [seed] (see {!Generator.manufacturing}). *)

@@ -1,0 +1,41 @@
+The committed baseline matches a fresh measurement of the committed suite
+(same seeds, same simulator): the gate is clean on an unmodified tree.
+
+  $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json
+  bench diff: 672 comparison(s), 0 regression(s), 0 improvement(s)
+
+A synthetic slowdown (doubled wait time, halved throughput) must trip the
+gate: exit 2, one REGRESSED row per affected scenario/technique metric.
+
+  $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json \
+  >   --perturb total_wait=2.0 --perturb throughput=0.5 > table.txt
+  [2]
+  $ grep -c 'REGRESSED' table.txt
+  32
+  $ grep 'baseline   proposed' table.txt
+  baseline   proposed       throughput                  34.6821       17.341  REGRESSED -17.3411 (slack 3.47821)
+  baseline   proposed       total_wait                    12930        25860  REGRESSED +12930 (slack 2616)
+  $ tail -1 table.txt
+  bench diff: 672 comparison(s), 32 regression(s), 0 improvement(s)
+
+A tiny perturbation inside the tolerance band does not fire:
+
+  $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json \
+  >   --perturb total_wait=1.01
+  bench diff: 672 comparison(s), 0 regression(s), 0 improvement(s)
+
+--update-baseline rewrites the store from the fresh measurement, and the
+rewritten store immediately diffs clean against itself:
+
+  $ colock bench diff --scenarios .. --baseline fresh.json --update-baseline
+  bench diff: wrote fresh.json (16 run(s))
+  $ colock bench diff --scenarios .. --baseline fresh.json
+  bench diff: 672 comparison(s), 0 regression(s), 0 improvement(s)
+
+A missing run in the fresh measurement (here: diffing a single scenario
+against the full baseline) is baseline drift, not a pass:
+
+  $ colock bench diff --scenarios ../baseline.scn --baseline ../../BENCH_scenarios.json > drift.txt
+  [2]
+  $ grep -c '^missing:' drift.txt
+  13

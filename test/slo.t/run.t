@@ -41,5 +41,5 @@ A malformed rule file is rejected with per-line diagnostics:
 
   $ printf 'p99_wait < 1\nbogus < 2\n' > bad.slo
   $ colock simulate --jobs 2 --slo bad.slo
-  colock: bad.slo: line 2: unknown signal "bogus" (expected p50_wait/p95_wait/p99_wait [optionally {lu=KIND}], abort_rate, deadlock_rate, wait_rate or throughput)
+  colock: bad.slo:2: unknown signal "bogus" (expected p50_wait/p95_wait/p99_wait [optionally {lu=KIND}], abort_rate, deadlock_rate, wait_rate or throughput)
   [1]

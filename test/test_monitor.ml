@@ -146,6 +146,24 @@ let test_expo_sanitize () =
     (Obs.Expo.sanitize "window.lock_wait");
   check_string "leading digit escaped" "_9lives" (Obs.Expo.sanitize "9lives")
 
+(* Label values are arbitrary (scenario names flow through them): the 0.0.4
+   escapes — backslash, double-quote, newline — must survive a build via
+   [labelled] and re-render exactly once. *)
+let test_expo_label_escaping () =
+  check_string "escape" "a\\\\b\\\"c\\nd"
+    (Obs.Expo.escape_label_value "a\\b\"c\nd");
+  let registry = Obs.Registry.create () in
+  Obs.Registry.set_gauge registry
+    (Obs.Expo.labelled "scenario_info"
+       [ ("scenario", "we\"ird\\name\nline") ])
+    1.0;
+  check_string "golden escaped gauge"
+    "# TYPE colock_scenario_info gauge\n\
+     colock_scenario_info{scenario=\"we\\\"ird\\\\name\\nline\"} 1\n"
+    (Obs.Expo.render registry);
+  check_string "empty label list is the bare name" "plain"
+    (Obs.Expo.labelled "plain" [])
+
 (* ------------------------------------------------------------------- Http *)
 
 let http_get ~port path =
@@ -363,6 +381,41 @@ let test_slo_parse () =
     check_bool "bad signal line reported" true (mentions "line 2");
     check_bool "bad comparator line reported" true (mentions "line 3")
 
+(* Malformed rules must name their position and the offending token. *)
+let test_slo_diagnostics () =
+  let error ?file ?line text =
+    match Obs.Slo.parse_rule ?file ?line text with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" text)
+    | Error message -> message
+  in
+  let contains fragment message =
+    let rec scan index =
+      index + String.length fragment <= String.length message
+      && (String.sub message index (String.length fragment) = fragment
+          || scan (index + 1))
+    in
+    scan 0
+  in
+  let check_mentions label fragment message =
+    check_bool label true (contains fragment message)
+  in
+  check_mentions "unknown metric names the token" "\"bogus\""
+    (error "bogus < 1");
+  check_mentions "bad threshold names the token" "threshold \"fast\""
+    (error "p99_wait < fast");
+  check_mentions "bad selector names the block" "{lu=}"
+    (error "p95_wait{lu=} < 10");
+  check_mentions "selector on a rate is rejected" "takes no {lu=...}"
+    (error "abort_rate{lu=BLU} < 0.5");
+  check_mentions "file:line prefix" "rules.slo:7:"
+    (error ~file:"rules.slo" ~line:7 "bogus < 1");
+  check_mentions "bare line prefix" "line 7:" (error ~line:7 "bogus < 1");
+  match Obs.Slo.parse ~file:"team.slo" "p99_wait < 40\nbogus < 1" with
+  | Ok _ -> Alcotest.fail "parse should fail"
+  | Error message ->
+    check_mentions "aggregate diagnostics carry the file" "team.slo:2:"
+      message
+
 let test_slo_watch_emits_breach_and_counts () =
   let slo = slo_of "p99_wait < 10\nabort_rate < 0.9" in
   let monitor = Obs.Monitor.create ~span:100.0 () in
@@ -418,7 +471,9 @@ let () =
             test_registry_reset_isolation ] );
       ( "expo",
         [ Alcotest.test_case "golden document" `Quick test_expo_golden;
-          Alcotest.test_case "sanitize" `Quick test_expo_sanitize ] );
+          Alcotest.test_case "sanitize" `Quick test_expo_sanitize;
+          Alcotest.test_case "label escaping" `Quick
+            test_expo_label_escaping ] );
       ( "http",
         [ Alcotest.test_case "serves and routes" `Quick
             test_http_serves_and_routes ] );
@@ -435,6 +490,7 @@ let () =
             test_monitor_self_accounting ] );
       ( "slo",
         [ Alcotest.test_case "parse" `Quick test_slo_parse;
+          Alcotest.test_case "diagnostics" `Quick test_slo_diagnostics;
           Alcotest.test_case "watch emits breaches" `Quick
             test_slo_watch_emits_breach_and_counts;
           Alcotest.test_case "measured rates" `Quick test_slo_measure_rates ]
