@@ -198,6 +198,48 @@ let faults_conv =
   in
   Arg.conv (Sim.Fault.of_string, print)
 
+let restart_conv =
+  let parse text =
+    match Lockmgr.Policy.restart_of_string text with
+    | Ok _ as ok -> ok
+    | Error message -> Error (`Msg message)
+  in
+  Arg.conv (parse, Lockmgr.Policy.pp_restart)
+
+let admission_conv =
+  let parse text =
+    Result.map_error
+      (fun message -> `Msg message)
+      (Robust.Admission.config_of_string text)
+  in
+  let print formatter config =
+    Format.pp_print_string formatter (Robust.Admission.config_to_string config)
+  in
+  Arg.conv (parse, print)
+
+let retry_budget_conv =
+  let parse text =
+    Result.map_error
+      (fun message -> `Msg message)
+      (Robust.Budget.config_of_string text)
+  in
+  let print formatter (config : Robust.Budget.config) =
+    Format.fprintf formatter "%g:%g" config.ratio config.burst
+  in
+  Arg.conv (parse, print)
+
+let breaker_conv =
+  let parse text =
+    Result.map_error
+      (fun message -> `Msg message)
+      (Robust.Breaker.config_of_string text)
+  in
+  let print formatter (config : Robust.Breaker.config) =
+    Format.fprintf formatter "%g:%d:%d" config.failure_rate config.open_for
+      config.probes
+  in
+  Arg.conv (parse, print)
+
 let resolution_arg =
   Arg.(value & opt resolution_conv Lockmgr.Policy.Detection
        & info [ "resolution" ] ~docv:"STRATEGY"
@@ -231,6 +273,38 @@ let faults_arg =
                  each job draws a fate from the --seed-derived RNG; crashed \
                  jobs die holding their locks, stalled jobs access N times \
                  slower, hogs camp on their locks without committing.")
+
+let restart_policy_arg =
+  Arg.(value & opt restart_conv Lockmgr.Policy.No_restart
+       & info [ "restart-policy" ] ~docv:"POLICY"
+           ~doc:"Contention-control restart policy applied the moment a \
+                 request starts waiting: $(b,none), $(b,wdl)[:D] (abort a \
+                 transaction when its wait chain exceeds depth D) or \
+                 $(b,running-priority) (abort blockers that are themselves \
+                 waiting).")
+
+let admission_arg =
+  Arg.(value & opt (some admission_conv) None
+       & info [ "admission" ] ~docv:"INIT[:MIN:MAX[:QUEUE]]"
+           ~doc:"Gate job begins through an adaptive (AIMD) concurrency \
+                 limit starting at INIT, clamped to [MIN,MAX], with a \
+                 bounded priority entry queue of QUEUE slots; overflow is \
+                 shed.")
+
+let retry_budget_arg =
+  Arg.(value & opt (some retry_budget_conv) None
+       & info [ "retry-budget" ] ~docv:"RATIO[:BURST]"
+           ~doc:"Couple restarts to useful work: each commit earns RATIO \
+                 retry tokens (bucket capacity BURST); a restart with an \
+                 empty bucket gives up instead of retrying.")
+
+let breaker_arg =
+  Arg.(value & opt (some breaker_conv) None
+       & info [ "breaker" ] ~docv:"RATE:OPEN[:PROBES]"
+           ~doc:"Abort-storm circuit breaker: when the abort fraction of \
+                 recent outcomes crosses RATE the breaker opens for OPEN \
+                 ticks, then half-opens and lets PROBES probe restarts \
+                 decide whether to close.")
 
 let check_invariants_arg =
   Arg.(value & flag
@@ -503,8 +577,9 @@ let simulate_cmd =
                    endpoints show the run unfolding live.")
   in
   let run () techniques jobs cells read_fraction seed resolution victim
-      backoff max_restarts faults check_invariants trace_file stats_json_file
-      jsonl_file snapshot_every trace_all serve_port pace window slo_file =
+      backoff max_restarts restart admission retry_budget breaker faults
+      check_invariants trace_file stats_json_file jsonl_file snapshot_every
+      trace_all serve_port pace window slo_file =
     let graph, specs =
       manufacturing_scenario ~jobs ~cells ~read_fraction ~seed
     in
@@ -521,9 +596,18 @@ let simulate_cmd =
       end
       else None
     in
+    let overload =
+      if admission <> None || retry_budget <> None || breaker <> None then
+        Some
+          { Sim.Runner.admission;
+            controller = Robust.Controller.default_config;
+            budget = retry_budget; breaker }
+      else None
+    in
     let config =
       { Sim.Runner.default_config with resolution; victim; backoff;
-        max_restarts; check_invariants; snapshot_every; on_advance }
+        max_restarts; restart; overload; check_invariants; snapshot_every;
+        on_advance }
     in
     let faults = { faults with Sim.Fault.fault_seed = seed } in
     let observing =
@@ -683,9 +767,11 @@ let simulate_cmd =
              and enforce SLOs while it runs.")
     Term.(const run $ setup_logs $ technique $ jobs_arg $ cells_arg
           $ read_fraction_arg $ seed_arg $ resolution_arg $ victim_arg
-          $ backoff_arg $ max_restarts_arg $ faults_arg $ check_invariants_arg
-          $ trace_file $ stats_json_file $ jsonl_file $ snapshot_every
-          $ trace_all $ serve_port $ pace $ window_arg $ slo_arg)
+          $ backoff_arg $ max_restarts_arg $ restart_policy_arg
+          $ admission_arg $ retry_budget_arg $ breaker_arg $ faults_arg
+          $ check_invariants_arg $ trace_file $ stats_json_file $ jsonl_file
+          $ snapshot_every $ trace_all $ serve_port $ pace $ window_arg
+          $ slo_arg)
 
 (* ------------------------------------------------------------------ trace *)
 
@@ -1014,7 +1100,9 @@ let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
     Sim.Scenario.compile graph technique (Sim.Scenario.of_dsl db graph dsl)
   in
   let metrics =
-    Sim.Runner.run ~faults:(Sim.Scenario.faults_of_dsl dsl) ~table jobs
+    Sim.Runner.run
+      ~config:(Sim.Scenario.config_of_dsl dsl)
+      ~faults:(Sim.Scenario.faults_of_dsl dsl) ~obs:sink ~table jobs
   in
   let breaches =
     match watch with
@@ -1024,11 +1112,12 @@ let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
         ~time:(float_of_int metrics.Sim.Metrics.makespan)
   in
   if not quiet then begin
-    Printf.printf "%-14s %-14s %9d %6d %6d %7d %8d %7.2f %8d\n" dsl.name
+    Printf.printf "%-19s %-14s %9d %6d %6d %5d %7d %8d %7.2f %8d\n" dsl.name
       technique_name metrics.Sim.Metrics.committed
-      (metrics.Sim.Metrics.deadlock_aborts + metrics.Sim.Metrics.timeout_aborts)
-      metrics.Sim.Metrics.gave_up metrics.Sim.Metrics.crashed
-      metrics.Sim.Metrics.makespan
+      (metrics.Sim.Metrics.deadlock_aborts + metrics.Sim.Metrics.timeout_aborts
+       + metrics.Sim.Metrics.wdl_aborts)
+      metrics.Sim.Metrics.gave_up metrics.Sim.Metrics.shed
+      metrics.Sim.Metrics.crashed metrics.Sim.Metrics.makespan
       (Sim.Metrics.throughput metrics)
       breaches;
     if breaches > 0 then
@@ -1077,9 +1166,9 @@ let soak_cmd =
       end
       else begin
         if not quiet then
-          Printf.printf "%-14s %-14s %9s %6s %6s %7s %8s %7s %8s\n"
-            "scenario" "technique" "committed" "aborts" "gaveup" "crashed"
-            "makespan" "thruput" "breaches";
+          Printf.printf "%-19s %-14s %9s %6s %6s %5s %7s %8s %7s %8s\n"
+            "scenario" "technique" "committed" "aborts" "gaveup" "shed"
+            "crashed" "makespan" "thruput" "breaches";
         let runs = ref 0 in
         let breach_total =
           List.fold_left
@@ -1172,11 +1261,14 @@ let bench_diff_cmd =
     | Error message ->
       Fmt.epr "colock: %s@." message;
       1
-    | Ok scenarios ->
-      let fresh =
-        Bench.Baseline.perturb perturbations
-          (Bench.Baseline.collect scenarios)
-      in
+    | Ok scenarios -> (
+      match
+        Bench.Baseline.perturb perturbations (Bench.Baseline.collect scenarios)
+      with
+      | Error message ->
+        Fmt.epr "colock: %s@." message;
+        1
+      | Ok fresh ->
       if update then begin
         Bench.Baseline.save baseline_path fresh;
         Printf.printf "bench diff: wrote %s (%d run(s))\n" baseline_path
@@ -1220,7 +1312,7 @@ let bench_diff_cmd =
             (List.length regressions)
             (List.length improvements);
           if Bench.Baseline.clean report then 0 else 2
-      end
+      end)
   in
   Cmd.v
     (Cmd.info "diff"

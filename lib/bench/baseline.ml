@@ -40,7 +40,9 @@ let measure db graph (dsl : Workload.Dsl.t) technique =
     Sim.Scenario.compile graph compiled (Sim.Scenario.of_dsl db graph dsl)
   in
   let metrics =
-    Sim.Runner.run ~faults:(Sim.Scenario.faults_of_dsl dsl) ~table jobs
+    Sim.Runner.run
+      ~config:(Sim.Scenario.config_of_dsl dsl)
+      ~faults:(Sim.Scenario.faults_of_dsl dsl) ~table jobs
   in
   let lock_row =
     List.map
@@ -287,14 +289,30 @@ let clean report =
   regressions report = [] && report.missing = [] && report.added = []
 
 let perturb factors runs =
-  List.map
-    (fun run ->
-      { run with
-        metrics =
-          List.map
-            (fun (key, value) ->
-              match List.assoc_opt key factors with
-              | Some factor -> (key, value *. factor)
-              | None -> (key, value))
-            run.metrics })
-    runs
+  (* a factor naming no measured metric would silently perturb nothing and
+     fake a passing sensitivity self-test — reject it instead *)
+  let known =
+    List.sort_uniq String.compare
+      (List.concat_map (fun run -> List.map fst run.metrics) runs)
+  in
+  let unknown =
+    List.filter (fun (key, _) -> not (List.mem key known)) factors
+  in
+  match unknown with
+  | (key, _) :: _ ->
+    Error
+      (Printf.sprintf "unknown metric %S in --perturb (known metrics: %s)" key
+         (String.concat ", " known))
+  | [] ->
+    Ok
+      (List.map
+         (fun run ->
+           { run with
+             metrics =
+               List.map
+                 (fun (key, value) ->
+                   match List.assoc_opt key factors with
+                   | Some factor -> (key, value *. factor)
+                   | None -> (key, value))
+                 run.metrics })
+         runs)

@@ -91,7 +91,9 @@ val improvements : diff -> finding list
 val clean : diff -> bool
 (** No regressions, nothing missing, nothing added. *)
 
-val perturb : (string * float) list -> t -> t
+val perturb : (string * float) list -> t -> (t, string) result
 (** Scales matching metrics by a factor — [perturb [("total_wait", 2.0)]]
     doubles every run's [total_wait]. The bench-diff cram test uses this to
-    prove the gate actually fires on a synthetic slowdown. *)
+    prove the gate actually fires on a synthetic slowdown. A factor naming
+    a metric no run measured is an error (it would silently perturb
+    nothing). *)

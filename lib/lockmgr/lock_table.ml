@@ -481,6 +481,24 @@ let waits_for_edges table =
     table.entries;
   List.sort_uniq compare !edges
 
+let wait_depth table ~txn =
+  let edges = waits_for_edges table in
+  let successors blocked =
+    List.filter_map
+      (fun (waiter, blocker) -> if waiter = blocked then Some blocker else None)
+      edges
+  in
+  (* longest blocker chain below [txn]; [visited] makes deadlock cycles
+     contribute finite depth instead of diverging *)
+  let rec depth visited t =
+    if List.mem t visited then 0
+    else
+      List.fold_left
+        (fun best next -> max best (1 + depth (t :: visited) next))
+        0 (successors t)
+  in
+  depth [] txn
+
 let expired_waiters table ~now =
   Hashtbl.fold
     (fun resource entry accu ->

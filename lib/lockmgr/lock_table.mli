@@ -117,6 +117,12 @@ val waits_for_edges : t -> (txn_id * txn_id) list
     waits for the incompatible holders and for incompatible earlier
     waiters. *)
 
+val wait_depth : t -> txn:txn_id -> int
+(** Length of the longest blocker chain hanging off [txn] in the waits-for
+    graph (0 when [txn] waits for nobody). This is the quantity Thomasian's
+    wait-depth-limited restart policy bounds; cycles count once, so the
+    result is finite even mid-deadlock. *)
+
 val expired_waiters : t -> now:int -> (txn_id * string) list
 (** Queued requests whose {!request} deadline has passed ([now >= deadline]),
     sorted; transactions listed here are candidates for a timeout abort. *)

@@ -1,6 +1,9 @@
 type resolution = Detection | Timeout of int | Hybrid of int
 type victim = Youngest | Oldest | Fewest_locks | Least_work
 type backoff = Fixed of int | Exponential of { base : int; cap : int; seed : int }
+type restart = No_restart | Wait_depth of int | Running_priority
+
+let default_wait_depth = 1
 
 let default_timeout = 400
 
@@ -56,7 +59,13 @@ let delay policy ~restarts ~txn =
   | Fixed interval -> interval
   | Exponential { base; cap; seed } ->
     let doublings = min restarts 16 in
-    let raw = min cap (base * (1 lsl doublings)) in
+    (* saturate at [cap] without ever computing the product: for large bases
+       [base * 2^doublings] would wrap around long before the doubling clamp
+       kicks in, so test in the divided domain first *)
+    let raw =
+      if doublings > 0 && base > cap / (1 lsl doublings) then cap
+      else min cap (base * (1 lsl doublings))
+    in
     (* full-jitter in [raw/2, raw]: spreads restarts without losing the
        exponential envelope *)
     let half = max 1 (raw / 2) in
@@ -138,6 +147,27 @@ let backoff_of_string text =
       (Printf.sprintf
          "unknown backoff %S (expected fixed:N or exp:BASE:CAP[:SEED])" text)
 
+let restart_to_string = function
+  | No_restart -> "none"
+  | Wait_depth depth -> Printf.sprintf "wdl:%d" depth
+  | Running_priority -> "running-priority"
+
+let restart_of_string text =
+  match String.split_on_char ':' (String.lowercase_ascii text) with
+  | [ "none" ] -> Ok No_restart
+  | [ "wdl" ] -> Ok (Wait_depth default_wait_depth)
+  | [ "wdl"; depth ] -> (
+    match int_of_string_opt depth with
+    | Some depth when depth >= 1 -> Ok (Wait_depth depth)
+    | Some _ | None -> Error (Printf.sprintf "invalid wait depth %S" depth))
+  | [ "running-priority" ] | [ "running_priority" ] -> Ok Running_priority
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown restart policy %S (expected none, wdl[:D] or \
+          running-priority)"
+         text)
+
 let pp_resolution formatter resolution =
   Format.pp_print_string formatter (resolution_to_string resolution)
 
@@ -146,3 +176,6 @@ let pp_victim formatter victim =
 
 let pp_backoff formatter backoff =
   Format.pp_print_string formatter (backoff_to_string backoff)
+
+let pp_restart formatter restart =
+  Format.pp_print_string formatter (restart_to_string restart)

@@ -28,8 +28,21 @@ type backoff =
           full-jitter in [[raw/2, raw]] so colliding victims desynchronize
           reproducibly *)
 
+type restart =
+  | No_restart  (** waits run to resolution; no contention control *)
+  | Wait_depth of int
+      (** Thomasian's wait-depth-limited (WDL) policy: abort somebody as
+          soon as a blocker chain exceeds this depth, keeping the blocking
+          tree shallow under high contention *)
+  | Running_priority
+      (** waiting transactions never block a running one: a requester that
+          would wait behind a waiter aborts that waiter instead *)
+
 val default_timeout : int
 (** Delay used when a resolution string names no explicit value. *)
+
+val default_wait_depth : int
+(** Depth used when a restart string names no explicit value (WDL(1)). *)
 
 val timeout_of : resolution -> int option
 (** The lock-wait deadline delta, when the strategy has one. *)
@@ -68,6 +81,12 @@ val backoff_of_string : string -> (backoff, string) result
 (** Accepts ["fixed:N"] and ["exp:BASE:CAP[:SEED]"]. *)
 
 val backoff_to_string : backoff -> string
+
+val restart_of_string : string -> (restart, string) result
+(** Accepts ["none"], ["wdl"], ["wdl:D"] and ["running-priority"]. *)
+
+val restart_to_string : restart -> string
 val pp_resolution : Format.formatter -> resolution -> unit
 val pp_victim : Format.formatter -> victim -> unit
 val pp_backoff : Format.formatter -> backoff -> unit
+val pp_restart : Format.formatter -> restart -> unit

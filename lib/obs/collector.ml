@@ -69,8 +69,15 @@ let handle collector event =
       (fun (waiter, resource) _start ->
         if waiter = txn then Hashtbl.remove collector.waits (waiter, resource))
       (Hashtbl.copy collector.waits)
+  | Event.Contention_abort { txn; _ } ->
+    (* a restart-policy victim: same treatment as deadlock/timeout victims *)
+    Hashtbl.iter
+      (fun (waiter, resource) _start ->
+        if waiter = txn then Hashtbl.remove collector.waits (waiter, resource))
+      (Hashtbl.copy collector.waits)
   | Event.Lock_released _ | Event.Conversion _ | Event.Escalation _
   | Event.Deescalation _ | Event.Deadlock_detected _ | Event.Query_executed _
   | Event.Sim_step _ | Event.Waits_for _ | Event.Run_meta _
-  | Event.Slo_breach _ ->
+  | Event.Slo_breach _ | Event.Admission _ | Event.Admission_limit _
+  | Event.Breaker _ | Event.Retry_denied _ ->
     ()

@@ -61,6 +61,16 @@ type kind =
   | Waits_for of { edges : (int * int) list }
   | Run_meta of { label : string }
   | Slo_breach of { rule : string; value : float; threshold : float }
+  | Admission of { txn : int; priority : string; decision : string }
+  | Admission_limit of {
+      limit : int;
+      inflight : int;
+      queued : int;
+      shed : int;
+    }
+  | Breaker of { from_state : string; to_state : string }
+  | Retry_denied of { txn : int; restarts : int }
+  | Contention_abort of { txn : int; policy : string; depth : int }
 
 type t = { time : float; kind : kind }
 
@@ -83,6 +93,11 @@ let name = function
   | Waits_for _ -> "waits_for"
   | Run_meta _ -> "run_meta"
   | Slo_breach _ -> "slo_breach"
+  | Admission _ -> "admission"
+  | Admission_limit _ -> "admission_limit"
+  | Breaker _ -> "breaker"
+  | Retry_denied _ -> "retry_denied"
+  | Contention_abort _ -> "contention_abort"
 
 let txn = function
   | Lock_requested { txn; _ } | Lock_granted { txn; _ }
@@ -90,9 +105,12 @@ let txn = function
   | Conversion { txn; _ } | Escalation { txn; _ } | Deescalation { txn; _ }
   | Victim_aborted { txn; _ } | Timeout_abort { txn; _ } | Txn_begin { txn }
   | Txn_commit { txn } | Txn_abort { txn; _ } | Query_executed { txn; _ }
-  | Sim_step { txn; _ } ->
+  | Sim_step { txn; _ } | Admission { txn; _ } | Retry_denied { txn; _ }
+  | Contention_abort { txn; _ } ->
     Some txn
-  | Deadlock_detected _ | Waits_for _ | Run_meta _ | Slo_breach _ -> None
+  | Deadlock_detected _ | Waits_for _ | Run_meta _ | Slo_breach _
+  | Admission_limit _ | Breaker _ ->
+    None
 
 let lu_of = function
   | Lock_requested { lu; _ } | Lock_granted { lu; _ } | Lock_waited { lu; _ }
@@ -100,7 +118,8 @@ let lu_of = function
     lu
   | Escalation _ | Deescalation _ | Deadlock_detected _ | Victim_aborted _
   | Txn_begin _ | Txn_commit _ | Txn_abort _ | Query_executed _ | Sim_step _
-  | Waits_for _ | Run_meta _ | Slo_breach _ ->
+  | Waits_for _ | Run_meta _ | Slo_breach _ | Admission _ | Admission_limit _
+  | Breaker _ | Retry_denied _ | Contention_abort _ ->
     None
 
 let resource_of = function
@@ -111,7 +130,8 @@ let resource_of = function
   | Escalation { node; _ } | Deescalation { node; _ } -> Some node
   | Deadlock_detected _ | Victim_aborted _ | Txn_begin _ | Txn_commit _
   | Txn_abort _ | Query_executed _ | Sim_step _ | Waits_for _ | Run_meta _
-  | Slo_breach _ ->
+  | Slo_breach _ | Admission _ | Admission_limit _ | Breaker _
+  | Retry_denied _ | Contention_abort _ ->
     None
 
 (* LU annotations serialize flat ([lu], [depth]) so jq filters stay one
@@ -177,6 +197,19 @@ let kind_fields = function
   | Slo_breach { rule; value; threshold } ->
     [ ("rule", Json.String rule); ("value", Json.Float value);
       ("threshold", Json.Float threshold) ]
+  | Admission { txn; priority; decision } ->
+    [ ("txn", Json.Int txn); ("priority", Json.String priority);
+      ("decision", Json.String decision) ]
+  | Admission_limit { limit; inflight; queued; shed } ->
+    [ ("limit", Json.Int limit); ("inflight", Json.Int inflight);
+      ("queued", Json.Int queued); ("shed", Json.Int shed) ]
+  | Breaker { from_state; to_state } ->
+    [ ("from", Json.String from_state); ("to", Json.String to_state) ]
+  | Retry_denied { txn; restarts } ->
+    [ ("txn", Json.Int txn); ("restarts", Json.Int restarts) ]
+  | Contention_abort { txn; policy; depth } ->
+    [ ("txn", Json.Int txn); ("policy", Json.String policy);
+      ("depth", Json.Int depth) ]
 
 let to_json event =
   Json.Obj
@@ -347,6 +380,30 @@ let kind_of_fields event_name fields =
     let* value = float_field fields "value" in
     let* threshold = float_field fields "threshold" in
     Ok (Slo_breach { rule; value; threshold })
+  | "admission" ->
+    let* txn = int_field fields "txn" in
+    let* priority = string_field fields "priority" in
+    let* decision = string_field fields "decision" in
+    Ok (Admission { txn; priority; decision })
+  | "admission_limit" ->
+    let* limit = int_field fields "limit" in
+    let* inflight = int_field fields "inflight" in
+    let* queued = int_field fields "queued" in
+    let* shed = int_field fields "shed" in
+    Ok (Admission_limit { limit; inflight; queued; shed })
+  | "breaker" ->
+    let* from_state = string_field fields "from" in
+    let* to_state = string_field fields "to" in
+    Ok (Breaker { from_state; to_state })
+  | "retry_denied" ->
+    let* txn = int_field fields "txn" in
+    let* restarts = int_field fields "restarts" in
+    Ok (Retry_denied { txn; restarts })
+  | "contention_abort" ->
+    let* txn = int_field fields "txn" in
+    let* policy = string_field fields "policy" in
+    let* depth = int_field fields "depth" in
+    Ok (Contention_abort { txn; policy; depth })
   | other -> Error (Printf.sprintf "unknown event %S" other)
 
 let of_json = function

@@ -81,6 +81,29 @@ type kind =
       (** a declarative service-level objective (see [Slo]) was violated in
           the window that just closed: [rule] is the rule's source text,
           [value] the measured signal, [threshold] the bound it crossed *)
+  | Admission of { txn : int; priority : string; decision : string }
+      (** the admission gate deferred or refused a transaction: [decision]
+          is ["queued"] or ["shed"] (admissions are silent — they are the
+          common case). [priority] is the workload class
+          (high/normal/low). *)
+  | Admission_limit of {
+      limit : int;
+      inflight : int;
+      queued : int;
+      shed : int;
+    }
+      (** the AIMD controller moved the concurrency limit; the remaining
+          fields snapshot the limiter so dashboards can plot the loop *)
+  | Breaker of { from_state : string; to_state : string }
+      (** the abort-storm circuit breaker changed state
+          (closed/open/half-open) *)
+  | Retry_denied of { txn : int; restarts : int }
+      (** the retry budget was empty: the transaction gives up instead of
+          restarting a [restarts+1]-th time *)
+  | Contention_abort of { txn : int; policy : string; depth : int }
+      (** a restart policy (["wdl:D"] or ["running-priority"]) aborted
+          [txn] to keep the blocking tree shallow; [depth] is the observed
+          wait depth that triggered it *)
 
 type t = { time : float; kind : kind }
 

@@ -42,6 +42,7 @@ let breach_memory = 32
 let gauge_active = "active_txns"
 let gauge_entries = "lock_entries"
 let gauge_depth = "wait_queue_depth"
+let gauge_admission = "admission_limit"
 let window_wait = "window.lock_wait"
 let window_grants = "window.grants"
 let window_commits = "window.commits"
@@ -174,8 +175,10 @@ let handle_kind monitor kind =
     drop_waits_of monitor txn;
     (* deadlock/timeout victims already counted through their paired
        Victim_aborted/Timeout_abort events (same taxonomy as Profile) *)
-    if reason <> "deadlock_victim" && reason <> "timeout_victim" then
-      count_abort monitor reason
+    if
+      reason <> "deadlock_victim" && reason <> "timeout_victim"
+      && reason <> "contention_victim"
+    then count_abort monitor reason
   | Event.Victim_aborted { txn; _ } ->
     count_abort monitor "deadlock";
     drop_waits_of monitor txn
@@ -208,6 +211,15 @@ let handle_kind monitor kind =
   | Event.Run_meta { label } ->
     reset monitor;
     monitor.label <- Some label
+  | Event.Admission { decision; _ } ->
+    Registry.incr monitor.registry ("admission." ^ decision)
+  | Event.Admission_limit { limit; _ } -> set_gauge monitor gauge_admission limit
+  | Event.Breaker { to_state; _ } ->
+    Registry.incr monitor.registry ("breaker." ^ to_state)
+  | Event.Retry_denied _ -> Registry.incr monitor.registry "retry.denied"
+  | Event.Contention_abort { txn; _ } ->
+    count_abort monitor "contention";
+    drop_waits_of monitor txn
   | Event.Lock_requested _ | Event.Conversion _ | Event.Escalation _
   | Event.Deescalation _ | Event.Query_executed _ | Event.Sim_step _
   | Event.Waits_for _ ->

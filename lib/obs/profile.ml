@@ -185,9 +185,14 @@ let handle profile event =
     (* deadlock/timeout victims were already counted through their specific
        events; the remaining reasons (crash, hog, user, gave_up) only show
        up here *)
-    if reason <> "deadlock_victim" && reason <> "timeout_victim" then
-      count_abort profile reason;
+    if
+      reason <> "deadlock_victim" && reason <> "timeout_victim"
+      && reason <> "contention_victim"
+    then count_abort profile reason;
     close_waits_of profile txn time (Aborted reason)
+  | Event.Contention_abort { txn; _ } ->
+    count_abort profile "contention";
+    close_waits_of profile txn time (Aborted "contention")
   | Event.Waits_for { edges } ->
     profile.snapshots <- profile.snapshots + 1;
     let count = List.length edges in
@@ -195,7 +200,8 @@ let handle profile event =
   | Event.Lock_requested _ | Event.Escalation _ | Event.Deescalation _
   | Event.Deadlock_detected _ | Event.Txn_begin _ | Event.Txn_commit _
   | Event.Query_executed _ | Event.Sim_step _ | Event.Run_meta _
-  | Event.Slo_breach _ ->
+  | Event.Slo_breach _ | Event.Admission _ | Event.Admission_limit _
+  | Event.Breaker _ | Event.Retry_denied _ ->
     ()
 
 (* ----------------------------------------------------- report assembly *)

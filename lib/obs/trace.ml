@@ -153,6 +153,32 @@ let group_events ~pid ~scale events =
              ~ts:(time *. scale)
              [ ("rule", Json.String rule); ("value", Json.Float value);
                ("threshold", Json.Float threshold) ])
+      | Event.Admission { txn; priority; decision } ->
+        push
+          (instant ~pid ~tid:txn ~name:("admission " ^ decision)
+             ~cat:"overload" ~ts:(time *. scale)
+             [ ("priority", Json.String priority) ])
+      | Event.Admission_limit { limit; inflight; queued; shed } ->
+        push
+          (instant ~pid ~tid:0 ~name:"admission limit" ~cat:"overload"
+             ~ts:(time *. scale)
+             [ ("limit", Json.Int limit); ("inflight", Json.Int inflight);
+               ("queued", Json.Int queued); ("shed", Json.Int shed) ])
+      | Event.Breaker { from_state; to_state } ->
+        push
+          (instant ~pid ~tid:0
+             ~name:(Printf.sprintf "breaker %s->%s" from_state to_state)
+             ~cat:"overload" ~ts:(time *. scale) [])
+      | Event.Retry_denied { txn; restarts } ->
+        push
+          (instant ~pid ~tid:txn ~name:"retry denied" ~cat:"overload"
+             ~ts:(time *. scale)
+             [ ("restarts", Json.Int restarts) ])
+      | Event.Contention_abort { txn; policy; depth } ->
+        push
+          (instant ~pid ~tid:txn ~name:"contention abort" ~cat:"overload"
+             ~ts:(time *. scale)
+             [ ("policy", Json.String policy); ("depth", Json.Int depth) ])
       | Event.Lock_requested _ | Event.Lock_released _ | Event.Conversion _
       | Event.Run_meta _ ->
         ())

@@ -1,0 +1,46 @@
+type thresholds = { p95_wait : float; abort_rate : float; queue_depth : int }
+type config = { every : int; thresholds : thresholds }
+
+let default_config =
+  {
+    every = 50;
+    thresholds = { p95_wait = 200.0; abort_rate = 0.5; queue_depth = 24 };
+  }
+
+let validate c =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  if c.every < 1 then err "controller every must be >= 1 (got %d)" c.every;
+  if c.thresholds.p95_wait <= 0.0 then
+    err "controller p95 threshold must be > 0 (got %g)" c.thresholds.p95_wait;
+  if not (c.thresholds.abort_rate > 0.0 && c.thresholds.abort_rate <= 1.0)
+  then
+    err "controller abort threshold must be in (0, 1] (got %g)"
+      c.thresholds.abort_rate;
+  if c.thresholds.queue_depth < 1 then
+    err "controller depth threshold must be >= 1 (got %d)"
+      c.thresholds.queue_depth;
+  List.rev !errs
+
+type verdict = Unchanged | Raised of int | Lowered of int
+
+let step cfg adm ~p95_wait ~abort_rate ~queue_depth =
+  let t = cfg.thresholds in
+  let overloaded =
+    p95_wait > t.p95_wait || abort_rate > t.abort_rate
+    || queue_depth > t.queue_depth
+  in
+  let acfg = Admission.config adm in
+  let cur = Admission.limit adm in
+  if overloaded then
+    let target =
+      max acfg.Admission.min_limit
+        (min (cur - 1)
+           (int_of_float (Float.round (float_of_int cur *. acfg.decrease))))
+    in
+    if target < cur then Lowered (Admission.set_limit adm target)
+    else Unchanged
+  else
+    let target = min acfg.Admission.max_limit (cur + acfg.increase) in
+    if target > cur then Raised (Admission.set_limit adm target)
+    else Unchanged

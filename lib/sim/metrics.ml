@@ -2,8 +2,11 @@ type t = {
   committed : int;
   deadlock_aborts : int;
   timeout_aborts : int;
+  wdl_aborts : int;
   gave_up : int;
   crashed : int;
+  shed : int;
+  retry_denied : int;
   makespan : int;
   total_response : int;
   total_wait : int;
@@ -18,17 +21,21 @@ let throughput metrics =
   else 1000.0 *. float_of_int metrics.committed /. float_of_int metrics.makespan
 
 let avg_response metrics =
-  let finished = metrics.committed + metrics.gave_up + metrics.crashed in
+  let finished =
+    metrics.committed + metrics.gave_up + metrics.crashed + metrics.shed
+  in
   if finished = 0 then 0.0
   else float_of_int metrics.total_response /. float_of_int finished
 
 let pp formatter metrics =
   Format.fprintf formatter
-    "committed %d, deadlock aborts %d, timeout aborts %d, gave up %d, crashed \
-     %d, makespan %d, avg response %.1f, wait %d, lock requests %d, conflict \
-     tests %d, peak entries %d, escalations %d"
+    "committed %d, deadlock aborts %d, timeout aborts %d, wdl aborts %d, gave \
+     up %d, crashed %d, shed %d, retry denied %d, makespan %d, avg response \
+     %.1f, wait %d, lock requests %d, conflict tests %d, peak entries %d, \
+     escalations %d"
     metrics.committed metrics.deadlock_aborts metrics.timeout_aborts
-    metrics.gave_up metrics.crashed metrics.makespan (avg_response metrics)
+    metrics.wdl_aborts metrics.gave_up metrics.crashed metrics.shed
+    metrics.retry_denied metrics.makespan (avg_response metrics)
     metrics.total_wait metrics.lock_requests metrics.conflict_tests
     metrics.peak_lock_entries metrics.escalations
 
@@ -36,8 +43,11 @@ let row metrics =
   [ ("committed", float_of_int metrics.committed);
     ("deadlock_aborts", float_of_int metrics.deadlock_aborts);
     ("timeout_aborts", float_of_int metrics.timeout_aborts);
+    ("wdl_aborts", float_of_int metrics.wdl_aborts);
     ("gave_up", float_of_int metrics.gave_up);
     ("crashed", float_of_int metrics.crashed);
+    ("shed", float_of_int metrics.shed);
+    ("retry_denied", float_of_int metrics.retry_denied);
     ("makespan", float_of_int metrics.makespan);
     ("throughput", throughput metrics);
     ("avg_response", avg_response metrics);

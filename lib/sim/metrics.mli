@@ -4,11 +4,18 @@ type t = {
   committed : int;
   deadlock_aborts : int;  (** victim aborts (the work restarts) *)
   timeout_aborts : int;  (** lock-wait timeout aborts (the work restarts) *)
-  gave_up : int;  (** jobs that exhausted their restart budget *)
+  wdl_aborts : int;
+      (** restart-policy aborts (wait-depth limit / running priority; the
+          work restarts) *)
+  gave_up : int;
+      (** jobs that exhausted their restart budget (or were refused a
+          retry by the overload retry budget) *)
   crashed : int;  (** jobs killed by fault injection (crash or hog release) *)
+  shed : int;  (** jobs refused (or evicted) by admission control *)
+  retry_denied : int;  (** restarts refused by the retry budget *)
   makespan : int;  (** completion time of the last commit *)
   total_response : int;
-      (** sum over finished (committed, gave-up or crashed) jobs of
+      (** sum over finished (committed, gave-up, crashed or shed) jobs of
           finish - arrival *)
   total_wait : int;  (** total time spent blocked *)
   lock_requests : int;

@@ -21,8 +21,26 @@ type step = {
 
 type job = {
   arrival : int;
+  priority : Robust.Admission.priority;
+      (** admission class under overload control: checkout sessions run
+          [High], updates [Normal], read-only work [Low]. Ignored (but
+          carried) when no [overload] config is set. *)
   steps : step list;
 }
+
+type overload = {
+  admission : Robust.Admission.config option;
+      (** AIMD concurrency limit + bounded priority entry queue; [None]
+          disables the gate (restart policies et al. still apply) *)
+  controller : Robust.Controller.config;
+      (** closed-loop sensing: how often to sample the run's monitor and
+          what signal levels count as overload *)
+  budget : Robust.Budget.config option;  (** retry token bucket *)
+  breaker : Robust.Breaker.config option;  (** abort-storm circuit breaker *)
+}
+
+val default_overload : overload
+(** Default admission gate and controller; no retry budget, no breaker. *)
 
 type config = {
   max_restarts : int;  (** per job; exhausted jobs count as [gave_up] *)
@@ -30,6 +48,10 @@ type config = {
       (** how blocked-forever situations are resolved *)
   victim : Lockmgr.Policy.victim;  (** who dies when a cycle is found *)
   backoff : Lockmgr.Policy.backoff;  (** restart delay for victims *)
+  restart : Lockmgr.Policy.restart;
+      (** contention-control restart policy applied the moment a request
+          starts waiting (WDL / running-priority), independent of and
+          before deadlock [resolution] *)
   hog_hold : int;
       (** ticks a {!Fault.Hog} job sits on its locks before it is forced to
           crash-release them (bounds chaos runs even without detection) *)
@@ -47,11 +69,19 @@ type config = {
           pace the simulation against wall time — e.g. [colock simulate
           --serve] sleeping so a live [/metrics] endpoint shows the run
           unfolding — without the simulator depending on [Unix]. *)
+  overload : overload option;
+      (** closed-loop overload control. When set, job begins pass an
+          admission gate (shed work shows up as [Metrics.shed] and
+          [Admission] events), an AIMD controller re-sizes the concurrency
+          limit from live monitor windows, and restarts are subject to the
+          retry budget and circuit breaker. [None]: the engine behaves
+          exactly as before. *)
 }
 
 val default_config : config
-(** Detection, youngest victim, fixed backoff 50, max 20 restarts, hog hold
-    4000, no invariant checking, no snapshots, no pacing hook. *)
+(** Detection, youngest victim, fixed backoff 50, no restart policy, max 20
+    restarts, hog hold 4000, no invariant checking, no snapshots, no pacing
+    hook, no overload control. *)
 
 val run :
   ?config:config -> ?faults:Fault.spec ->

@@ -18,7 +18,12 @@ let technique_name = function
 
 type op = Node_read of Node_id.t | Node_update of Node_id.t
 
-type job_spec = { arrival : int; ops : op list; access_cost : int }
+type job_spec = {
+  arrival : int;
+  ops : op list;
+  access_cost : int;
+  priority : Robust.Admission.priority;
+}
 
 let op_node_mode = function
   | Node_read node -> (node, Mode.S)
@@ -55,6 +60,7 @@ let compile graph technique specs =
   List.map
     (fun spec ->
       { Runner.arrival = spec.arrival;
+        priority = spec.priority;
         steps =
           List.map
             (fun op ->
@@ -122,9 +128,15 @@ let manufacturing_mix db graph mix =
     else Node_update (random_robot_node ())
   in
   List.init mix.jobs (fun index ->
-      { arrival = index * mix.arrival_gap;
-        ops = List.init mix.steps_per_job (fun _step -> random_op ());
-        access_cost = mix.access_cost })
+      let ops = List.init mix.steps_per_job (fun _step -> random_op ()) in
+      (* purely-reading jobs are the first to queue under admission control *)
+      let priority =
+        if List.for_all (function Node_read _ -> true | Node_update _ -> false) ops
+        then Robust.Admission.Low
+        else Robust.Admission.Normal
+      in
+      { arrival = index * mix.arrival_gap; ops;
+        access_cost = mix.access_cost; priority })
 
 (* ------------------------------------------------- declarative scenarios *)
 
@@ -135,6 +147,18 @@ let technique_of_dsl graph table = function
     Proposed (Colock.Protocol.create ~rule:Colock.Protocol.Rule_4 graph table)
   | Workload.Dsl.Whole_object -> Whole_object
   | Workload.Dsl.Tuple_level -> Tuple_level
+
+let config_of_dsl (dsl : Workload.Dsl.t) =
+  let overload =
+    if Workload.Dsl.overload_active dsl.overload then
+      Some
+        { Runner.admission = dsl.overload.admission;
+          controller = dsl.overload.controller;
+          budget = dsl.overload.retry;
+          breaker = dsl.overload.breaker }
+    else None
+  in
+  { Runner.default_config with restart = dsl.overload.restart; overload }
 
 let faults_of_dsl (dsl : Workload.Dsl.t) =
   { Fault.crash = dsl.faults.crash; stall = dsl.faults.stall;
@@ -235,11 +259,13 @@ let of_dsl db graph (dsl : Workload.Dsl.t) =
       if dice < mix.Workload.Dsl.read then
         { arrival;
           ops = List.init dsl.steps (fun _step -> read_op ());
-          access_cost = dsl.cost }
+          access_cost = dsl.cost;
+          priority = Robust.Admission.Low }
       else if dice < mix.Workload.Dsl.read +. mix.Workload.Dsl.update then
         { arrival;
           ops = List.init dsl.steps (fun _step -> update_op ());
-          access_cost = dsl.cost }
+          access_cost = dsl.cost;
+          priority = Robust.Admission.Normal }
       else if
         dice
         < mix.Workload.Dsl.read +. mix.Workload.Dsl.update
@@ -247,7 +273,8 @@ let of_dsl db graph (dsl : Workload.Dsl.t) =
       then
         { arrival;
           ops = List.init dsl.steps (fun _step -> library_op ());
-          access_cost = dsl.cost }
+          access_cost = dsl.cost;
+          priority = Robust.Admission.Normal }
       else begin
         (* a long check-out session: X on one whole cell object, held for
            [checkout_hold] ticks per step — the Txn.Checkout usage pattern
@@ -255,5 +282,6 @@ let of_dsl db graph (dsl : Workload.Dsl.t) =
         let root = cell_node (random_cell ()) in
         { arrival;
           ops = List.init dsl.checkout_steps (fun _step -> Node_update root);
-          access_cost = dsl.checkout_hold }
+          access_cost = dsl.checkout_hold;
+          priority = Robust.Admission.High }
       end)

@@ -26,6 +26,9 @@ type job_spec = {
   arrival : int;
   ops : op list;  (** one step per op *)
   access_cost : int;  (** per step *)
+  priority : Robust.Admission.priority;
+      (** admission class under overload control — checkout sessions [High],
+          updates [Normal], read-only jobs [Low] *)
 }
 
 val compile :
@@ -69,6 +72,12 @@ val of_dsl :
     thresholds. Read jobs touch a cell's [c_objects], update jobs one
     robot, library jobs one effector object, and checkout jobs hold X on a
     whole cell object for [checkout_hold] per step. *)
+
+val config_of_dsl : Workload.Dsl.t -> Runner.config
+(** {!Runner.default_config} with the scenario's overload directives
+    applied: the [limits restart=…] policy, and — when any [admission],
+    [limits] or [budget] mechanism is enabled — a {!Runner.overload}
+    record wiring the gate, controller, retry budget and breaker. *)
 
 val faults_of_dsl : Workload.Dsl.t -> Fault.spec
 (** The scenario's [faults] directive as a runner fault spec; the fault

@@ -15,11 +15,16 @@ type t = {
   clock : unit -> int;
   config : config;
   mutable next_id : int;
+  mutable next_ticket : int;
   txns : (Table.txn_id, Transaction.t) Hashtbl.t;
+  admission : Robust.Admission.t option;
+  queued : (int, Transaction.kind * Robust.Admission.priority) Hashtbl.t;
+  slots : (Table.txn_id, unit) Hashtbl.t;
+      (* transactions holding an admission slot, released exactly once *)
   obs : Obs.Sink.t option;
 }
 
-let create ?clock ?obs ?(config = default_config) protocol =
+let create ?clock ?obs ?admission ?(config = default_config) protocol =
   let counter = ref 0 in
   let default_clock () =
     incr counter;
@@ -27,10 +32,13 @@ let create ?clock ?obs ?(config = default_config) protocol =
   in
   let obs = match obs with Some _ -> obs | None -> Protocol.obs protocol in
   { protocol; clock = Option.value ~default:default_clock clock; config;
-    next_id = 1; txns = Hashtbl.create 64; obs }
+    next_id = 1; next_ticket = 1; txns = Hashtbl.create 64;
+    admission = Option.map Robust.Admission.create admission;
+    queued = Hashtbl.create 16; slots = Hashtbl.create 64; obs }
 
 let protocol manager = manager.protocol
 let config manager = manager.config
+let admission manager = manager.admission
 
 let emit manager kind =
   match manager.obs with
@@ -47,6 +55,81 @@ let begin_txn ?(kind = Transaction.Short) manager =
   Hashtbl.replace manager.txns id txn;
   emit manager (Obs.Event.Txn_begin { txn = id });
   txn
+
+type begin_outcome =
+  | Started of Transaction.t
+  | Queued of int
+  | Shed
+
+let start_admitted manager kind =
+  let txn = begin_txn ~kind manager in
+  Hashtbl.replace manager.slots txn.Transaction.id ();
+  txn
+
+let try_begin ?(kind = Transaction.Short)
+    ?(priority = Robust.Admission.Normal) manager =
+  match manager.admission with
+  | None -> Started (begin_txn ~kind manager)
+  | Some gate ->
+    let ticket = manager.next_ticket in
+    manager.next_ticket <- ticket + 1;
+    (match Robust.Admission.request gate ~priority ~txn:ticket with
+    | Robust.Admission.Admitted -> Started (start_admitted manager kind)
+    | Robust.Admission.Enqueued { evicted } ->
+      Hashtbl.replace manager.queued ticket (kind, priority);
+      emit manager
+        (Obs.Event.Admission
+           { txn = ticket;
+             priority = Robust.Admission.priority_to_string priority;
+             decision = "queued" });
+      (match evicted with
+      | None -> ()
+      | Some victim ->
+        let victim_priority =
+          match Hashtbl.find_opt manager.queued victim with
+          | Some (_kind, prio) -> Robust.Admission.priority_to_string prio
+          | None -> "unknown"
+        in
+        Hashtbl.remove manager.queued victim;
+        emit manager
+          (Obs.Event.Admission
+             { txn = victim; priority = victim_priority; decision = "shed" }));
+      Queued ticket
+    | Robust.Admission.Rejected ->
+      emit manager
+        (Obs.Event.Admission
+           { txn = ticket;
+             priority = Robust.Admission.priority_to_string priority;
+             decision = "shed" });
+      Shed)
+
+let drain_admitted manager =
+  match manager.admission with
+  | None -> []
+  | Some gate ->
+    let rec loop accu =
+      match Robust.Admission.pop gate with
+      | None -> List.rev accu
+      | Some ticket -> (
+        match Hashtbl.find_opt manager.queued ticket with
+        | None ->
+          (* the entry was shed after queueing; give the slot back *)
+          Robust.Admission.release gate;
+          loop accu
+        | Some (kind, _priority) ->
+          Hashtbl.remove manager.queued ticket;
+          loop (start_admitted manager kind :: accu))
+    in
+    loop []
+
+let release_slot manager txn =
+  match manager.admission with
+  | None -> ()
+  | Some gate ->
+    if Hashtbl.mem manager.slots txn.Transaction.id then begin
+      Hashtbl.remove manager.slots txn.Transaction.id;
+      Robust.Admission.release gate
+    end
 
 let find manager id = Hashtbl.find_opt manager.txns id
 
@@ -97,6 +180,7 @@ let abort manager ?(reason = Transaction.User_abort) txn =
      stats.Lockmgr.Lock_stats.timeout_aborts <-
        stats.Lockmgr.Lock_stats.timeout_aborts + 1
    | Transaction.User_abort -> ());
+  release_slot manager txn;
   woken_by_cancel @ woken_by_release
 
 let unblocked manager grants =
@@ -225,4 +309,5 @@ let commit ?(release_long = false) manager txn =
   in
   txn.Transaction.status <- Transaction.Committed;
   emit manager (Obs.Event.Txn_commit { txn = txn.Transaction.id });
+  release_slot manager txn;
   grants

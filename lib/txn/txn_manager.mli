@@ -18,16 +18,48 @@ val default_config : config
 (** Detection with youngest-victim selection (the seed behaviour). *)
 
 val create :
-  ?clock:(unit -> int) -> ?obs:Obs.Sink.t -> ?config:config ->
+  ?clock:(unit -> int) -> ?obs:Obs.Sink.t ->
+  ?admission:Robust.Admission.config -> ?config:config ->
   Colock.Protocol.t -> t
 (** [clock] supplies logical begin timestamps and the "now" of timeout
     deadlines (default: a counter). [?obs] defaults to the protocol's sink,
     so transaction lifecycle events (begin/commit/abort, deadlocks, victim
-    and timeout aborts) land in the same stream as the lock events. *)
+    and timeout aborts) land in the same stream as the lock events.
+    [?admission] installs an overload-control gate: {!try_begin} then
+    enforces the configured concurrency limit, and commits/aborts free
+    slots for queued work (collect it with {!drain_admitted}). *)
 
 val protocol : t -> Colock.Protocol.t
 val config : t -> config
+
+val admission : t -> Robust.Admission.t option
+(** The live admission gate, when one was configured — the handle a
+    {!Robust.Controller} resizes from monitor windows. *)
+
 val begin_txn : ?kind:Transaction.kind -> t -> Transaction.t
+(** Unconditional begin — bypasses any admission gate (the transaction
+    holds no slot). Prefer {!try_begin} when admission is configured. *)
+
+type begin_outcome =
+  | Started of Transaction.t  (** admitted (or no gate configured) *)
+  | Queued of int
+      (** no free slot; the ticket identifies this request in later
+          [Admission] events. The transaction starts when a slot frees —
+          collect it from {!drain_admitted}. *)
+  | Shed  (** refused: queue full of equal-or-higher-priority work *)
+
+val try_begin :
+  ?kind:Transaction.kind -> ?priority:Robust.Admission.priority ->
+  t -> begin_outcome
+(** Admission-gated begin. Queueing, eviction and shedding emit
+    {!Obs.Event.Admission} events; admitted transactions start silently
+    (their [Txn_begin] already marks them). *)
+
+val drain_admitted : t -> Transaction.t list
+(** Starts every queued request a freed slot can now admit (highest
+    priority first, FIFO within a class) and returns the new transactions,
+    oldest first. Call after {!commit} or {!abort}. *)
+
 val find : t -> Lockmgr.Lock_table.txn_id -> Transaction.t option
 val active_txns : t -> Transaction.t list
 

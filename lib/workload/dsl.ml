@@ -29,6 +29,14 @@ type mix = {
 
 type faults = { crash : float; stall : float; factor : int; hog : float }
 
+type overload = {
+  admission : Robust.Admission.config option;
+  restart : Lockmgr.Policy.restart;
+  controller : Robust.Controller.config;
+  retry : Robust.Budget.config option;
+  breaker : Robust.Breaker.config option;
+}
+
 type technique = Proposed | Proposed_rule4 | Whole_object | Tuple_level
 
 let technique_to_string = function
@@ -64,6 +72,7 @@ type t = {
   steps : int;
   cost : int;
   faults : faults;
+  overload : overload;
   slo : Obs.Slo.rule list;
 }
 
@@ -73,13 +82,23 @@ let default_catalog =
 let no_faults = { crash = 0.0; stall = 0.0; factor = 8; hog = 0.0 }
 let faults_active faults = faults.crash +. faults.stall +. faults.hog > 0.0
 
+let no_overload =
+  { admission = None; restart = Lockmgr.Policy.No_restart;
+    controller = Robust.Controller.default_config; retry = None;
+    breaker = None }
+
+let overload_active overload =
+  overload.admission <> None
+  || overload.restart <> Lockmgr.Policy.No_restart
+  || overload.retry <> None || overload.breaker <> None
+
 let default ~name =
   { name; catalog = default_catalog; jobs = 40; seed = 17; window = 200.0;
     techniques = [ Proposed; Whole_object; Tuple_level ];
     arrivals = Uniform { gap = 10 }; popularity = Flat;
     mix = { read = 0.5; update = 0.5; library = 0.0; checkout = 0.0 };
     checkout_hold = 500; checkout_steps = 1; steps = 1; cost = 100;
-    faults = no_faults; slo = [] }
+    faults = no_faults; overload = no_overload; slo = [] }
 
 (* ------------------------------------------------------------- printing *)
 
@@ -112,6 +131,39 @@ let print scenario =
   if faults_active scenario.faults then
     add "faults crash=%g stall=%g factor=%d hog=%g\n" scenario.faults.crash
       scenario.faults.stall scenario.faults.factor scenario.faults.hog;
+  (match scenario.overload.admission with
+   | None -> ()
+   | Some gate ->
+     add "admission initial=%d min=%d max=%d queue=%d\n"
+       gate.Robust.Admission.initial gate.Robust.Admission.min_limit
+       gate.Robust.Admission.max_limit gate.Robust.Admission.queue_capacity);
+  if
+    scenario.overload.restart <> Lockmgr.Policy.No_restart
+    || scenario.overload.controller <> Robust.Controller.default_config
+  then begin
+    let controller = scenario.overload.controller in
+    add "limits restart=%s every=%d p95=%g aborts=%g depth=%d\n"
+      (Lockmgr.Policy.restart_to_string scenario.overload.restart)
+      controller.Robust.Controller.every
+      controller.Robust.Controller.thresholds.Robust.Controller.p95_wait
+      controller.Robust.Controller.thresholds.Robust.Controller.abort_rate
+      controller.Robust.Controller.thresholds.Robust.Controller.queue_depth
+  end;
+  (match scenario.overload.retry, scenario.overload.breaker with
+   | None, None -> ()
+   | retry, breaker ->
+     add "budget";
+     (match retry with
+      | Some bucket ->
+        add " retry=%g:%g" bucket.Robust.Budget.ratio
+          bucket.Robust.Budget.burst
+      | None -> ());
+     (match breaker with
+      | Some breaker ->
+        add " breaker=%g:%d:%d" breaker.Robust.Breaker.failure_rate
+          breaker.Robust.Breaker.open_for breaker.Robust.Breaker.probes
+      | None -> ());
+     add "\n");
   List.iter (fun rule -> add "slo %s\n" rule.Obs.Slo.text) scenario.slo;
   Buffer.contents buffer
 
@@ -350,6 +402,85 @@ let parse_line scenario ?file ~line tokens raw =
   | "faults" :: rest ->
     let* faults = parse_faults rest scenario.faults in
     Ok { scenario with faults }
+  | "admission" :: rest ->
+    let int set = fun state pair ->
+      let* n = int_value ~directive:"admission" pair in
+      Ok (set state n)
+    in
+    let* gate =
+      apply_fields ~directive:"admission"
+        ~known:
+          [ ("initial",
+             int (fun a n -> { a with Robust.Admission.initial = n }));
+            ("min", int (fun a n -> { a with Robust.Admission.min_limit = n }));
+            ("max", int (fun a n -> { a with Robust.Admission.max_limit = n }));
+            ("queue",
+             int (fun a n -> { a with Robust.Admission.queue_capacity = n })) ]
+        rest Robust.Admission.default_config
+    in
+    Ok { scenario with overload = { scenario.overload with admission = Some gate } }
+  | "limits" :: rest ->
+    let with_controller set = fun (o : overload) pair ->
+      let* controller = set o.controller pair in
+      Ok { o with controller }
+    in
+    let int set = fun controller pair ->
+      let* n = int_value ~directive:"limits" pair in
+      Ok (set controller n)
+    in
+    let float set = fun controller pair ->
+      let* x = float_value ~directive:"limits" pair in
+      Ok (set controller x)
+    in
+    let* overload =
+      apply_fields ~directive:"limits"
+        ~known:
+          [ ("restart",
+             fun (o : overload) (_key, value) ->
+               let* restart = Lockmgr.Policy.restart_of_string value in
+               Ok { o with restart });
+            ("every",
+             with_controller
+               (int (fun c n -> { c with Robust.Controller.every = n })));
+            ("p95",
+             with_controller
+               (float (fun c x ->
+                    { c with
+                      Robust.Controller.thresholds =
+                        { c.Robust.Controller.thresholds with
+                          Robust.Controller.p95_wait = x } })));
+            ("aborts",
+             with_controller
+               (float (fun c x ->
+                    { c with
+                      Robust.Controller.thresholds =
+                        { c.Robust.Controller.thresholds with
+                          Robust.Controller.abort_rate = x } })));
+            ("depth",
+             with_controller
+               (int (fun c n ->
+                    { c with
+                      Robust.Controller.thresholds =
+                        { c.Robust.Controller.thresholds with
+                          Robust.Controller.queue_depth = n } }))) ]
+        rest scenario.overload
+    in
+    Ok { scenario with overload }
+  | "budget" :: rest ->
+    let* overload =
+      apply_fields ~directive:"budget"
+        ~known:
+          [ ("retry",
+             fun (o : overload) (_key, value) ->
+               let* retry = Robust.Budget.config_of_string value in
+               Ok { o with retry = Some retry });
+            ("breaker",
+             fun (o : overload) (_key, value) ->
+               let* breaker = Robust.Breaker.config_of_string value in
+               Ok { o with breaker = Some breaker }) ]
+        rest scenario.overload
+    in
+    Ok { scenario with overload }
   | "slo" :: rest ->
     let* rule = Obs.Slo.parse_rule ?file ~line (String.concat " " rest) in
     Ok { scenario with slo = scenario.slo @ [ rule ] }
@@ -358,7 +489,7 @@ let parse_line scenario ?file ~line tokens raw =
       (Printf.sprintf
          "unknown directive %S (expected scenario, catalog, jobs, seed, \
           window, techniques, arrivals, popularity, mix, checkout, steps, \
-          cost, faults or slo)"
+          cost, faults, admission, limits, budget or slo)"
          directive)
 
 let validate scenario =
@@ -422,7 +553,24 @@ let validate scenario =
        else None);
       positive "faults factor" scenario.faults.factor ]
   in
-  List.filter_map Fun.id checks
+  let overload_problems =
+    (match scenario.overload.admission with
+     | Some gate ->
+       List.map (( ^ ) "admission ") (Robust.Admission.validate gate)
+     | None -> [])
+    @ List.map (( ^ ) "limits ")
+        (Robust.Controller.validate scenario.overload.controller)
+    @ (match scenario.overload.retry with
+       | Some bucket ->
+         List.map (( ^ ) "budget retry ") (Robust.Budget.validate bucket)
+       | None -> [])
+    @
+    match scenario.overload.breaker with
+    | Some breaker ->
+      List.map (( ^ ) "budget breaker ") (Robust.Breaker.validate breaker)
+    | None -> []
+  in
+  List.filter_map Fun.id checks @ overload_problems
 
 let position ?file line =
   match file with

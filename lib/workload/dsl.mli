@@ -64,6 +64,22 @@ type faults = { crash : float; stall : float; factor : int; hog : float }
 (** Mirrors {!Sim.Fault.spec}; rates per job, [factor] is the stall
     slowdown. *)
 
+type overload = {
+  admission : Robust.Admission.config option;
+      (** [admission initial=8 min=1 max=64 queue=16] — enables the AIMD
+          admission gate *)
+  restart : Lockmgr.Policy.restart;
+      (** [limits restart=wdl:1] (or [running-priority]) — contention
+          control applied the moment a request starts waiting *)
+  controller : Robust.Controller.config;
+      (** [limits every=50 p95=200 aborts=0.5 depth=24] — the closed-loop
+          sensing period and overload thresholds *)
+  retry : Robust.Budget.config option;
+      (** [budget retry=0.5:16] — retry token bucket *)
+  breaker : Robust.Breaker.config option;
+      (** [budget breaker=0.8:200:3] — abort-storm circuit breaker *)
+}
+
 type technique = Proposed | Proposed_rule4 | Whole_object | Tuple_level
 
 val technique_to_string : technique -> string
@@ -84,6 +100,7 @@ type t = {
   steps : int;  (** ops per non-checkout job *)
   cost : int;  (** access cost of each non-checkout step *)
   faults : faults;
+  overload : overload;
   slo : Obs.Slo.rule list;
 }
 
@@ -94,6 +111,13 @@ val default : name:string -> t
 
 val no_faults : faults
 val faults_active : faults -> bool
+
+val no_overload : overload
+(** No gate, no restart policy, default controller, no budget/breaker. *)
+
+val overload_active : overload -> bool
+(** True when any overload-control mechanism is enabled (a non-default
+    controller alone does nothing — it needs a gate to actuate). *)
 
 val parse : ?file:string -> ?name:string -> string -> (t, string) result
 (** Parses a whole scenario text. The error aggregates every bad line as

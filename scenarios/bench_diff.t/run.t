@@ -2,7 +2,7 @@ The committed baseline matches a fresh measurement of the committed suite
 (same seeds, same simulator): the gate is clean on an unmodified tree.
 
   $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json
-  bench diff: 672 comparison(s), 0 regression(s), 0 improvement(s)
+  bench diff: 765 comparison(s), 0 regression(s), 0 improvement(s)
 
 A synthetic slowdown (doubled wait time, halved throughput) must trip the
 gate: exit 2, one REGRESSED row per affected scenario/technique metric.
@@ -11,26 +11,34 @@ gate: exit 2, one REGRESSED row per affected scenario/technique metric.
   >   --perturb total_wait=2.0 --perturb throughput=0.5 > table.txt
   [2]
   $ grep -c 'REGRESSED' table.txt
-  32
+  34
   $ grep 'baseline   proposed' table.txt
   baseline   proposed       throughput                  34.6821       17.341  REGRESSED -17.3411 (slack 3.47821)
   baseline   proposed       total_wait                    12930        25860  REGRESSED +12930 (slack 2616)
   $ tail -1 table.txt
-  bench diff: 672 comparison(s), 32 regression(s), 0 improvement(s)
+  bench diff: 765 comparison(s), 34 regression(s), 0 improvement(s)
 
 A tiny perturbation inside the tolerance band does not fire:
 
   $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json \
   >   --perturb total_wait=1.01
-  bench diff: 672 comparison(s), 0 regression(s), 0 improvement(s)
+  bench diff: 765 comparison(s), 0 regression(s), 0 improvement(s)
+
+A perturbation naming a metric nothing measured is rejected loudly — it
+would otherwise silently perturb nothing and fake a passing self-test:
+
+  $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json \
+  >   --perturb warp_factor=2.0
+  colock: unknown metric "warp_factor" in --perturb (known metrics: avg_response, committed, conflict_tests, crashed, deadlock_aborts, escalations, gave_up, grant_latency_count, grant_latency_max, grant_latency_mean, grant_latency_p50, grant_latency_p95, grant_latency_p99, lock.conflict_tests, lock.conversions, lock.deadlocks, lock.deescalations, lock.escalations, lock.immediate_grants, lock.releases, lock.requests, lock.timeout_aborts, lock.victim_aborts, lock.waits, lock_requests, lock_wait_count, lock_wait_max, lock_wait_mean, lock_wait_p50, lock_wait_p95, lock_wait_p99, makespan, peak_lock_entries, retry_denied, shed, throughput, timeout_aborts, total_wait, txn_response_count, txn_response_max, txn_response_mean, txn_response_p50, txn_response_p95, txn_response_p99, wdl_aborts)
+  [1]
 
 --update-baseline rewrites the store from the fresh measurement, and the
 rewritten store immediately diffs clean against itself:
 
   $ colock bench diff --scenarios .. --baseline fresh.json --update-baseline
-  bench diff: wrote fresh.json (16 run(s))
+  bench diff: wrote fresh.json (17 run(s))
   $ colock bench diff --scenarios .. --baseline fresh.json
-  bench diff: 672 comparison(s), 0 regression(s), 0 improvement(s)
+  bench diff: 765 comparison(s), 0 regression(s), 0 improvement(s)
 
 A missing run in the fresh measurement (here: diffing a single scenario
 against the full baseline) is baseline drift, not a pass:
@@ -38,4 +46,4 @@ against the full baseline) is baseline drift, not a pass:
   $ colock bench diff --scenarios ../baseline.scn --baseline ../../BENCH_scenarios.json > drift.txt
   [2]
   $ grep -c '^missing:' drift.txt
-  13
+  14

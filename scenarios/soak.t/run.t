@@ -4,31 +4,32 @@ Runs are fully deterministic (seeded arrivals, popularity and mix draws),
 so the table is golden.
 
   $ colock soak ..
-  scenario       technique      committed aborts gaveup crashed makespan thruput breaches
-  baseline       proposed              60      0      0       0     1730   34.68        0
-  baseline       whole-object          60      0      0       0     4210   14.25        0
-  baseline       tuple-level           60      0      0       0     1730   34.68        0
-  bursty         proposed              80      0      0       0     1411   56.70        0
-  bursty         whole-object          80      0      0       0     4247   18.84        0
-  bursty         tuple-level           80      0      0       0     1411   56.70        0
-  chaos          proposed              55      0      0       5     5324   10.33        0
-  checkout       proposed              50      0      0       0    24800    2.02        0
-  checkout       whole-object          50      0      0       0    26800    1.87        0
-  checkout       tuple-level           50      0      0       0    24600    2.03        0
-  hotspot        proposed             100      0      0       0     1416   70.62        0
-  hotspot        whole-object         100      0      0       0     6608   15.13        0
-  hotspot        tuple-level          100      0      0       0     1416   70.62        0
-  library        proposed              70      0      0       0     1500   46.67        0
-  library        whole-object          70      0      0       0     3240   21.60        0
-  library        tuple-level           70      0      0       0     1500   46.67        0
-  soak: 16 run(s), 6 scenario(s), 0 breach(es)
+  scenario            technique      committed aborts gaveup  shed crashed makespan thruput breaches
+  baseline            proposed              60      0      0     0       0     1730   34.68        0
+  baseline            whole-object          60      0      0     0       0     4210   14.25        0
+  baseline            tuple-level           60      0      0     0       0     1730   34.68        0
+  bursty              proposed              80      0      0     0       0     1411   56.70        0
+  bursty              whole-object          80      0      0     0       0     4247   18.84        0
+  bursty              tuple-level           80      0      0     0       0     1411   56.70        0
+  chaos               proposed              55      0      0     0       5     5324   10.33        0
+  checkout            proposed              50      0      0     0       0    24800    2.02        0
+  checkout            whole-object          50      0      0     0       0    26800    1.87        0
+  checkout            tuple-level           50      0      0     0       0    24600    2.03        0
+  hotspot             proposed             100      0      0     0       0     1416   70.62        0
+  hotspot             whole-object         100      0      0     0       0     6608   15.13        0
+  hotspot             tuple-level          100      0      0     0       0     1416   70.62        0
+  library             proposed              70      0      0     0       0     1500   46.67        0
+  library             whole-object          70      0      0     0       0     3240   21.60        0
+  library             tuple-level           70      0      0     0       0     1500   46.67        0
+  overload_controlled proposed              30      2      0     0       0     1000   30.00        0
+  soak: 17 run(s), 7 scenario(s), 0 breach(es)
 
 A scenario whose SLO cannot be met exits 3 (distinct from usage errors),
 and the offending rule is named with its measured value:
 
   $ colock soak ../breach/overload.scn
-  scenario       technique      committed aborts gaveup crashed makespan thruput breaches
-  overload       proposed              30      0      0       0     1020   29.41       11
+  scenario            technique      committed aborts gaveup  shed crashed makespan thruput breaches
+  overload            proposed              30      0      0     0       0     1020   29.41       11
     overload             BREACH throughput > 5 (value 0.01)
   soak: 1 run(s), 1 scenario(s), 11 breach(es)
   [3]

@@ -105,7 +105,49 @@ let test_print_round_trip () =
       "scenario b\narrivals poisson mean=12.5\npopularity zipf skew=0.8\n";
       "scenario c\nmix read=0.25 update=0.25 library=0.25 checkout=0.25\n\
        checkout hold=900 steps=3\nfaults crash=0.1 stall=0.2 factor=2 \
-       hog=0.05\nslo p95_wait{lu=HoLU} <= 25\nslo throughput > 0.01\n" ]
+       hog=0.05\nslo p95_wait{lu=HoLU} <= 25\nslo throughput > 0.01\n";
+      "scenario d\nadmission initial=4 min=2 max=32 queue=8\n\
+       limits restart=wdl:2 every=25 p95=150 aborts=0.4 depth=16\n\
+       budget retry=0.5:8 breaker=0.8:200:3\n" ]
+
+let test_parse_overload () =
+  let scenario =
+    parse_exn
+      "scenario controlled\n\
+       admission initial=4 min=2 max=32 queue=8\n\
+       limits restart=wdl:2 every=25 p95=150 aborts=0.4 depth=16\n\
+       budget retry=0.5:8 breaker=0.9:100\n"
+  in
+  check_bool "overload active" true (Dsl.overload_active scenario.Dsl.overload);
+  (match scenario.Dsl.overload.Dsl.admission with
+   | Some gate ->
+     check_int "initial" 4 gate.Robust.Admission.initial;
+     check_int "queue" 8 gate.Robust.Admission.queue_capacity
+   | None -> Alcotest.fail "admission gate expected");
+  check_bool "wdl restart" true
+    (scenario.Dsl.overload.Dsl.restart = Lockmgr.Policy.Wait_depth 2);
+  check_int "control period" 25
+    scenario.Dsl.overload.Dsl.controller.Robust.Controller.every;
+  (match scenario.Dsl.overload.Dsl.retry with
+   | Some bucket ->
+     Alcotest.(check (float 1e-9)) "retry ratio" 0.5 bucket.Robust.Budget.ratio
+   | None -> Alcotest.fail "retry budget expected");
+  (match scenario.Dsl.overload.Dsl.breaker with
+   | Some breaker ->
+     check_int "breaker open_for" 100 breaker.Robust.Breaker.open_for
+   | None -> Alcotest.fail "breaker expected");
+  check_bool "defaults stay inert" false
+    (Dsl.overload_active (parse_exn "scenario plain\n").Dsl.overload);
+  (* bad stanzas diagnose cleanly *)
+  let check_mentions label fragment message =
+    check_bool label true (contains fragment message)
+  in
+  check_mentions "unknown admission field" "\"burst\""
+    (parse_error "admission burst=3\n");
+  check_mentions "bad restart policy" "wdl"
+    (parse_error "limits restart=wibble\n");
+  check_mentions "bad breaker spec" "RATE:OPEN"
+    (parse_error "budget breaker=nope\n")
 
 (* --------------------------------------------------------- compilation *)
 
@@ -233,7 +275,9 @@ let () =
           Alcotest.test_case "full grammar" `Quick test_parse_full;
           Alcotest.test_case "diagnostics" `Quick test_parse_diagnostics;
           Alcotest.test_case "print round-trips" `Quick
-            test_print_round_trip ] );
+            test_print_round_trip;
+          Alcotest.test_case "overload stanzas" `Quick
+            test_parse_overload ] );
       ( "compile",
         [ Alcotest.test_case "seed determinism" `Quick
             test_of_dsl_deterministic;

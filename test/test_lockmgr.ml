@@ -391,6 +391,44 @@ let test_policy_backoff () =
        (fun txn -> delay 4 txn <> delay 4 (txn + 1))
        [ 1; 2; 3; 4; 5 ])
 
+(* Regression pin for the saturation fix: once [base * 2^restarts] passes the
+   cap, every further restart must keep returning cap-band delays — even for
+   bases large enough that the multiplication itself would wrap. *)
+let test_policy_backoff_saturates () =
+  let exponential = Policy.Exponential { base = 100; cap = 800; seed = 3 } in
+  let delay restarts = Policy.delay exponential ~restarts ~txn:7 in
+  (* the capped sequence: raw envelope 100,200,400,800,800,... and from the
+     saturation point on the jittered value itself is pinned *)
+  List.iteri
+    (fun restarts raw ->
+      let value = delay restarts in
+      check_bool
+        (Printf.sprintf "restart %d in [%d,%d]" restarts (raw / 2) raw)
+        true
+        (value >= raw / 2 && value <= raw))
+    [ 100; 200; 400; 800; 800; 800; 800; 800 ];
+  (* beyond the doubling clamp (16) the envelope stays pinned at the cap
+     (jitter still varies per restart, but only inside [cap/2, cap]) *)
+  List.iter
+    (fun restarts ->
+      let value = delay restarts in
+      check_bool
+        (Printf.sprintf "clamped tail restart %d in cap band" restarts)
+        true
+        (value >= 400 && value <= 800))
+    [ 17; 40; 1_000_000 ];
+  (* a base that would overflow 63-bit ints after 16 doublings must
+     saturate at the cap, not wrap negative *)
+  let huge = Policy.Exponential { base = max_int / 8; cap = 500; seed = 1 } in
+  List.iter
+    (fun restarts ->
+      let value = Policy.delay huge ~restarts ~txn:11 in
+      check_bool
+        (Printf.sprintf "huge base restart %d stays in cap band" restarts)
+        true
+        (value >= 250 && value <= 500))
+    [ 0; 1; 2; 5; 16; 30; 1000 ]
+
 let test_policy_strings () =
   check_bool "detection" true
     (Policy.resolution_of_string "detection" = Ok Policy.Detection);
@@ -412,6 +450,19 @@ let test_policy_strings () =
   check_bool "exp backoff" true
     (Policy.backoff_of_string "exp:10:200:7"
      = Ok (Policy.Exponential { base = 10; cap = 200; seed = 7 }));
+  check_bool "restart none" true
+    (Policy.restart_of_string "none" = Ok Policy.No_restart);
+  check_bool "restart wdl default" true
+    (Policy.restart_of_string "wdl"
+     = Ok (Policy.Wait_depth Policy.default_wait_depth));
+  check_bool "restart wdl:2" true
+    (Policy.restart_of_string "wdl:2" = Ok (Policy.Wait_depth 2));
+  check_bool "restart running-priority" true
+    (Policy.restart_of_string "running-priority" = Ok Policy.Running_priority);
+  check_bool "restart wdl:0 rejected" true
+    (match Policy.restart_of_string "wdl:0" with
+     | Error _ -> true
+     | Ok _ -> false);
   (* round trips *)
   List.iter
     (fun text ->
@@ -420,7 +471,15 @@ let test_policy_strings () =
         check_bool ("round trip " ^ text) true
           (Policy.resolution_to_string resolution = text)
       | Error message -> Alcotest.fail message)
-    [ "detection"; "timeout:250"; "hybrid:90" ]
+    [ "detection"; "timeout:250"; "hybrid:90" ];
+  List.iter
+    (fun text ->
+      match Policy.restart_of_string text with
+      | Ok restart ->
+        check_bool ("round trip " ^ text) true
+          (Policy.restart_to_string restart = text)
+      | Error message -> Alcotest.fail message)
+    [ "none"; "wdl:1"; "wdl:3"; "running-priority" ]
 
 (* ------------------------------------------------- Deadlines and invariants *)
 
@@ -451,6 +510,64 @@ let test_table_deadlines () =
     "granted T2 no longer expires"
     [ (3, "a") ]
     (Table.expired_waiters table ~now:500)
+
+(* A waiter whose deadline expires in the very tick it becomes grantable:
+   the grant must win deterministically. After the release grants T2, the
+   expiry scan at the same [now] no longer reports it, and a late timeout
+   handler calling [cancel_wait] is a harmless no-op. *)
+let test_table_expiry_grant_race () =
+  let table = Table.create () in
+  check_bool "T1 X a" true
+    (Table.request table ~txn:1 ~resource:"a" Mode.X = Table.Granted);
+  (match Table.request table ~txn:2 ~deadline:100 ~resource:"a" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "should wait");
+  (* the tick begins: T2 is expired... *)
+  Alcotest.(check (list (pair int string)))
+    "expired before the release"
+    [ (2, "a") ]
+    (Table.expired_waiters table ~now:100);
+  (* ...but in the same tick T1 releases, and the grant wins *)
+  (match Table.release_all table ~txn:1 with
+   | [ grant ] -> check_int "T2 granted" 2 grant.Table.g_txn
+   | grants -> Alcotest.failf "expected one grant, got %d" (List.length grants));
+  Alcotest.(check (list (pair int string)))
+    "granted T2 no longer expires" []
+    (Table.expired_waiters table ~now:100);
+  Alcotest.(check (list string))
+    "sound after the race" []
+    (Table.check_invariants table);
+  (* a timeout handler that already decided to abort T2 finds nothing to
+     cancel and corrupts nothing *)
+  Alcotest.(check int)
+    "stale cancel_wait is a no-op" 0
+    (List.length (Table.cancel_wait table ~txn:2));
+  check_bool "T2 still holds a" true
+    (Table.held table ~txn:2 ~resource:"a" = Mode.X);
+  Alcotest.(check (list string))
+    "still sound" [] (Table.check_invariants table)
+
+(* wait_depth measures the longest blocker chain, and cycles stay finite *)
+let test_table_wait_depth () =
+  let table = Table.create () in
+  check_bool "T1 X a" true
+    (Table.request table ~txn:1 ~resource:"a" Mode.X = Table.Granted);
+  check_bool "T2 X b" true
+    (Table.request table ~txn:2 ~resource:"b" Mode.X = Table.Granted);
+  (match Table.request table ~txn:2 ~resource:"a" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "T2 should wait on a");
+  (match Table.request table ~txn:3 ~resource:"b" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "T3 should wait on b");
+  check_int "running T1 has depth 0" 0 (Table.wait_depth table ~txn:1);
+  check_int "T2 waits on T1" 1 (Table.wait_depth table ~txn:2);
+  check_int "T3 -> T2 -> T1" 2 (Table.wait_depth table ~txn:3);
+  (* close the cycle: T1 wants b, so T1 -> T2 -> T1; depth stays finite *)
+  (match Table.request table ~txn:1 ~resource:"b" Mode.X with
+   | Table.Waiting _ -> ()
+   | Table.Granted -> Alcotest.fail "T1 should wait on b");
+  check_bool "cycle depth finite" true (Table.wait_depth table ~txn:1 <= 3)
 
 let test_table_check_invariants_clean () =
   let table = Table.create () in
@@ -542,6 +659,9 @@ let () =
          Alcotest.test_case "stats" `Quick test_table_stats;
          Alcotest.test_case "peak entries" `Quick test_table_peak_entries;
          Alcotest.test_case "deadlines" `Quick test_table_deadlines;
+         Alcotest.test_case "expiry/grant race" `Quick
+           test_table_expiry_grant_race;
+         Alcotest.test_case "wait_depth" `Quick test_table_wait_depth;
          Alcotest.test_case "check_invariants clean" `Quick
            test_table_check_invariants_clean;
          Alcotest.test_case "waits_for edges" `Quick
@@ -557,4 +677,6 @@ let () =
       ("policy",
        [ Alcotest.test_case "choose_victim" `Quick test_policy_choose_victim;
          Alcotest.test_case "backoff" `Quick test_policy_backoff;
+         Alcotest.test_case "backoff saturates" `Quick
+           test_policy_backoff_saturates;
          Alcotest.test_case "strings" `Quick test_policy_strings ]) ]

@@ -36,6 +36,7 @@ let test_runner_single_job () =
   let table = Table.create () in
   let job =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ "db1" ] Mode.S ];
             access_cost = 100 } ] }
@@ -50,6 +51,7 @@ let test_runner_serializes_conflicts () =
   let table = Table.create () in
   let job mode =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ "db1" ] mode ];
             access_cost = 100 } ] }
@@ -64,6 +66,7 @@ let test_runner_concurrent_when_compatible () =
   let table = Table.create () in
   let job =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ "db1" ] Mode.S ];
             access_cost = 100 } ] }
@@ -77,6 +80,7 @@ let test_runner_deadlock_recovery () =
   let table = Table.create () in
   let two_step first second =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
             access_cost = 50 };
@@ -98,6 +102,7 @@ let test_runner_gave_up () =
   let table = Table.create () in
   let two_step first second =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
             access_cost = 50 };
@@ -121,6 +126,7 @@ let test_avg_response_counts_gave_up () =
   let table = Table.create () in
   let two_step first second =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
             access_cost = 50 };
@@ -147,9 +153,9 @@ let test_avg_response_counts_gave_up () =
   (* pure accessor check on a synthetic record *)
   let synthetic =
     { Sim.Metrics.committed = 1; deadlock_aborts = 1; timeout_aborts = 0;
-      gave_up = 1; crashed = 0; makespan = 100; total_response = 200;
-      total_wait = 0; lock_requests = 0; conflict_tests = 0;
-      peak_lock_entries = 0; escalations = 0 }
+      wdl_aborts = 0; gave_up = 1; crashed = 0; shed = 0; retry_denied = 0;
+      makespan = 100; total_response = 200; total_wait = 0; lock_requests = 0;
+      conflict_tests = 0; peak_lock_entries = 0; escalations = 0 }
   in
   Alcotest.(check (float 1e-9))
     "synthetic mean" 100.0
@@ -162,6 +168,7 @@ let test_victim_wait_time_credited () =
   let table = Table.create () in
   let two_step arrival first second =
     { Sim.Runner.arrival;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
             access_cost = 50 };
@@ -194,12 +201,14 @@ let test_timeout_resolution () =
   in
   let holder =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ "a" ] Mode.X ];
             access_cost = 500 } ] }
   in
   let contender =
     { Sim.Runner.arrival = 10;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ "a" ] Mode.X ];
             access_cost = 100 } ] }
@@ -224,6 +233,7 @@ let test_timeout_breaks_deadlock () =
   in
   let two_step first second =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
             access_cost = 50 };
@@ -243,6 +253,7 @@ let test_victim_policy_selects () =
     let table = Table.create ~obs:sink () in
     let two_step arrival first second =
       { Sim.Runner.arrival;
+      priority = Robust.Admission.Normal;
         steps =
           [ { Sim.Runner.plan = fixed_plan [ request [ first ] Mode.X ];
               access_cost = 50 };
@@ -302,6 +313,7 @@ let test_fault_crash_releases_locks () =
   let table = Table.create () in
   let job =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ "a" ] Mode.X ];
             access_cost = 100 } ] }
@@ -319,6 +331,7 @@ let test_fault_hog_eventually_yields () =
   let table = Table.create () in
   let job cost =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ "a" ] Mode.X ];
             access_cost = cost } ] }
@@ -364,6 +377,7 @@ let test_runner_on_begin () =
   let seen = ref [] in
   let job =
     { Sim.Runner.arrival = 0;
+      priority = Robust.Admission.Normal;
       steps =
         [ { Sim.Runner.plan = fixed_plan [ request [ "db1" ] Mode.S ];
             access_cost = 10 } ] }

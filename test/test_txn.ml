@@ -195,6 +195,47 @@ let test_abort_releases_everything () =
   check_bool "aborted" true
     (t1.Txn.Transaction.status = Txn.Transaction.Aborted Txn.Transaction.User_abort)
 
+let test_admission_gate () =
+  let db = Workload.Figure1.database () in
+  let graph = Graph.build db in
+  let table = Table.create () in
+  let rights = Authz.Rights.create () in
+  let protocol = Colock.Protocol.create ~rights graph table in
+  let admission =
+    { Robust.Admission.default_config with
+      initial = 1; min_limit = 1; max_limit = 4; queue_capacity = 1 }
+  in
+  let manager = Txn.Txn_manager.create ~admission protocol in
+  let t1 =
+    match Txn.Txn_manager.try_begin manager with
+    | Txn.Txn_manager.Started txn -> txn
+    | _ -> Alcotest.fail "first begin should be admitted"
+  in
+  (match Txn.Txn_manager.try_begin ~priority:Robust.Admission.Low manager with
+   | Txn.Txn_manager.Queued _ -> ()
+   | _ -> Alcotest.fail "second begin should queue");
+  (* queue capacity 1 holding a Low entry: a High request displaces it *)
+  (match Txn.Txn_manager.try_begin ~priority:Robust.Admission.High manager with
+   | Txn.Txn_manager.Queued _ -> ()
+   | _ -> Alcotest.fail "high-priority begin should queue by eviction");
+  let gate = Option.get (Txn.Txn_manager.admission manager) in
+  check_int "eviction counted as shed" 1 (Robust.Admission.shed_count gate);
+  (* equal priority against a full queue: refused outright *)
+  (match Txn.Txn_manager.try_begin ~priority:Robust.Admission.High manager with
+   | Txn.Txn_manager.Shed -> ()
+   | _ -> Alcotest.fail "equal-priority begin should shed");
+  check_int "rejection counted as shed" 2 (Robust.Admission.shed_count gate);
+  check_int "no drain while the slot is held" 0
+    (List.length (Txn.Txn_manager.drain_admitted manager));
+  let (_ : Table.grant list) = Txn.Txn_manager.commit manager t1 in
+  (match Txn.Txn_manager.drain_admitted manager with
+   | [ t2 ] ->
+     check_bool "queued txn started" true (Txn.Transaction.is_active t2);
+     let (_ : Table.grant list) = Txn.Txn_manager.commit manager t2 in ()
+   | other ->
+     Alcotest.failf "expected one drained txn, got %d" (List.length other));
+  check_int "all slots free after commits" 0 (Robust.Admission.inflight gate)
+
 (* ---------------------------------------------------------------- Checkout *)
 
 let temp_lock_file () = Filename.temp_file "colock_locks" ".txt"
@@ -407,6 +448,7 @@ let () =
          Alcotest.test_case "victim abort grants caller" `Quick
            test_victim_abort_grants_caller;
          Alcotest.test_case "expire timeouts" `Quick test_expire_timeouts;
+         Alcotest.test_case "admission gate" `Quick test_admission_gate;
          Alcotest.test_case "abort releases" `Quick
            test_abort_releases_everything ]);
       ("checkout",
