@@ -1067,6 +1067,107 @@ let analyze_cmd =
              abort causes and per-transaction wait critical paths.")
     Term.(const run $ setup_logs $ trace_arg $ json_flag $ top_arg)
 
+(* --------------------------------------------------------- explain/flame *)
+
+let explain_cmd =
+  let trace_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"A JSONL event trace, as written by $(b,colock simulate \
+                   --jsonl) or $(b,colock trace --jsonl).")
+  in
+  let txn_arg =
+    Arg.(value & opt (some int) None
+         & info [ "txn" ] ~docv:"ID"
+             ~doc:"Explain one transaction: its span tree (begin, each wait \
+                   with per-blocker blame shares, commit/abort). Without \
+                   it, print the per-run blame summaries.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the blame report(s) as JSON instead of text.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows in the top-blockers table (summary text output \
+                   only).")
+  in
+  let run () trace txn json top =
+    let events = load_trace trace in
+    let reports = Obs.Blame.of_trace events in
+    if json then begin
+      Obs.Json.output stdout
+        (Obs.Json.List (List.map Obs.Blame.to_json reports));
+      print_newline ();
+      0
+    end
+    else
+      match txn with
+      | None ->
+        List.iteri
+          (fun index report ->
+            if index > 0 then print_newline ();
+            Obs.Blame.print ~top stdout report)
+          reports;
+        0
+      | Some txn ->
+        let holds report =
+          List.exists
+            (fun { Obs.Blame.x_txn; _ } -> x_txn = txn)
+            report.Obs.Blame.txns
+        in
+        if not (List.exists holds reports) then begin
+          Fmt.epr "colock: %s: transaction T%d not in trace@." trace txn;
+          1
+        end
+        else begin
+          List.iter
+            (fun report ->
+              if holds report then Obs.Blame.print_explain stdout report ~txn)
+            reports;
+          0
+        end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Causal blame for a JSONL event trace: every wait split across \
+             the holders that caused it, summed per blocker. With \
+             $(b,--txn), one transaction's full span tree.")
+    Term.(const run $ setup_logs $ trace_arg $ txn_arg $ json_flag $ top_arg)
+
+let flame_cmd =
+  let trace_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"A JSONL event trace, as written by $(b,colock simulate \
+                   --jsonl) or $(b,colock trace --jsonl).")
+  in
+  let run () trace =
+    let events = load_trace trace in
+    let flames = Obs.Flame.of_trace events in
+    List.iteri
+      (fun index flame ->
+        if index > 0 then print_newline ();
+        (match Obs.Flame.label flame with
+         | Some label when List.length flames > 1 ->
+           (* headers only when several runs share the stream; a single
+              run stays pure folded-stacks for flamegraph.pl *)
+           Printf.printf "# run: %s\n" label
+         | Some _ | None -> ());
+        Obs.Flame.print stdout flame)
+      flames;
+    0
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:"Fold a JSONL event trace's blocked time into flamegraph.pl \
+             folded-stacks lines: one stack per instance-graph path (entry \
+             point down to the inner lockable unit) with the requested \
+             mode as leaf, weighted by blocked ticks.")
+    Term.(const run $ setup_logs $ trace_arg)
+
 (* ------------------------------------------------------------------- soak *)
 
 (* One scenario × technique run under a live monitor, with the scenario's
@@ -1339,4 +1440,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ graph_cmd; plan_cmd; query_cmd; simulate_cmd; trace_cmd;
-            serve_cmd; top_cmd; analyze_cmd; soak_cmd; bench_cmd ]))
+            serve_cmd; top_cmd; analyze_cmd; explain_cmd; flame_cmd;
+            soak_cmd; bench_cmd ]))

@@ -11,6 +11,9 @@ type waiter = {
   w_duration : duration;
   w_conversion : bool;
   w_deadline : int option;  (* wait abandoned past this tick (timeouts) *)
+  w_holders : Obs.Event.holder list;
+      (* the granted group that blocked this request at enqueue time, so the
+         eventual queue-served grant can report who it was stuck behind *)
 }
 
 type entry = {
@@ -105,9 +108,20 @@ let incompatible_holders entry txn mode =
   List.filter_map
     (fun (holder, held_mode, _duration) ->
       if holder <> txn && not (Lock_mode.compatible mode held_mode) then
-        Some holder
+        Some (holder, held_mode)
       else None)
     entry.granted
+  |> List.sort compare
+
+(* The incompatible granted group as event payload: txn, held mode, and the
+   resource's lockable-unit annotation. *)
+let blocking_holders table entry txn mode resource =
+  let lu = table.meta resource in
+  List.map
+    (fun (holder, held_mode) ->
+      { Obs.Event.h_txn = holder; h_mode = Lock_mode.to_string held_mode;
+        h_lu = lu })
+    (incompatible_holders entry txn mode)
 
 let sup_duration a b =
   match a, b with Long, _ | _, Long -> Long | Short, Short -> Short
@@ -151,7 +165,9 @@ let drain table resource entry =
         install_grant table entry head.w_txn head.w_mode head.w_duration
           resource;
         serve
-          ({ g_txn = head.w_txn; g_resource = resource; g_mode = head.w_mode }
+          (( { g_txn = head.w_txn; g_resource = resource;
+               g_mode = head.w_mode },
+             head.w_holders )
           :: served)
       end
       else served
@@ -159,14 +175,14 @@ let drain table resource entry =
   let served = List.rev (serve []) in
   drop_entry_if_empty table resource entry;
   List.iter
-    (fun grant ->
+    (fun (grant, holders) ->
       emit table
         (Obs.Event.Lock_granted
            { txn = grant.g_txn; resource = grant.g_resource;
              mode = Lock_mode.to_string grant.g_mode; immediate = false;
-             lu = table.meta grant.g_resource }))
+             lu = table.meta grant.g_resource; holders }))
     served;
-  served
+  List.map fst served
 
 let enqueue entry waiter =
   if waiter.w_conversion then begin
@@ -203,7 +219,7 @@ let request table ~txn ?(duration = Short) ?deadline ~resource mode =
     emit table
       (Obs.Event.Lock_granted
          { txn; resource; mode = Lock_mode.to_string current;
-           immediate = true; lu = table.meta resource });
+           immediate = true; lu = table.meta resource; holders = [] });
     drop_entry_if_empty table resource entry;
     Granted
   end
@@ -223,7 +239,7 @@ let request table ~txn ?(duration = Short) ?deadline ~resource mode =
       emit table
         (Obs.Event.Lock_granted
            { txn; resource; mode = Lock_mode.to_string target;
-             immediate = true; lu = table.meta resource });
+             immediate = true; lu = table.meta resource; holders = [] });
       Log.debug (fun log ->
           log "T%d granted %s on %s" txn (Lock_mode.to_string target) resource);
       Granted
@@ -233,26 +249,28 @@ let request table ~txn ?(duration = Short) ?deadline ~resource mode =
       Log.debug (fun log ->
           log "T%d waits for %s on %s" txn (Lock_mode.to_string target)
             resource);
+      let holders = blocking_holders table entry txn target resource in
       if not (already_waiting entry txn) then begin
         enqueue entry
           { w_txn = txn; w_mode = target; w_duration = duration;
-            w_conversion = conversion; w_deadline = deadline };
+            w_conversion = conversion; w_deadline = deadline;
+            w_holders = holders };
         index_txn table txn resource
       end;
       let blockers =
-        match incompatible_holders entry txn target with
+        match holders with
         | [] ->
           (* Blocked by the FIFO rule only: we wait for whoever waits ahead. *)
           List.filter_map
             (fun waiter -> if waiter.w_txn <> txn then Some waiter.w_txn else None)
             entry.waiting
-        | holders -> holders
+        | holders -> List.map (fun { Obs.Event.h_txn; _ } -> h_txn) holders
       in
       let blockers = List.sort_uniq Int.compare blockers in
       emit table
         (Obs.Event.Lock_waited
            { txn; resource; mode = Lock_mode.to_string target; blockers;
-             lu = table.meta resource });
+             lu = table.meta resource; holders });
       Waiting blockers
     end
   end
@@ -276,7 +294,7 @@ let try_request table ~txn ?(duration = Short) ~resource mode =
     emit table
       (Obs.Event.Lock_granted
          { txn; resource; mode = Lock_mode.to_string current;
-           immediate = true; lu = table.meta resource });
+           immediate = true; lu = table.meta resource; holders = [] });
     drop_entry_if_empty table resource entry;
     `Granted
   end
@@ -291,7 +309,7 @@ let try_request table ~txn ?(duration = Short) ~resource mode =
       emit table
         (Obs.Event.Lock_granted
            { txn; resource; mode = Lock_mode.to_string target;
-             immediate = true; lu = table.meta resource });
+             immediate = true; lu = table.meta resource; holders = [] });
       `Granted
     end
     else begin
@@ -301,7 +319,7 @@ let try_request table ~txn ?(duration = Short) ~resource mode =
           List.filter_map
             (fun waiter -> if waiter.w_txn <> txn then Some waiter.w_txn else None)
             entry.waiting
-        | holders -> holders
+        | holders -> List.map fst holders
       in
       drop_entry_if_empty table resource entry;
       `Would_block (List.sort_uniq Int.compare blockers)

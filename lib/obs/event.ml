@@ -3,6 +3,7 @@
    into it). *)
 
 type lu = { lu_kind : string; lu_depth : int }
+type holder = { h_txn : int; h_mode : string; h_lu : lu option }
 
 type kind =
   | Lock_requested of {
@@ -17,6 +18,9 @@ type kind =
       mode : string;
       immediate : bool;  (* false: granted from the wait queue *)
       lu : lu option;
+      holders : holder list;
+          (* queue-served grants: the granted group that blocked the request
+             while it was queued; [] on immediate grants *)
     }
   | Lock_waited of {
       txn : int;
@@ -24,6 +28,9 @@ type kind =
       mode : string;
       blockers : int list;
       lu : lu option;
+      holders : holder list;
+          (* the incompatible granted group at enqueue time, with modes;
+             [] when blocked by the FIFO rule alone *)
     }
   | Lock_released of { txn : int; resource : string; lu : lu option }
   | Conversion of {
@@ -142,20 +149,35 @@ let lu_fields = function
   | Some { lu_kind; lu_depth } ->
     [ ("lu", Json.String lu_kind); ("depth", Json.Int lu_depth) ]
 
+(* Holders serialize as a list of small objects; an empty list writes no
+   field at all, so holder-free streams stay byte-identical to pre-blame
+   captures. *)
+let holder_fields = function
+  | [] -> []
+  | holders ->
+    [ ( "holders",
+        Json.List
+          (List.map
+             (fun { h_txn; h_mode; h_lu } ->
+               Json.Obj
+                 ([ ("txn", Json.Int h_txn); ("mode", Json.String h_mode) ]
+                 @ lu_fields h_lu))
+             holders) ) ]
+
 let kind_fields = function
   | Lock_requested { txn; resource; mode; lu } ->
     [ ("txn", Json.Int txn); ("resource", Json.String resource);
       ("mode", Json.String mode) ]
     @ lu_fields lu
-  | Lock_granted { txn; resource; mode; immediate; lu } ->
+  | Lock_granted { txn; resource; mode; immediate; lu; holders } ->
     [ ("txn", Json.Int txn); ("resource", Json.String resource);
       ("mode", Json.String mode); ("immediate", Json.Bool immediate) ]
-    @ lu_fields lu
-  | Lock_waited { txn; resource; mode; blockers; lu } ->
+    @ lu_fields lu @ holder_fields holders
+  | Lock_waited { txn; resource; mode; blockers; lu; holders } ->
     [ ("txn", Json.Int txn); ("resource", Json.String resource);
       ("mode", Json.String mode);
       ("blockers", Json.List (List.map (fun b -> Json.Int b) blockers)) ]
-    @ lu_fields lu
+    @ lu_fields lu @ holder_fields holders
   | Lock_released { txn; resource; lu } ->
     [ ("txn", Json.Int txn); ("resource", Json.String resource) ]
     @ lu_fields lu
@@ -278,6 +300,25 @@ let lu_field fields =
     Ok (Some { lu_kind; lu_depth })
   | Some _ -> Error "field \"lu\" is not a string"
 
+(* Absent means []: traces captured before holders existed decode fine. *)
+let holders_field fields =
+  match List.assoc_opt "holders" fields with
+  | None -> Ok []
+  | Some (Json.List items) ->
+    List.fold_left
+      (fun accu item ->
+        let* accu = accu in
+        match item with
+        | Json.Obj holder_fields ->
+          let* h_txn = int_field holder_fields "txn" in
+          let* h_mode = string_field holder_fields "mode" in
+          let* h_lu = lu_field holder_fields in
+          Ok ({ h_txn; h_mode; h_lu } :: accu)
+        | _ -> Error "field \"holders\" holds a non-object")
+      (Ok []) items
+    |> Result.map List.rev
+  | Some _ -> Error "field \"holders\" is not a list"
+
 let kind_of_fields event_name fields =
   match event_name with
   | "lock_requested" ->
@@ -292,14 +333,16 @@ let kind_of_fields event_name fields =
     let* mode = string_field fields "mode" in
     let* immediate = bool_field fields "immediate" in
     let* lu = lu_field fields in
-    Ok (Lock_granted { txn; resource; mode; immediate; lu })
+    let* holders = holders_field fields in
+    Ok (Lock_granted { txn; resource; mode; immediate; lu; holders })
   | "lock_waited" ->
     let* txn = int_field fields "txn" in
     let* resource = string_field fields "resource" in
     let* mode = string_field fields "mode" in
     let* blockers = int_list_field fields "blockers" in
     let* lu = lu_field fields in
-    Ok (Lock_waited { txn; resource; mode; blockers; lu })
+    let* holders = holders_field fields in
+    Ok (Lock_waited { txn; resource; mode; blockers; lu; holders })
   | "lock_released" ->
     let* txn = int_field fields "txn" in
     let* resource = string_field fields "resource" in

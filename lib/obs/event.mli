@@ -15,6 +15,13 @@ type lu = { lu_kind : string; lu_depth : int }
     an option on every resource-bearing lock event; [None] means the
     emitter had no graph metadata for that resource. *)
 
+type holder = { h_txn : int; h_mode : string; h_lu : lu option }
+(** One member of the granted group that blocked a request: the holding
+    transaction, the mode it held when the request queued, and its
+    lockable-unit annotation. The causal half of a wait — [blockers] says
+    who, [holders] additionally says with what, so blame attribution can
+    map each blocked tick onto the paper's compatibility matrix. *)
+
 type kind =
   | Lock_requested of {
       txn : int;
@@ -28,6 +35,9 @@ type kind =
       mode : string;
       immediate : bool;  (** [false]: served from the wait queue *)
       lu : lu option;
+      holders : holder list;
+          (** for queue-served grants: the granted group the request was
+              blocked on while queued; [[]] on immediate grants *)
     }
   | Lock_waited of {
       txn : int;
@@ -35,6 +45,10 @@ type kind =
       mode : string;
       blockers : int list;
       lu : lu option;
+      holders : holder list;
+          (** the incompatible granted group at enqueue time (txn, held
+              mode, LU kind); [[]] when the wait is due to the FIFO queue
+              rule alone *)
     }
   | Lock_released of { txn : int; resource : string; lu : lu option }
   | Conversion of {

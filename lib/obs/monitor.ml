@@ -20,13 +20,19 @@ type t = {
   registry : Registry.t;
   collector : Collector.t;
   span : float;
+  hot_k : int;
   mutex : Mutex.t;
   (* the windows list mirrors the registry's, kept here so per-event
      advancing does not re-sort a hashtable *)
   mutable live_windows : Window.t list;
-  waits : (int * string, float * Event.lu option) Hashtbl.t;
+  waits : (int * string, float * Event.lu option * Event.holder list) Hashtbl.t;
   held : (int * string, unit) Hashtbl.t;
   active : (int, unit) Hashtbl.t;
+  (* bounded hot-key state: the sketches admit at most [hot_k] keys, and
+     [resources] / the hot_* gauges are evicted in lockstep, so memory and
+     exposition cardinality stay O(hot_k) on million-object catalogs *)
+  resource_sketch : Sketch.t;
+  blocker_sketch : Sketch.t;
   resources : (string, resource_stat) Hashtbl.t;
   mutable breaches : (float * string) list;  (* newest first, capped *)
   mutable label : string option;
@@ -43,6 +49,11 @@ let gauge_active = "active_txns"
 let gauge_entries = "lock_entries"
 let gauge_depth = "wait_queue_depth"
 let gauge_admission = "admission_limit"
+let gauge_inflight = "admission_inflight"
+let gauge_queued = "admission_queued"
+let gauge_shed = "admission_shed"
+let gauge_breaker = "breaker_state"
+let gauge_retry_denied = "retry_denied"
 let window_wait = "window.lock_wait"
 let window_grants = "window.grants"
 let window_commits = "window.commits"
@@ -50,16 +61,30 @@ let window_aborts = "window.aborts"
 let window_deadlocks = "window.deadlocks"
 
 let labelled base lu_kind = Printf.sprintf "%s{lu=\"%s\"}" base lu_kind
+let hot_resource_gauge resource = Expo.labelled "hot_resource" [ ("resource", resource) ]
+let hot_blocker_gauge blocker = Expo.labelled "hot_blocker" [ ("blocker", blocker) ]
 
-let create ?registry ?(span = 200.0) () =
+(* Numeric encoding of the breaker state machine for the
+   [breaker_state] gauge: closed is healthy, open is tripped. *)
+let breaker_level = function
+  | "closed" -> 0.0
+  | "half-open" -> 1.0
+  | "open" -> 2.0
+  | _ -> -1.0
+
+let create ?registry ?(span = 200.0) ?(hot_k = 32) () =
+  if hot_k <= 0 then invalid_arg "Monitor.create: hot_k must be positive";
   let registry =
     match registry with Some registry -> registry | None -> Registry.create ()
   in
   let collector = Collector.create ~registry () in
   let monitor =
-    { registry; collector; span; mutex = Mutex.create (); live_windows = [];
-      waits = Hashtbl.create 64; held = Hashtbl.create 256;
-      active = Hashtbl.create 64; resources = Hashtbl.create 256;
+    { registry; collector; span; hot_k; mutex = Mutex.create ();
+      live_windows = []; waits = Hashtbl.create 64; held = Hashtbl.create 256;
+      active = Hashtbl.create 64;
+      resource_sketch = Sketch.create ~k:hot_k;
+      blocker_sketch = Sketch.create ~k:hot_k;
+      resources = Hashtbl.create 256;
       breaches = []; label = None; started = 0.0; now = 0.0; seen = false }
   in
   (* pre-declare the unlabelled instruments so exports carry stable keys *)
@@ -118,12 +143,58 @@ let resource_stat monitor resource =
     Hashtbl.replace monitor.resources resource stat;
     stat
 
-let charge_wait monitor ~resource ~lu ~start =
+(* When the sketch evicts a key, its side-table stat and labelled gauge go
+   with it — the hot_* families never exceed [hot_k] series. *)
+let charge_resource monitor resource ~blocked =
+  (match Sketch.observe ~weight:blocked monitor.resource_sketch resource with
+   | Some victim ->
+     Hashtbl.remove monitor.resources victim;
+     Registry.remove_gauge monitor.registry (hot_resource_gauge victim)
+   | None -> ());
+  (match Sketch.find monitor.resource_sketch resource with
+   | Some (estimate, _error) ->
+     (resource_stat monitor resource).r_blocked <- estimate;
+     Registry.set_gauge monitor.registry (hot_resource_gauge resource) estimate
+   | None -> ())
+
+let blocker_label = function
+  | None -> "queue"
+  | Some txn -> Printf.sprintf "T%d" txn
+
+(* Causal charge: the wait's blocked time is split equally across the
+   holders that were blocking at enqueue time (recorded on the
+   [Lock_waited] event); FIFO-rule waits with no incompatible holder are
+   charged to the pseudo-blocker ["queue"]. *)
+let charge_blockers monitor ~holders ~blocked =
+  let labels =
+    match holders with
+    | [] -> [ blocker_label None ]
+    | holders ->
+      List.map
+        (fun { Event.h_txn; _ } -> blocker_label (Some h_txn))
+        holders
+      |> List.sort_uniq String.compare
+  in
+  let share = blocked /. float_of_int (List.length labels) in
+  List.iter
+    (fun label ->
+      (match Sketch.observe ~weight:share monitor.blocker_sketch label with
+       | Some victim ->
+         Registry.remove_gauge monitor.registry (hot_blocker_gauge victim)
+       | None -> ());
+      match Sketch.find monitor.blocker_sketch label with
+      | Some (estimate, _error) ->
+        Registry.set_gauge monitor.registry (hot_blocker_gauge label) estimate
+      | None -> ())
+    labels
+
+let charge_wait monitor ~resource ~lu ~holders ~start =
   let blocked = Float.max 0.0 (monitor.now -. start) in
   let stat = resource_stat monitor resource in
-  stat.r_blocked <- stat.r_blocked +. blocked;
   stat.r_waits <- stat.r_waits + 1;
   (match lu with Some _ -> stat.r_lu <- lu | None -> ());
+  charge_resource monitor resource ~blocked;
+  charge_blockers monitor ~holders ~blocked;
   observe_window monitor window_wait blocked;
   (match lu with
    | None -> ()
@@ -134,9 +205,9 @@ let charge_wait monitor ~resource ~lu ~start =
    contention and is charged (aborted waits hurt p99 too). *)
 let drop_waits_of monitor txn =
   Hashtbl.iter
-    (fun ((waiter, resource) as key) (start, lu) ->
+    (fun ((waiter, resource) as key) (start, lu, holders) ->
       if waiter = txn then begin
-        charge_wait monitor ~resource ~lu ~start;
+        charge_wait monitor ~resource ~lu ~holders ~start;
         Hashtbl.remove monitor.waits key
       end)
     (Hashtbl.copy monitor.waits)
@@ -150,6 +221,17 @@ let reset monitor =
   Hashtbl.reset monitor.held;
   Hashtbl.reset monitor.active;
   Hashtbl.reset monitor.resources;
+  Sketch.reset monitor.resource_sketch;
+  Sketch.reset monitor.blocker_sketch;
+  (* labelled hot_* gauges are registry keys; Registry.reset only zeroes
+     them, so drop the stale series outright *)
+  List.iter
+    (fun (name, _gauge) ->
+      if
+        String.length name >= 4
+        && String.sub name 0 4 = "hot_"
+      then Registry.remove_gauge monitor.registry name)
+    (Registry.gauges monitor.registry);
   monitor.breaches <- [];
   monitor.started <- monitor.now;
   monitor.seen <- false
@@ -185,15 +267,15 @@ let handle_kind monitor kind =
   | Event.Timeout_abort { txn; _ } ->
     count_abort monitor "timeout";
     drop_waits_of monitor txn
-  | Event.Lock_waited { txn; resource; lu; _ } ->
+  | Event.Lock_waited { txn; resource; lu; holders; _ } ->
     if not (Hashtbl.mem monitor.waits (txn, resource)) then
-      Hashtbl.replace monitor.waits (txn, resource) (monitor.now, lu)
+      Hashtbl.replace monitor.waits (txn, resource) (monitor.now, lu, holders)
   | Event.Lock_granted { txn; resource; lu; _ } ->
     (match Hashtbl.find_opt monitor.waits (txn, resource) with
-     | Some (start, wait_lu) ->
+     | Some (start, wait_lu, holders) ->
        Hashtbl.remove monitor.waits (txn, resource);
        let lu = match wait_lu with Some _ -> wait_lu | None -> lu in
-       charge_wait monitor ~resource ~lu ~start
+       charge_wait monitor ~resource ~lu ~holders ~start
      | None -> ());
     Hashtbl.replace monitor.held (txn, resource) ();
     mark_window monitor window_grants;
@@ -213,10 +295,18 @@ let handle_kind monitor kind =
     monitor.label <- Some label
   | Event.Admission { decision; _ } ->
     Registry.incr monitor.registry ("admission." ^ decision)
-  | Event.Admission_limit { limit; _ } -> set_gauge monitor gauge_admission limit
+  | Event.Admission_limit { limit; inflight; queued; shed } ->
+    set_gauge monitor gauge_admission limit;
+    set_gauge monitor gauge_inflight inflight;
+    set_gauge monitor gauge_queued queued;
+    set_gauge monitor gauge_shed shed
   | Event.Breaker { to_state; _ } ->
-    Registry.incr monitor.registry ("breaker." ^ to_state)
-  | Event.Retry_denied _ -> Registry.incr monitor.registry "retry.denied"
+    Registry.incr monitor.registry ("breaker." ^ to_state);
+    Registry.set_gauge monitor.registry gauge_breaker (breaker_level to_state)
+  | Event.Retry_denied _ ->
+    Registry.incr monitor.registry "retry.denied";
+    Registry.set_gauge monitor.registry gauge_retry_denied
+      (float_of_int (Registry.counter monitor.registry "retry.denied"))
   | Event.Contention_abort { txn; _ } ->
     count_abort monitor "contention";
     drop_waits_of monitor txn
@@ -267,6 +357,12 @@ let hot_resources ?(top = 10) monitor =
          | 0 -> String.compare resource_a resource_b
          | order -> order)
   |> List.filteri (fun index _ -> index < top)
+
+let hot_blockers ?(top = 10) monitor =
+  Sketch.top ~n:top monitor.blocker_sketch
+  |> List.map (fun (label, estimate, _error) -> (label, estimate))
+
+let hot_k monitor = monitor.hot_k
 
 let breaches monitor = List.rev monitor.breaches
 

@@ -14,7 +14,18 @@
       the paper's granule hierarchy exactly as [Profile] attributes it
       offline
     - [aborts.<reason>] counters (the same taxonomy as [Profile])
-    - per-resource blocked time for the "top contended resources" panel
+    - per-resource blocked time for the "top contended resources" panel,
+      tracked through a {!Sketch} so at most [hot_k] resources are held no
+      matter how many distinct objects the stream touches; the tracked set
+      is exported live as [hot_resource{resource="..."}] gauges
+    - per-blocker blamed wait time ([hot_blocker{blocker="T7"}] gauges,
+      ["queue"] for FIFO-rule waits), split equally across the holders
+      recorded on each [Lock_waited] event — the live counterpart of
+      {!Blame}'s offline attribution
+    - robustness gauges: [admission_limit] / [admission_inflight] /
+      [admission_queued] / [admission_shed] snapshot the AIMD limiter,
+      [breaker_state] encodes the circuit breaker (0 closed, 1 half-open,
+      2 open), [retry_denied] mirrors the exhausted-retry-budget counter
 
     A [Run_meta] event resets the registry and relabels the monitor, so one
     process comparing several techniques against one live endpoint never
@@ -28,10 +39,12 @@ type resource_stat = {
 
 type t
 
-val create : ?registry:Registry.t -> ?span:float -> unit -> t
+val create : ?registry:Registry.t -> ?span:float -> ?hot_k:int -> unit -> t
 (** [span] is the sliding-window length in clock units (default 200 —
     about an access-burst of simulator ticks; pass seconds-scale spans for
-    wall-clock sinks). *)
+    wall-clock sinks). [hot_k] (default 32) bounds the hot-resource and
+    hot-blocker sketches — and with them the [hot_*] gauge cardinality;
+    raises [Invalid_argument] when [hot_k <= 0]. *)
 
 val registry : t -> Registry.t
 val span : t -> float
@@ -62,7 +75,16 @@ val aborts : t -> (string * int) list
 (** Abort taxonomy, [(reason, count)] sorted by reason. *)
 
 val hot_resources : ?top:int -> t -> (string * resource_stat) list
-(** Most-blocked-on resources, descending blocked time (ties by name). *)
+(** Most-blocked-on resources, descending blocked time (ties by name).
+    Bounded by [hot_k]: [r_blocked] is the sketch estimate (exact while
+    fewer than [hot_k] distinct resources ever blocked anyone). *)
+
+val hot_blockers : ?top:int -> t -> (string * float) list
+(** Transactions most blamed for others' wait time, [(label, blamed)]
+    descending (labels ["T<id>"] or ["queue"]); sketch-bounded like
+    {!hot_resources}. *)
+
+val hot_k : t -> int
 
 val breaches : t -> (float * string) list
 (** SLO breach events seen this run, oldest first (last 32 kept). *)

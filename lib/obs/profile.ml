@@ -155,14 +155,21 @@ let handle profile event =
   if time > profile.last_time then profile.last_time <- time;
   learn_lu profile kind;
   match kind with
-  | Event.Lock_waited { txn; resource; mode; blockers; lu } ->
+  | Event.Lock_waited { txn; resource; mode; blockers; lu; holders } ->
     (* re-waits of an already-queued request keep the original open span *)
     if not (Hashtbl.mem profile.open_waits (txn, resource)) then begin
       let holder_modes =
-        List.filter_map
-          (fun blocker -> Hashtbl.find_opt profile.held (blocker, resource))
-          blockers
-        |> List.sort_uniq String.compare
+        match holders with
+        | [] ->
+          (* pre-holder trace: reconstruct the granted modes from grants
+             seen so far *)
+          List.filter_map
+            (fun blocker -> Hashtbl.find_opt profile.held (blocker, resource))
+            blockers
+          |> List.sort_uniq String.compare
+        | holders ->
+          List.map (fun { Event.h_mode; _ } -> h_mode) holders
+          |> List.sort_uniq String.compare
       in
       Hashtbl.replace profile.open_waits (txn, resource)
         { ow_mode = mode; ow_lu = lu; ow_blockers = blockers;
@@ -233,7 +240,10 @@ let assemble_levels spans =
   |> List.map (fun (v_level, (v_blocked, v_waits, resources)) ->
          { v_level; v_blocked; v_waits;
            v_resources = String_map.cardinal resources })
-  |> List.sort (fun a b -> Float.compare b.v_blocked a.v_blocked)
+  |> List.sort (fun a b ->
+         match Float.compare b.v_blocked a.v_blocked with
+         | 0 -> String.compare a.v_level b.v_level
+         | order -> order)
 
 let assemble_depths spans =
   let accumulate map span =

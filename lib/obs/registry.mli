@@ -37,6 +37,12 @@ val add_gauge : t -> string -> float -> unit
 val gauge_value : t -> string -> float
 (** 0 for a gauge never set. *)
 
+val remove_gauge : t -> string -> unit
+(** Drops the named gauge from the registry entirely (it disappears from
+    exports). For bounded-cardinality label families — when a heavy-hitter
+    sketch evicts a key, its labelled gauge must go too. No-op when the
+    gauge does not exist. *)
+
 val window : ?span:float -> t -> string -> Window.t
 (** Get-or-create; [span] (default 1000 clock units) binds on first
     creation and is ignored on later lookups. *)

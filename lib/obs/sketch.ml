@@ -1,0 +1,88 @@
+(* Space-Saving heavy hitters (Metwally, Agrawal & El Abbadi 2005), with
+   weighted updates: at most [k] keys are tracked, and an untracked key
+   arriving when the sketch is full takes over the smallest counter,
+   inheriting its value as the new key's overestimation bound.
+
+   Guarantees (unit weights; weighted streams scale by total weight):
+   - every key with true count > N/k is present in the sketch;
+   - each estimate overestimates its key's true count by at most its
+     recorded [error], and error <= N/k.
+
+   That bound is what lets the monitor expose per-resource contention for
+   million-object catalogs as bounded-cardinality gauges: O(k) memory and
+   O(k) worst-case work per update, no matter how many distinct resources
+   the stream touches. *)
+
+type entry = { mutable count : float; mutable error : float }
+
+type t = {
+  k : int;
+  entries : (string, entry) Hashtbl.t;
+  mutable total : float;  (* total weight observed *)
+}
+
+let create ~k =
+  if k <= 0 then invalid_arg "Sketch.create: k must be positive";
+  { k; entries = Hashtbl.create (2 * k); total = 0.0 }
+
+let k sketch = sketch.k
+let total sketch = sketch.total
+let cardinality sketch = Hashtbl.length sketch.entries
+
+(* The victim of an eviction: smallest count; ties go to the
+   lexicographically smallest key so replay order never changes results. *)
+let minimum sketch =
+  Hashtbl.fold
+    (fun key entry best ->
+      match best with
+      | Some (best_key, best_entry)
+        when best_entry.count < entry.count
+             || (best_entry.count = entry.count
+                 && String.compare best_key key <= 0) ->
+        best
+      | Some _ | None -> Some (key, entry))
+    sketch.entries None
+
+let observe ?(weight = 1.0) sketch key =
+  sketch.total <- sketch.total +. weight;
+  match Hashtbl.find_opt sketch.entries key with
+  | Some entry ->
+    entry.count <- entry.count +. weight;
+    None
+  | None ->
+    if Hashtbl.length sketch.entries < sketch.k then begin
+      Hashtbl.replace sketch.entries key { count = weight; error = 0.0 };
+      None
+    end
+    else begin
+      match minimum sketch with
+      | None -> None  (* unreachable: k > 0 and the sketch is full *)
+      | Some (victim, entry) ->
+        Hashtbl.remove sketch.entries victim;
+        Hashtbl.replace sketch.entries key
+          { count = entry.count +. weight; error = entry.count };
+        Some victim
+    end
+
+let find sketch key =
+  Option.map
+    (fun entry -> (entry.count, entry.error))
+    (Hashtbl.find_opt sketch.entries key)
+
+let top ?n sketch =
+  let sorted =
+    Hashtbl.fold
+      (fun key entry accu -> (key, entry.count, entry.error) :: accu)
+      sketch.entries []
+    |> List.sort (fun (key_a, count_a, _) (key_b, count_b, _) ->
+           match Float.compare count_b count_a with
+           | 0 -> String.compare key_a key_b
+           | order -> order)
+  in
+  match n with
+  | None -> sorted
+  | Some n -> List.filteri (fun index _ -> index < n) sorted
+
+let reset sketch =
+  Hashtbl.reset sketch.entries;
+  sketch.total <- 0.0

@@ -1,0 +1,38 @@
+Causal blame over a committed holder-annotated fixture: T2 holds the cell
+c1 in X; T1 queues at 10 and T3 at 15, both in S. T2 releases at 20 (T1 is
+served immediately, T3 not until 25), so T2 is to blame for T1's full 10
+ticks and the first 5 of T3's wait, while T3's last 5 ticks — nobody
+incompatible held the cell — fall on the queue. Per-blocker blame must sum
+to the 20 blocked ticks the profiler measures on the same stream.
+
+  $ colock explain fixture.jsonl
+  === blame report: proposed (rule 4') ===
+  blocked 20 across 2 wait(s); blamed 20
+  
+  top blockers (top 2 of 2):
+    BLOCKER         BLAME    WAITS
+    T2                 15        2
+    queue               5        1
+  
+
+One transaction's span tree, with per-holder blame shares:
+
+  $ colock explain fixture.jsonl --txn 3
+  T3: begin 5, commit 35
+  blocked 10 across 1 wait(s); blamed for 0 elsewhere
+  |- wait db1/seg1/cells/c1 (S) [15..25] granted: 10
+  |    blocked by T2 (X): 5
+  |    blocked by queue: 5
+  
+
+Unknown transactions are diagnosed:
+
+  $ colock explain fixture.jsonl --txn 99
+  colock: fixture.jsonl: transaction T99 not in trace
+  [1]
+
+Blocked time folded along the instance-graph path (flamegraph.pl input —
+both waits share one stack, so their durations merge):
+
+  $ colock flame fixture.jsonl
+  db1;seg1;cells;c1;mode:S 20

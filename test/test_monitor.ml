@@ -19,10 +19,12 @@ let ev time kind = { Event.time; kind }
 let blu = Some { Event.lu_kind = "BLU"; lu_depth = 5 }
 
 let granted ?(lu = None) txn resource =
-  Event.Lock_granted { txn; resource; mode = "X"; immediate = true; lu }
+  Event.Lock_granted
+    { txn; resource; mode = "X"; immediate = true; lu; holders = [] }
 
 let waited ?(lu = None) txn resource =
-  Event.Lock_waited { txn; resource; mode = "X"; blockers = [ 9 ]; lu }
+  Event.Lock_waited
+    { txn; resource; mode = "X"; blockers = [ 9 ]; lu; holders = [] }
 
 (* ------------------------------------------------------------------ Gauge *)
 
@@ -241,7 +243,7 @@ let test_monitor_gauges_and_windows () =
   check_float "one waiter" 1.0 (gauge "wait_queue_depth");
   handle (ev 42.0 (Event.Lock_granted
                      { txn = 2; resource = "cells/c1"; mode = "X";
-                       immediate = false; lu = blu }));
+                       immediate = false; lu = blu; holders = [] }));
   check_float "wait resolved" 0.0 (gauge "wait_queue_depth");
   (match Obs.Registry.find_window registry "window.lock_wait" with
    | Some window ->
@@ -289,6 +291,86 @@ let test_monitor_run_meta_resets () =
     (Obs.Registry.gauge_value (Obs.Monitor.registry monitor) "active_txns");
   check_int "hot resources reset" 0
     (List.length (Obs.Monitor.hot_resources monitor))
+
+(* Robustness signals become live gauges: the AIMD limiter snapshot, the
+   breaker state machine (0 closed / 1 half-open / 2 open), and the
+   exhausted-retry-budget count. *)
+let test_monitor_robustness_gauges () =
+  let monitor = Obs.Monitor.create () in
+  let handle event = Obs.Monitor.handle monitor event in
+  let registry = Obs.Monitor.registry monitor in
+  let gauge name = Obs.Registry.gauge_value registry name in
+  handle
+    (ev 1.0
+       (Event.Admission_limit { limit = 6; inflight = 4; queued = 3; shed = 2 }));
+  check_float "limit gauge" 6.0 (gauge "admission_limit");
+  check_float "inflight gauge" 4.0 (gauge "admission_inflight");
+  check_float "queued gauge" 3.0 (gauge "admission_queued");
+  check_float "shed gauge" 2.0 (gauge "admission_shed");
+  handle
+    (ev 2.0 (Event.Breaker { from_state = "closed"; to_state = "open" }));
+  check_float "breaker open = 2" 2.0 (gauge "breaker_state");
+  handle
+    (ev 3.0 (Event.Breaker { from_state = "open"; to_state = "half-open" }));
+  check_float "breaker half-open = 1" 1.0 (gauge "breaker_state");
+  handle
+    (ev 4.0 (Event.Breaker { from_state = "half-open"; to_state = "closed" }));
+  check_float "breaker closed = 0" 0.0 (gauge "breaker_state");
+  handle (ev 5.0 (Event.Retry_denied { txn = 7; restarts = 3 }));
+  handle (ev 6.0 (Event.Retry_denied { txn = 8; restarts = 3 }));
+  check_float "retry_denied mirrors the counter" 2.0 (gauge "retry_denied");
+  check_int "counter still counts" 2
+    (Obs.Registry.counter registry "retry.denied")
+
+(* Hot-resource and hot-blocker tracking is sketch-bounded: at most hot_k
+   labelled gauges live in the registry, blame splits across the holders
+   stamped on the wait, and evicted keys take their gauge with them. *)
+let test_monitor_hot_keys_are_bounded () =
+  let monitor = Obs.Monitor.create ~hot_k:2 () in
+  let handle event = Obs.Monitor.handle monitor event in
+  let registry = Obs.Monitor.registry monitor in
+  let holder txn mode = { Event.h_txn = txn; h_mode = mode; h_lu = None } in
+  let waited ~holders txn resource =
+    Event.Lock_waited { txn; resource; mode = "X"; blockers = []; lu = None;
+                        holders }
+  in
+  let grant txn resource =
+    Event.Lock_granted
+      { txn; resource; mode = "X"; immediate = false; lu = None; holders = [] }
+  in
+  (* r1 blocks 30 ticks (split between holders T7 and T8, 15 each), r2
+     blocks 10 more on T7 alone — the blocker sketch shares the k bound *)
+  handle (ev 0.0 (waited ~holders:[ holder 7 "X"; holder 8 "S" ] 1 "r1"));
+  handle (ev 5.0 (waited ~holders:[ holder 7 "X" ] 2 "r2"));
+  handle (ev 15.0 (grant 2 "r2"));
+  handle (ev 30.0 (grant 1 "r1"));
+  check_float "hot resource gauge carries blocked time" 30.0
+    (Obs.Registry.gauge_value registry "hot_resource{resource=\"r1\"}");
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "blame split across enqueue-time holders"
+    [ ("T7", 25.0); ("T8", 15.0) ]
+    (Obs.Monitor.hot_blockers monitor);
+  (* a third resource overflows k=2: the smallest (r2) is evicted and its
+     gauge leaves the registry with it *)
+  handle (ev 40.0 (waited ~holders:[ holder 9 "X" ] 3 "r3"));
+  handle (ev 80.0 (grant 3 "r3"));
+  let resources =
+    List.map (fun (resource, _) -> resource)
+      (Obs.Monitor.hot_resources monitor)
+  in
+  Alcotest.(check (list string)) "bounded at hot_k" [ "r3"; "r1" ] resources;
+  check_float "evicted gauge dropped" 0.0
+    (Obs.Registry.gauge_value registry "hot_resource{resource=\"r2\"}");
+  check_bool "survivor gauges stay" true
+    (Obs.Registry.gauge_value registry "hot_resource{resource=\"r3\"}" > 0.0);
+  handle (ev 0.0 (Event.Run_meta { label = "next" }));
+  check_int "reset clears hot blockers" 0
+    (List.length (Obs.Monitor.hot_blockers monitor));
+  check_bool "reset drops labelled gauges entirely" true
+    (List.for_all
+       (fun (name, _) ->
+         not (String.length name >= 4 && String.sub name 0 4 = "hot_"))
+       (Obs.Registry.gauges (Obs.Monitor.registry monitor)))
 
 (* The monitor only ever sees the event stream; the lock table and the
    transaction manager own the ground truth. Drive a real blocked-writer
@@ -432,7 +514,8 @@ let test_slo_watch_emits_breach_and_counts () =
   Obs.Sink.emit_at sink ~time:5.0 (waited 1 "r1");
   Obs.Sink.emit_at sink ~time:50.0
     (Event.Lock_granted
-       { txn = 1; resource = "r1"; mode = "X"; immediate = false; lu = None });
+       { txn = 1; resource = "r1"; mode = "X"; immediate = false; lu = None;
+         holders = [] });
   check_int "no evaluation before the boundary" 0
     (Obs.Slo.breach_count watch);
   Obs.Sink.emit_at sink ~time:120.0 (Event.Txn_commit { txn = 1 });
@@ -484,6 +567,10 @@ let () =
             test_monitor_abort_taxonomy;
           Alcotest.test_case "run_meta resets" `Quick
             test_monitor_run_meta_resets;
+          Alcotest.test_case "robustness gauges" `Quick
+            test_monitor_robustness_gauges;
+          Alcotest.test_case "hot keys are bounded" `Quick
+            test_monitor_hot_keys_are_bounded;
           Alcotest.test_case "agrees with table and manager" `Quick
             test_monitor_agrees_with_table_and_manager;
           Alcotest.test_case "self accounting" `Quick

@@ -114,10 +114,12 @@ let test_ring_rejects_bad_capacity () =
 (* -------------------------------------------------------------- Collector *)
 
 let wait txn resource =
-  Event.Lock_waited { txn; resource; mode = "X"; blockers = [ 99 ]; lu = None }
+  Event.Lock_waited
+    { txn; resource; mode = "X"; blockers = [ 99 ]; lu = None; holders = [] }
 
 let grant ?(immediate = false) txn resource =
-  Event.Lock_granted { txn; resource; mode = "X"; immediate; lu = None }
+  Event.Lock_granted
+    { txn; resource; mode = "X"; immediate; lu = None; holders = [] }
 
 let test_collector_pairs_wait_to_grant () =
   let collector = Obs.Collector.create () in

@@ -15,11 +15,11 @@ let at time kind = { Event.time; kind }
 let blu = Some { Event.lu_kind = "BLU"; lu_depth = 5 }
 let holu = Some { Event.lu_kind = "HoLU"; lu_depth = 3 }
 
-let wait ?(lu = None) ?(blockers = [ 99 ]) txn resource mode =
-  Event.Lock_waited { txn; resource; mode; blockers; lu }
+let wait ?(lu = None) ?(blockers = [ 99 ]) ?(holders = []) txn resource mode =
+  Event.Lock_waited { txn; resource; mode; blockers; lu; holders }
 
-let grant ?(lu = None) ?(immediate = false) txn resource mode =
-  Event.Lock_granted { txn; resource; mode; immediate; lu }
+let grant ?(lu = None) ?(immediate = false) ?(holders = []) txn resource mode =
+  Event.Lock_granted { txn; resource; mode; immediate; lu; holders }
 
 (* Three waits with known durations and granules:
    - T1 waits 20 ticks for BLU db/a (X over T2's S), granted
@@ -151,6 +151,34 @@ let test_critical_path () =
      | first :: _ -> first.Profile.t_txn = 1
      | [] -> false)
 
+(* Every report table must order ties deterministically (satellite of the
+   blame PR): equal blocked time falls back to the level / resource /
+   matrix-cell / txn key, so [colock analyze --top] output never depends
+   on hashtable iteration order. *)
+let test_deterministic_ties () =
+  let events =
+    [ at 0.0 (wait ~lu:holu ~blockers:[ 9 ] 1 "r/b" "X");
+      at 0.0 (wait ~lu:blu ~blockers:[ 9 ] 2 "r/a" "S");
+      at 10.0 (grant ~lu:holu 1 "r/b" "X");
+      at 10.0 (grant ~lu:blu 2 "r/a" "S") ]
+  in
+  let report = Profile.of_events events in
+  Alcotest.(check (list string))
+    "levels tie-break by level name" [ "BLU"; "HoLU" ]
+    (List.map (fun l -> l.Profile.v_level) report.Profile.levels);
+  Alcotest.(check (list string))
+    "resources tie-break by resource" [ "r/a"; "r/b" ]
+    (List.map (fun r -> r.Profile.r_resource) report.Profile.resources);
+  Alcotest.(check (list (pair string string)))
+    "matrix tie-breaks by waiter then holder"
+    [ ("S", "queue"); ("X", "queue") ]
+    (List.map
+       (fun c -> (c.Profile.c_waiter, c.Profile.c_holder))
+       report.Profile.matrix);
+  Alcotest.(check (list int))
+    "critical paths tie-break by txn" [ 1; 2 ]
+    (List.map (fun t -> t.Profile.t_txn) report.Profile.txns)
+
 let test_of_trace_splits_runs () =
   let reports =
     Profile.of_trace
@@ -191,7 +219,16 @@ let roundtrip_events =
     at 1.5 (Event.Txn_begin { txn = 1 });
     at 2.0 (Event.Lock_requested { txn = 1; resource = "db/a"; mode = "IX"; lu = blu });
     at 3.0 (grant ~lu:blu ~immediate:true 1 "db/a" "IX");
-    at 4.0 (wait ~lu:holu ~blockers:[ 7; 8 ] 2 "db/b" "X");
+    at 4.0
+      (wait ~lu:holu ~blockers:[ 7; 8 ]
+         ~holders:
+           [ { Event.h_txn = 7; h_mode = "S"; h_lu = holu };
+             { Event.h_txn = 8; h_mode = "S"; h_lu = None } ]
+         2 "db/b" "X");
+    at 4.5
+      (grant ~lu:holu
+         ~holders:[ { Event.h_txn = 7; h_mode = "S"; h_lu = holu } ]
+         3 "db/b" "S");
     at 5.0
       (Event.Conversion
          { txn = 1; resource = "db/a"; from_mode = "IX"; to_mode = "X"; lu = blu });
@@ -288,7 +325,9 @@ let () =
          Alcotest.test_case "outcomes and matrix" `Quick
            test_outcomes_and_matrix;
          Alcotest.test_case "timeout taxonomy" `Quick test_timeout_taxonomy;
-         Alcotest.test_case "critical path" `Quick test_critical_path ]);
+         Alcotest.test_case "critical path" `Quick test_critical_path;
+         Alcotest.test_case "deterministic ties" `Quick
+           test_deterministic_ties ]);
       ("trace",
        [ Alcotest.test_case "run_meta splitting" `Quick
            test_of_trace_splits_runs;

@@ -1,0 +1,152 @@
+(* Tests for the Space-Saving heavy-hitter sketch: exact top-K recovery
+   below capacity, the eviction/inheritance mechanics at capacity,
+   deterministic tie-breaking, and the QCheck-checked error bound
+   (error <= N/k, every key heavier than N/k tracked) on skewed
+   streams. *)
+
+module Sketch = Obs.Sketch
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let feed sketch keys =
+  List.iter (fun key -> ignore (Sketch.observe sketch key : string option)) keys
+
+let repeat n item = List.init n (fun _ -> item)
+
+(* Below capacity Space-Saving degrades to exact counting: every count
+   precise, every error zero, top-K in order. *)
+let test_exact_below_capacity () =
+  let sketch = Sketch.create ~k:8 in
+  feed sketch
+    (repeat 5 "alpha" @ repeat 3 "beta" @ repeat 2 "gamma" @ [ "delta" ]);
+  Alcotest.(check (list (triple string (float 1e-9) (float 1e-9))))
+    "exact top with zero errors"
+    [ ("alpha", 5.0, 0.0); ("beta", 3.0, 0.0); ("gamma", 2.0, 0.0);
+      ("delta", 1.0, 0.0) ]
+    (Sketch.top sketch);
+  check_int "cardinality" 4 (Sketch.cardinality sketch);
+  check_float "total" 11.0 (Sketch.total sketch);
+  Alcotest.(check (list (triple string (float 1e-9) (float 1e-9))))
+    "top ~n truncates"
+    [ ("alpha", 5.0, 0.0); ("beta", 3.0, 0.0) ]
+    (Sketch.top ~n:2 sketch)
+
+let test_eviction_inherits_minimum () =
+  let sketch = Sketch.create ~k:2 in
+  feed sketch [ "a"; "a"; "b" ];
+  (match Sketch.observe sketch "c" with
+   | Some victim -> Alcotest.(check string) "evicts the minimum" "b" victim
+   | None -> Alcotest.fail "expected an eviction at capacity");
+  check_bool "victim no longer tracked" true (Sketch.find sketch "b" = None);
+  (match Sketch.find sketch "c" with
+   | Some (estimate, error) ->
+     check_float "inherits the evicted count" 2.0 estimate;
+     check_float "inherited count becomes the error" 1.0 error
+   | None -> Alcotest.fail "newcomer not tracked");
+  check_int "still at capacity" 2 (Sketch.cardinality sketch);
+  check_float "total counts evictions too" 4.0 (Sketch.total sketch)
+
+let test_tie_breaks_are_deterministic () =
+  let sketch = Sketch.create ~k:2 in
+  feed sketch [ "b"; "a" ];
+  (match Sketch.observe sketch "c" with
+   | Some victim ->
+     Alcotest.(check string)
+       "count ties evict the lexicographically smallest key" "a" victim
+   | None -> Alcotest.fail "expected an eviction");
+  let sketch = Sketch.create ~k:4 in
+  feed sketch [ "z"; "m"; "a" ];
+  Alcotest.(check (list string))
+    "estimate ties order by key" [ "a"; "m"; "z" ]
+    (List.map (fun (key, _, _) -> key) (Sketch.top sketch))
+
+let test_weighted_updates () =
+  let sketch = Sketch.create ~k:2 in
+  ignore (Sketch.observe ~weight:7.5 sketch "hot" : string option);
+  ignore (Sketch.observe ~weight:0.5 sketch "cold" : string option);
+  ignore (Sketch.observe ~weight:2.5 sketch "hot" : string option);
+  (match Sketch.find sketch "hot" with
+   | Some (estimate, _) -> check_float "weights accumulate" 10.0 estimate
+   | None -> Alcotest.fail "hot not tracked");
+  check_float "total is summed weight" 10.5 (Sketch.total sketch)
+
+let test_reset_and_create () =
+  Alcotest.check_raises "k = 0 rejected"
+    (Invalid_argument "Sketch.create: k must be positive") (fun () ->
+      ignore (Sketch.create ~k:0 : Sketch.t));
+  let sketch = Sketch.create ~k:3 in
+  feed sketch [ "x"; "y" ];
+  Sketch.reset sketch;
+  check_int "reset clears keys" 0 (Sketch.cardinality sketch);
+  check_float "reset clears total" 0.0 (Sketch.total sketch);
+  check_int "k survives reset" 3 (Sketch.k sketch)
+
+(* ------------------------------------------------------------ properties *)
+
+(* A geometric (Zipf-like) stream: a uniform draw j in [1, 1024] maps to
+   key index floor(log2 j) flipped, so key 0 carries ~1/2 the stream,
+   key 1 ~1/4, ... — heavy hitters plus a long tail. *)
+let zipfish_stream =
+  QCheck.make
+    ~print:(fun keys -> String.concat "," keys)
+    QCheck.Gen.(
+      list_size (int_range 100 600)
+        (map
+           (fun j ->
+             let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+             Printf.sprintf "key%02d" (10 - log2 j))
+           (int_range 1 1024)))
+
+let exact_counts keys =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun key ->
+      Hashtbl.replace table key
+        (1.0
+         +. Option.value ~default:0.0 (Hashtbl.find_opt table key)))
+    keys;
+  table
+
+let prop_space_saving_bounds =
+  QCheck.Test.make ~name:"space-saving error stays within N/k" ~count:200
+    zipfish_stream (fun keys ->
+      let k = 8 in
+      let sketch = Sketch.create ~k in
+      feed sketch keys;
+      let truth = exact_counts keys in
+      let n = float_of_int (List.length keys) in
+      let bound = n /. float_of_int k in
+      let tracked_sound =
+        List.for_all
+          (fun (key, estimate, error) ->
+            let true_count =
+              Option.value ~default:0.0 (Hashtbl.find_opt truth key)
+            in
+            error <= bound +. 1e-9
+            && estimate +. 1e-9 >= true_count
+            && estimate -. error <= true_count +. 1e-9)
+          (Sketch.top sketch)
+      in
+      let heavy_tracked =
+        Hashtbl.fold
+          (fun key count ok ->
+            ok && (count <= bound || Sketch.find sketch key <> None))
+          truth true
+      in
+      tracked_sound && heavy_tracked)
+
+let () =
+  Alcotest.run "sketch"
+    [ ("exact",
+       [ Alcotest.test_case "below capacity" `Quick test_exact_below_capacity;
+         Alcotest.test_case "weighted updates" `Quick test_weighted_updates;
+         Alcotest.test_case "reset and create" `Quick test_reset_and_create ]);
+      ("eviction",
+       [ Alcotest.test_case "inherits minimum" `Quick
+           test_eviction_inherits_minimum;
+         Alcotest.test_case "deterministic ties" `Quick
+           test_tie_breaks_are_deterministic ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_space_saving_bounds ]) ]
