@@ -850,6 +850,69 @@ let load_trace path =
   end;
   events
 
+(* Streams a JSONL trace run by run in constant memory (soak traces run
+   to millions of lines): [start] opens a per-run accumulator when the
+   run's first event arrives, [push] feeds it, [flush label run] closes
+   it. The splitting mirrors [Obs.Profile.of_trace]: [Run_meta] events
+   delimit runs (and are not themselves pushed), events before the first
+   delimiter form an unlabelled run, and a delimiter with no events
+   still flushes an (empty) run. A trace with no delimiter at all is
+   labelled ["run-0"], with a warning on stderr. Malformed lines are
+   diagnosed as FILE: line N; returns how many events decoded. *)
+let stream_runs path ~start ~push ~flush =
+  let decoded = ref 0 in
+  let seen_meta = ref false in
+  let current = ref None in
+  let label = ref None in
+  let has_delim = ref false in
+  let close () =
+    let run =
+      match !current with
+      | Some run -> Some run
+      | None -> if !has_delim then Some (start ()) else None
+    in
+    (match run with
+     | None -> ()
+     | Some run ->
+       let label =
+         if !seen_meta then !label
+         else begin
+           Fmt.epr
+             "colock: %s: no Run_meta delimiter; labelling the whole trace \
+              run-0@."
+             path;
+           Some "run-0"
+         end
+       in
+       flush label run);
+    current := None;
+    has_delim := false
+  in
+  Obs.Jsonl.with_file path (fun in_channel ->
+    Obs.Jsonl.iter
+      ~on_error:(fun message -> Fmt.epr "colock: %s: %s@." path message)
+      in_channel
+      (fun event ->
+        incr decoded;
+        match event.Obs.Event.kind with
+        | Obs.Event.Run_meta { label = next } ->
+          seen_meta := true;
+          close ();
+          label := Some next;
+          has_delim := true
+        | _ ->
+          let run =
+            match !current with
+            | Some run -> run
+            | None ->
+              let run = start () in
+              current := Some run;
+              run
+          in
+          push run event));
+  close ();
+  !decoded
+
 (* A monitor (plus optional SLO watch) fed by a fresh sink — the replay
    pipeline behind both [colock serve] and [colock top]. *)
 let make_replay ~window slo_file =
@@ -1037,25 +1100,31 @@ let analyze_cmd =
                    tables (text output only).")
   in
   let run () trace json top =
-    let events, errors = Obs.Jsonl.load trace in
-    List.iter (fun message -> Fmt.epr "colock: %s: %s@." trace message) errors;
-    if events = [] then begin
+    let first = ref true in
+    let json_reports = ref [] in
+    let decoded =
+      stream_runs trace
+        ~start:(fun () -> Obs.Profile.create ())
+        ~push:Obs.Profile.handle
+        ~flush:(fun label profile ->
+          let report = Obs.Profile.finish ?label profile in
+          if json then
+            json_reports := Obs.Profile.to_json report :: !json_reports
+          else begin
+            if not !first then print_newline ();
+            first := false;
+            Obs.Profile.print ~top stdout report
+          end)
+    in
+    if decoded = 0 then begin
       Fmt.epr "colock: %s: no decodable events@." trace;
       1
     end
     else begin
-      let reports = Obs.Profile.of_trace events in
       if json then begin
-        Obs.Json.output stdout
-          (Obs.Json.List (List.map Obs.Profile.to_json reports));
+        Obs.Json.output stdout (Obs.Json.List (List.rev !json_reports));
         print_newline ()
-      end
-      else
-        List.iteri
-          (fun index report ->
-            if index > 0 then print_newline ();
-            Obs.Profile.print ~top stdout report)
-          reports;
+      end;
       0
     end
   in
@@ -1066,6 +1135,72 @@ let analyze_cmd =
              depths, hot resources, a waiter-by-holder conflict matrix, \
              abort causes and per-transaction wait critical paths.")
     Term.(const run $ setup_logs $ trace_arg $ json_flag $ top_arg)
+
+(* ---------------------------------------------------------------- certify *)
+
+let certify_cmd =
+  let trace_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"A JSONL event trace, as written by $(b,colock simulate \
+                   --jsonl) or $(b,colock trace --jsonl).")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the certificate(s) as JSON instead of text.")
+  in
+  let dot_flag =
+    Arg.(value & flag
+         & info [ "dot" ]
+             ~doc:"Emit the serialization graph(s) as Graphviz DOT, with \
+                   the counterexample cycle's nodes and edges in red.")
+  in
+  let run () trace json dot =
+    let modes = Lockmgr.Lock_mode.certify_modes in
+    let first = ref true in
+    let json_certs = ref [] in
+    let violations = ref 0 in
+    let decoded =
+      stream_runs trace
+        ~start:(fun () -> Obs.Certify.create ~modes ())
+        ~push:Obs.Certify.handle
+        ~flush:(fun label certifier ->
+          let cert = Obs.Certify.finish ?label certifier in
+          violations :=
+            !violations + List.length cert.Obs.Certify.violations;
+          if json then json_certs := Obs.Certify.to_json cert :: !json_certs
+          else begin
+            if not !first then print_newline ();
+            first := false;
+            if dot then Obs.Dot.print stdout cert
+            else Obs.Certify.print stdout cert
+          end)
+    in
+    if decoded = 0 then begin
+      Fmt.epr "colock: %s: no decodable events@." trace;
+      1
+    end
+    else begin
+      if json then begin
+        Obs.Json.output stdout (Obs.Json.List (List.rev !json_certs));
+        print_newline ()
+      end;
+      if !violations > 0 then exit_slo_breach else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Certify a JSONL event trace, one certificate per \
+             $(b,Run_meta)-delimited run: conflict-serializability (the \
+             serialization graph over committed transactions must be \
+             acyclic; a minimal counterexample cycle is reported \
+             otherwise), 2PL membership (no new privilege after the first \
+             uncovered release), and hierarchy compliance per the paper's \
+             rules 1-4' (ancestor intentions cover every inner-unit grant; \
+             escalations match the supremum matrix). Exit 3 on any \
+             violation, like an SLO breach.")
+    Term.(const run $ setup_logs $ trace_arg $ json_flag $ dot_flag)
 
 (* --------------------------------------------------------- explain/flame *)
 
@@ -1184,6 +1319,16 @@ let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
     (Obs.Expo.labelled "scenario_info" [ ("scenario", dsl.name) ])
     1.0;
   let sink = Obs.Sink.create [ Obs.Monitor.handle monitor ] in
+  let certifier =
+    if dsl.certify then begin
+      let certifier =
+        Obs.Certify.create ~modes:Lockmgr.Lock_mode.certify_modes ()
+      in
+      Obs.Sink.attach sink (Obs.Certify.handle certifier);
+      Some certifier
+    end
+    else None
+  in
   let watch =
     match dsl.slo with
     | [] -> None
@@ -1212,6 +1357,14 @@ let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
       Obs.Slo.finish watch
         ~time:(float_of_int metrics.Sim.Metrics.makespan)
   in
+  let certificate =
+    Option.map
+      (fun certifier ->
+        Obs.Certify.finish
+          ~label:(dsl.name ^ "/" ^ technique_name)
+          certifier)
+      certifier
+  in
   if not quiet then begin
     Printf.printf "%-19s %-14s %9d %6d %6d %5d %7d %8d %7.2f %8d\n" dsl.name
       technique_name metrics.Sim.Metrics.committed
@@ -1228,7 +1381,25 @@ let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
          | Some watch -> Obs.Slo.evaluate (Obs.Slo.watched watch) monitor
          | None -> [])
   end;
-  breaches
+  (* a certified run stays silent; a violation names itself even under
+     --quiet, since it is the whole point of the stanza *)
+  (match certificate with
+   | Some cert when not (Obs.Certify.certified cert) ->
+     Printf.printf "  %s/%s: NOT CERTIFIED: %d violation(s)\n" dsl.name
+       technique_name
+       (List.length cert.Obs.Certify.violations);
+     List.iter
+       (fun violation ->
+         Printf.printf "    %s\n"
+           (Format.asprintf "%a" Obs.Certify.pp_violation violation))
+       cert.Obs.Certify.violations
+   | Some _ | None -> ());
+  let cert_violations =
+    match certificate with
+    | None -> 0
+    | Some cert -> List.length cert.Obs.Certify.violations
+  in
+  (breaches, certificate <> None, cert_violations)
 
 let soak_cmd =
   let path_arg =
@@ -1271,6 +1442,9 @@ let soak_cmd =
             "scenario" "technique" "committed" "aborts" "gaveup" "shed"
             "crashed" "makespan" "thruput" "breaches";
         let runs = ref 0 in
+        let certified_runs = ref 0 in
+        let clean_runs = ref 0 in
+        let violation_total = ref 0 in
         let breach_total =
           List.fold_left
             (fun total (dsl : Workload.Dsl.t) ->
@@ -1279,13 +1453,24 @@ let soak_cmd =
               List.fold_left
                 (fun total selector ->
                   incr runs;
-                  total + soak_run ~quiet db graph dsl selector)
+                  let breaches, certified, violations =
+                    soak_run ~quiet db graph dsl selector
+                  in
+                  if certified then begin
+                    incr certified_runs;
+                    if violations = 0 then incr clean_runs
+                  end;
+                  violation_total := !violation_total + violations;
+                  total + breaches)
                 total dsl.techniques)
             0 scenarios
         in
-        Printf.printf "soak: %d run(s), %d scenario(s), %d breach(es)\n" !runs
-          (List.length scenarios) breach_total;
-        if breach_total > 0 then exit_slo_breach else 0
+        Printf.printf "soak: %d run(s), %d scenario(s), %d breach(es)%s\n"
+          !runs (List.length scenarios) breach_total
+          (if !certified_runs = 0 then ""
+           else Printf.sprintf ", %d/%d certified" !clean_runs !certified_runs);
+        if breach_total > 0 || !violation_total > 0 then exit_slo_breach
+        else 0
       end
   in
   Cmd.v
@@ -1440,5 +1625,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ graph_cmd; plan_cmd; query_cmd; simulate_cmd; trace_cmd;
-            serve_cmd; top_cmd; analyze_cmd; explain_cmd; flame_cmd;
-            soak_cmd; bench_cmd ]))
+            serve_cmd; top_cmd; analyze_cmd; certify_cmd; explain_cmd;
+            flame_cmd; soak_cmd; bench_cmd ]))

@@ -62,3 +62,16 @@ let of_string = function
   | _ -> None
 
 let pp formatter mode = Format.pp_print_string formatter (to_string mode)
+
+(* String-level export for the trace certifier, which lives below this
+   library in the dependency order. Unknown strings decode as X so that
+   fabricated traces conflict maximally instead of slipping through. *)
+let certify_modes =
+  let decode s = Option.value (of_string s) ~default:X in
+  {
+    Obs.Certify.m_known = List.map to_string all;
+    m_compatible = (fun a b -> compatible (decode a) (decode b));
+    m_sup = (fun a b -> to_string (sup (decode a) (decode b)));
+    m_intention_for = (fun a -> to_string (intention_for (decode a)));
+    m_is_intention = (fun a -> is_intention (decode a));
+  }

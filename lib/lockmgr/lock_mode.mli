@@ -44,3 +44,8 @@ val compare : t -> t -> int
 val to_string : t -> string
 val of_string : string -> t option
 val pp : Format.formatter -> t -> unit
+
+val certify_modes : Obs.Certify.modes
+(** This algebra at string level, for the trace certifier: the
+    authoritative compatibility/supremum matrices and intention map.
+    Unknown mode strings behave like X. *)

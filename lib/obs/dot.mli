@@ -1,0 +1,12 @@
+(** Graphviz export of a certificate's serialization graph.
+
+    One [digraph] per certificate: committed transactions as nodes, one
+    edge per ordered conflict pair labelled with the witness resource and
+    the conflict count. Edges (and nodes) on the minimal counterexample
+    cycle are highlighted in red, so [colock certify --dot trace.jsonl |
+    dot -Tsvg] draws exactly where serializability broke. *)
+
+val render : Certify.certificate -> string
+(** The DOT document, trailing newline included. *)
+
+val print : out_channel -> Certify.certificate -> unit

@@ -27,30 +27,37 @@ let write_events channel events =
   List.iter (fun event -> output_string channel (render event)) events;
   flush channel
 
+let iter ?(on_error = fun _ -> ()) in_channel f =
+  let line_number = ref 0 in
+  try
+    while true do
+      let line = input_line in_channel in
+      incr line_number;
+      if String.trim line <> "" then
+        match Json.of_string line with
+        | Error message ->
+          on_error (Printf.sprintf "line %d: %s" !line_number message)
+        | Ok json -> (
+          match Event.of_json json with
+          | Ok event -> f event
+          | Error message ->
+            on_error (Printf.sprintf "line %d: %s" !line_number message))
+    done
+  with End_of_file -> ()
+
 let read_events in_channel =
   let events = ref [] in
   let errors = ref [] in
-  let line_number = ref 0 in
-  (try
-     while true do
-       let line = input_line in_channel in
-       incr line_number;
-       if String.trim line <> "" then
-         match Json.of_string line with
-         | Error message ->
-           errors := Printf.sprintf "line %d: %s" !line_number message :: !errors
-         | Ok json -> (
-           match Event.of_json json with
-           | Ok event -> events := event :: !events
-           | Error message ->
-             errors :=
-               Printf.sprintf "line %d: %s" !line_number message :: !errors)
-     done
-   with End_of_file -> ());
+  iter
+    ~on_error:(fun message -> errors := message :: !errors)
+    in_channel
+    (fun event -> events := event :: !events);
   (List.rev !events, List.rev !errors)
 
-let load path =
+let with_file path f =
   let in_channel = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr in_channel)
-    (fun () -> read_events in_channel)
+    (fun () -> f in_channel)
+
+let load path = with_file path read_events

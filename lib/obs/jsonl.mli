@@ -15,10 +15,18 @@ val handler : ?meter:Sink.meter -> out_channel -> Event.t -> unit
 val write_events : out_channel -> Event.t list -> unit
 (** Batch form: renders every line, writes them, flushes once. *)
 
+val iter : ?on_error:(string -> unit) -> in_channel -> (Event.t -> unit) -> unit
+(** Streams a JSONL channel line by line in constant memory, calling the
+    callback per decoded event. Blank lines are skipped; each malformed
+    line becomes a ["line N: ..."] diagnostic passed to [?on_error]
+    (dropped by default) instead of poisoning the whole read. *)
+
 val read_events : in_channel -> Event.t list * string list
-(** Reads a JSONL stream back into typed events. Blank lines are skipped;
-    each malformed line becomes a ["line N: ..."] diagnostic in the second
-    list instead of poisoning the whole read. *)
+(** {!iter} materialised: the decoded events and the diagnostics. *)
 
 val load : string -> Event.t list * string list
 (** {!read_events} on a file path; the channel is closed either way. *)
+
+val with_file : string -> (in_channel -> 'a) -> 'a
+(** Opens [path], runs the callback (typically around {!iter}), and
+    closes the channel even on exceptions. *)

@@ -73,6 +73,7 @@ type t = {
   cost : int;
   faults : faults;
   overload : overload;
+  certify : bool;
   slo : Obs.Slo.rule list;
 }
 
@@ -98,7 +99,7 @@ let default ~name =
     arrivals = Uniform { gap = 10 }; popularity = Flat;
     mix = { read = 0.5; update = 0.5; library = 0.0; checkout = 0.0 };
     checkout_hold = 500; checkout_steps = 1; steps = 1; cost = 100;
-    faults = no_faults; overload = no_overload; slo = [] }
+    faults = no_faults; overload = no_overload; certify = false; slo = [] }
 
 (* ------------------------------------------------------------- printing *)
 
@@ -164,6 +165,7 @@ let print scenario =
           breaker.Robust.Breaker.open_for breaker.Robust.Breaker.probes
       | None -> ());
      add "\n");
+  if scenario.certify then add "certify on\n";
   List.iter (fun rule -> add "slo %s\n" rule.Obs.Slo.text) scenario.slo;
   Buffer.contents buffer
 
@@ -481,6 +483,11 @@ let parse_line scenario ?file ~line tokens raw =
         rest scenario.overload
     in
     Ok { scenario with overload }
+  | "certify" :: rest -> (
+    match rest with
+    | [ "on" ] -> Ok { scenario with certify = true }
+    | [ "off" ] -> Ok { scenario with certify = false }
+    | _ -> Error "certify takes exactly one of: on, off")
   | "slo" :: rest ->
     let* rule = Obs.Slo.parse_rule ?file ~line (String.concat " " rest) in
     Ok { scenario with slo = scenario.slo @ [ rule ] }
@@ -489,7 +496,7 @@ let parse_line scenario ?file ~line tokens raw =
       (Printf.sprintf
          "unknown directive %S (expected scenario, catalog, jobs, seed, \
           window, techniques, arrivals, popularity, mix, checkout, steps, \
-          cost, faults, admission, limits, budget or slo)"
+          cost, faults, admission, limits, budget, certify or slo)"
          directive)
 
 let validate scenario =

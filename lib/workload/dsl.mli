@@ -101,6 +101,9 @@ type t = {
   cost : int;  (** access cost of each non-checkout step *)
   faults : faults;
   overload : overload;
+  certify : bool;
+      (** run the serializability certifier over the run's events and
+          treat any violation like an SLO breach (exit 3) *)
   slo : Obs.Slo.rule list;
 }
 

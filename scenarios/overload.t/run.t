@@ -43,7 +43,7 @@ cost 100, plus the admission/limits/budget stanzas — passes its SLOs:
   $ colock soak ../overload_controlled.scn
   scenario            technique      committed aborts gaveup  shed crashed makespan thruput breaches
   overload_controlled proposed              30      2      0     0       0     1000   30.00        0
-  soak: 1 run(s), 1 scenario(s), 0 breach(es)
+  soak: 1 run(s), 1 scenario(s), 0 breach(es), 1/1 certified
 
 while the uncontrolled breach fixture still exits 3:
 

@@ -1,7 +1,9 @@
 The committed scenario suite, end to end: every scenario runs under the
-live monitor with its inline SLO rules, and the whole suite stays green.
-Runs are fully deterministic (seeded arrivals, popularity and mix draws),
-so the table is golden.
+live monitor with its inline SLO rules and (via "certify on") the trace
+certifier, and the whole suite stays green — every run certifies as
+conflict-serializable, two-phase and hierarchy-compliant. Runs are fully
+deterministic (seeded arrivals, popularity and mix draws), so the table
+is golden.
 
   $ colock soak ..
   scenario            technique      committed aborts gaveup  shed crashed makespan thruput breaches
@@ -22,7 +24,7 @@ so the table is golden.
   library             whole-object          70      0      0     0       0     3240   21.60        0
   library             tuple-level           70      0      0     0       0     1500   46.67        0
   overload_controlled proposed              30      2      0     0       0     1000   30.00        0
-  soak: 17 run(s), 7 scenario(s), 0 breach(es)
+  soak: 17 run(s), 7 scenario(s), 0 breach(es), 17/17 certified
 
 A scenario whose SLO cannot be met exits 3 (distinct from usage errors),
 and the offending rule is named with its measured value:

@@ -6,7 +6,7 @@ whole-object = 500.
 
   $ colock analyze fixture.jsonl
   === contention report: proposed (rule 4') ===
-  events 12, time 0..60
+  events 25, time 0..60
   blocked time 55 across 3 wait(s), 1 unfinished
   wait-for snapshots 1, peak 2 edge(s)
   aborts: deadlock=1
@@ -41,7 +41,7 @@ whole-object = 500.
   
   
   === contention report: whole-object (XSQL) ===
-  events 3, time 0..500
+  events 10, time 0..500
   blocked time 500 across 1 wait(s), 0 unfinished
   
   blocked time by lockable-unit level:
@@ -77,6 +77,15 @@ Bounding the tables with --top:
   $ colock analyze --top 1 fixture.jsonl | grep 'hot resources'
   hot resources (top 1 of 3):
   hot resources (top 1 of 1):
+
+A trace with no run_meta delimiter at all (e.g. a hand-cut excerpt) is
+still analyzed, labelled run-0, with a warning on stderr:
+
+  $ grep -v run_meta fixture.jsonl | head -n 14 > bare.jsonl
+  $ colock analyze bare.jsonl | head -n 2
+  colock: bare.jsonl: no Run_meta delimiter; labelling the whole trace run-0
+  === contention report: run-0 ===
+  events 14, time 0..15
 
 A trace with no decodable events is an error:
 

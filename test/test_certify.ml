@@ -1,0 +1,610 @@
+(* Tests for the trace certifier: the string-level mode algebra against
+   the lock manager's own matrices, handcrafted schedules for each
+   violation class (cycle, phase, concurrent grant, uncovered grant,
+   escalation audit), QCheck properties over random schedules — the real
+   lock table always certifies clean, injected corruptions are flagged
+   and attributed to exactly the corrupted transactions — and the
+   streaming JSONL reader. *)
+
+module Event = Obs.Event
+module Certify = Obs.Certify
+module Mode = Lockmgr.Lock_mode
+module Table = Lockmgr.Lock_table
+module Graph = Colock.Instance_graph
+module Node_id = Colock.Node_id
+module Protocol = Colock.Protocol
+module Oid = Nf2.Oid
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let at time kind = { Event.time; kind }
+
+let grant ?(immediate = true) txn resource mode =
+  Event.Lock_granted { txn; resource; mode; immediate; lu = None; holders = [] }
+
+let release txn resource = Event.Lock_released { txn; resource; lu = None }
+let begin_txn txn = Event.Txn_begin { txn }
+let commit txn = Event.Txn_commit { txn }
+let abort txn = Event.Txn_abort { txn; reason = "test" }
+
+let violation_kind = function
+  | Certify.Unserializable _ -> "cycle"
+  | Certify.Phase_violation _ -> "phase"
+  | Certify.Concurrent_conflict _ -> "concurrent"
+  | Certify.Uncovered_grant _ -> "uncovered"
+  | Certify.Escalation_violation _ -> "escalation"
+
+let kinds certificate = List.map violation_kind certificate.Certify.violations
+
+let violation_txns certificate =
+  List.concat_map
+    (function
+      | Certify.Unserializable { cycle; _ } -> cycle
+      | Certify.Phase_violation { txn; _ }
+      | Certify.Concurrent_conflict { txn; _ }
+      | Certify.Uncovered_grant { txn; _ }
+      | Certify.Escalation_violation { txn; _ } ->
+        [ txn ])
+    certificate.Certify.violations
+  |> List.sort_uniq Int.compare
+
+(* ------------------------------------------------------- mode algebra *)
+
+(* [Lock_mode.certify_modes] must agree pointwise with the certifier's
+   built-in string algebra — the checks are only as strong as the
+   matrices behind them. *)
+let test_algebra_agreement () =
+  let ours = Certify.default_modes and theirs = Mode.certify_modes in
+  List.iter
+    (fun a ->
+      check_bool
+        ("is_intention " ^ a)
+        (ours.Certify.m_is_intention a)
+        (theirs.Certify.m_is_intention a);
+      check_string
+        ("intention_for " ^ a)
+        (ours.Certify.m_intention_for a)
+        (theirs.Certify.m_intention_for a);
+      List.iter
+        (fun b ->
+          check_bool
+            (Printf.sprintf "compatible %s %s" a b)
+            (ours.Certify.m_compatible a b)
+            (theirs.Certify.m_compatible a b);
+          check_string
+            (Printf.sprintf "sup %s %s" a b)
+            (ours.Certify.m_sup a b)
+            (theirs.Certify.m_sup a b))
+        ours.Certify.m_known)
+    ours.Certify.m_known;
+  (* unknown strings act as X on both sides *)
+  check_bool "unknown conflicts" false (theirs.Certify.m_compatible "??" "S");
+  check_string "unknown sups to X" "X" (ours.Certify.m_sup "??" "IS")
+
+(* -------------------------------------------------- handcrafted cases *)
+
+let test_clean_serial () =
+  let events =
+    [ at 0.0 (begin_txn 1); at 0.0 (begin_txn 2);
+      at 1.0 (grant 1 "db1" "IX");
+      at 1.0 (grant 1 "db1/a" "IX");
+      at 2.0 (grant 1 "db1/a/x" "X");
+      at 3.0 (commit 1);
+      at 3.0 (release 1 "db1/a/x");
+      at 3.0 (release 1 "db1/a");
+      at 3.0 (release 1 "db1");
+      at 4.0 (grant 2 "db1" "IS");
+      at 4.0 (grant 2 "db1/a" "IS");
+      at 5.0 (grant 2 "db1/a/x" "S");
+      at 6.0 (commit 2);
+      at 6.0 (release 2 "db1/a/x");
+      at 6.0 (release 2 "db1/a");
+      at 6.0 (release 2 "db1") ]
+  in
+  let certificate = Certify.of_events ~label:"clean" events in
+  check_bool "certified" true (Certify.certified certificate);
+  check_int "committed" 2 certificate.Certify.committed;
+  check_int "one conflict edge" 1 (List.length certificate.Certify.graph_edges);
+  let edge = List.hd certificate.Certify.graph_edges in
+  check_int "edge from T1" 1 edge.Certify.e_from;
+  check_int "edge to T2" 2 edge.Certify.e_to;
+  check_string "edge witness" "db1/a/x" edge.Certify.e_resource
+
+let test_cycle_detected () =
+  let events =
+    [ at 0.0 (begin_txn 1); at 0.0 (begin_txn 2);
+      at 1.0 (grant 1 "r1" "X");
+      at 2.0 (release 1 "r1");
+      at 3.0 (grant 2 "r1" "X");
+      at 4.0 (release 2 "r1");
+      at 5.0 (grant 2 "r2" "X");
+      at 6.0 (release 2 "r2");
+      at 7.0 (grant 1 "r2" "X");
+      at 8.0 (release 1 "r2");
+      at 9.0 (commit 1); at 9.0 (commit 2) ]
+  in
+  let certificate = Certify.of_events events in
+  check_bool "not certified" false (Certify.certified certificate);
+  let cycle =
+    List.find_map
+      (function
+        | Certify.Unserializable { cycle; _ } -> Some cycle
+        | _ -> None)
+      certificate.Certify.violations
+  in
+  (match cycle with
+   | Some cycle ->
+     check_int "minimal cycle" 2 (List.length cycle);
+     check_bool "T1 on cycle" true (List.mem 1 cycle);
+     check_bool "T2 on cycle" true (List.mem 2 cycle)
+   | None -> Alcotest.fail "expected an unserializable violation");
+  (* the fabricated cycle is only reachable by breaking 2PL too *)
+  check_bool "phase violations surface" true
+    (List.mem "phase" (kinds certificate))
+
+let test_pure_phase_violation () =
+  let events =
+    [ at 0.0 (begin_txn 1);
+      at 1.0 (grant 1 "r1" "X");
+      at 2.0 (release 1 "r1");
+      at 3.0 (grant 1 "r2" "X");
+      at 4.0 (commit 1);
+      at 4.0 (release 1 "r2") ]
+  in
+  let certificate = Certify.of_events events in
+  (match certificate.Certify.violations with
+   | [ Certify.Phase_violation { txn; released; acquire; _ } ] ->
+     check_int "violating txn" 1 txn;
+     check_string "released first" "r1" released;
+     check_string "then acquired" "r2" acquire.Certify.a_resource
+   | other ->
+     Alcotest.failf "expected exactly one phase violation, got %d"
+       (List.length other))
+
+let test_uncovered_grant () =
+  (* no ancestor at all *)
+  let bare = Certify.of_events [ at 1.0 (grant 1 "db1/a/x" "X") ] in
+  (match bare.Certify.violations with
+   | [ Certify.Uncovered_grant { parent; parent_mode; _ } ] ->
+     check_string "parent path" "db1/a" parent;
+     check_bool "parent unheld" true (parent_mode = None)
+   | _ -> Alcotest.fail "expected one uncovered grant");
+  (* ancestor held, but too weak for the requested mode *)
+  let weak =
+    Certify.of_events
+      [ at 1.0 (grant 1 "db1" "IS");
+        at 1.0 (grant 1 "db1/a" "IS");
+        at 2.0 (grant 1 "db1/a/x" "X") ]
+  in
+  (match weak.Certify.violations with
+   | [ Certify.Uncovered_grant { parent_mode; resource; _ } ] ->
+     check_string "weak grant flagged" "db1/a/x" resource;
+     check_bool "parent held IS" true (parent_mode = Some "IS")
+   | _ -> Alcotest.fail "expected one uncovered grant");
+  (* a parent data mode covering the child outright is rule-3 implicit
+     locking made explicit — legal without a separate intention *)
+  let covered =
+    Certify.of_events
+      [ at 1.0 (grant 1 "db1" "IX");
+        at 1.0 (grant 1 "db1/a" "X");
+        at 2.0 (grant 1 "db1/a/x" "X") ]
+  in
+  check_bool "sup-covered grant is legal" true (Certify.certified covered)
+
+let test_concurrent_conflict () =
+  let events =
+    [ at 1.0 (grant 1 "r1" "X");
+      at 2.0 (grant 2 "r1" "X");
+      at 3.0 (release 1 "r1"); at 3.0 (release 2 "r1");
+      at 4.0 (commit 1); at 4.0 (commit 2) ]
+  in
+  let certificate = Certify.of_events events in
+  match
+    List.filter
+      (function Certify.Concurrent_conflict _ -> true | _ -> false)
+      certificate.Certify.violations
+  with
+  | [ Certify.Concurrent_conflict { txn; holder; resource; _ } ] ->
+    check_int "granted txn" 2 txn;
+    check_int "standing holder" 1 holder;
+    check_string "on resource" "r1" resource
+  | other ->
+    Alcotest.failf "expected exactly one concurrent conflict, got %d"
+      (List.length other)
+
+let test_covered_release_is_not_shrinking () =
+  (* releasing a child while a strict ancestor still holds a covering
+     data mode is the escalation / rule-4' sharing pattern: the
+     transaction lost nothing, so later grants stay legal *)
+  let events =
+    [ at 0.0 (begin_txn 1);
+      at 1.0 (grant 1 "db1" "IX");
+      at 1.0 (grant 1 "db1/a" "X");
+      at 2.0 (grant 1 "db1/a/x" "X");
+      at 3.0 (release 1 "db1/a/x");
+      at 4.0 (grant 1 "db1/b" "X");
+      at 5.0 (commit 1);
+      at 5.0 (release 1 "db1/b");
+      at 5.0 (release 1 "db1/a");
+      at 5.0 (release 1 "db1") ]
+  in
+  let certificate = Certify.of_events events in
+  check_bool "covered release keeps the phase open" true
+    (Certify.certified certificate)
+
+let test_aborted_attempt_excluded () =
+  let events =
+    [ at 0.0 (begin_txn 1);
+      (* first attempt: blatantly non-2PL, then aborted *)
+      at 1.0 (grant 1 "r1" "X");
+      at 2.0 (release 1 "r1");
+      at 3.0 (grant 1 "r2" "X");
+      at 4.0 (release 1 "r2");
+      at 4.0 (abort 1);
+      (* restart under the same id (the simulator does not re-begin) *)
+      at 5.0 (grant 1 "r1" "X");
+      at 6.0 (commit 1);
+      at 6.0 (release 1 "r1") ]
+  in
+  let certificate = Certify.of_events events in
+  check_bool "certified" true (Certify.certified certificate);
+  check_int "one aborted attempt" 1 certificate.Certify.aborted_attempts;
+  check_int "one committed txn" 1 certificate.Certify.committed
+
+let escalation_prefix =
+  [ at 0.0 (begin_txn 1);
+    at 1.0 (grant 1 "db1" "IX");
+    at 1.0 (grant 1 "db1/a" "IX");
+    at 2.0 (grant 1 "db1/a/x" "X");
+    at 2.0 (grant 1 "db1/a/y" "X") ]
+
+let test_escalation_legal () =
+  let events =
+    escalation_prefix
+    @ [ at 3.0 (grant 1 "db1/a" "X");
+        at 3.0 (release 1 "db1/a/x");
+        at 3.0 (release 1 "db1/a/y");
+        at 3.0
+          (Event.Escalation
+             { txn = 1; node = "db1/a"; mode = "X"; released_children = 2 });
+        at 4.0 (commit 1);
+        at 4.0 (release 1 "db1/a");
+        at 4.0 (release 1 "db1") ]
+  in
+  check_bool "legal escalation certifies" true
+    (Certify.certified (Certify.of_events events))
+
+let test_escalation_mode_too_weak () =
+  let events =
+    escalation_prefix
+    @ [ at 3.0 (grant 1 "db1/a" "S");
+        at 3.0 (release 1 "db1/a/x");
+        at 3.0 (release 1 "db1/a/y");
+        at 3.0
+          (Event.Escalation
+             { txn = 1; node = "db1/a"; mode = "S"; released_children = 2 });
+        at 4.0 (commit 1) ]
+  in
+  let certificate = Certify.of_events events in
+  let escalations =
+    List.filter
+      (function Certify.Escalation_violation _ -> true | _ -> false)
+      certificate.Certify.violations
+  in
+  (* S cannot absorb two X children: one audit failure per child *)
+  check_int "both X children flagged" 2 (List.length escalations)
+
+let test_escalation_overclaims_children () =
+  let events =
+    escalation_prefix
+    @ [ at 3.0 (grant 1 "db1/a" "X");
+        at 3.0 (release 1 "db1/a/x");
+        at 3.0
+          (Event.Escalation
+             { txn = 1; node = "db1/a"; mode = "X"; released_children = 2 });
+        at 4.0 (commit 1) ]
+  in
+  let certificate = Certify.of_events events in
+  match certificate.Certify.violations with
+  | [ Certify.Escalation_violation { detail; _ } ] ->
+    check_string "mismatch reported"
+      "claims 2 absorbed child(ren), trace shows 1" detail
+  | _ -> Alcotest.fail "expected one escalation violation"
+
+let test_of_trace_splits_runs () =
+  let run label body =
+    at 0.0 (Event.Run_meta { label }) :: body
+  in
+  let events =
+    run "first" [ at 1.0 (grant 1 "r1" "X"); at 2.0 (commit 1) ]
+    @ run "second" [ at 1.0 (grant 2 "r1" "X"); at 2.0 (commit 2) ]
+  in
+  match Certify.of_trace events with
+  | [ first; second ] ->
+    check_bool "first label" true (first.Certify.label = Some "first");
+    check_bool "second label" true (second.Certify.label = Some "second");
+    check_int "first graph" 1 (List.length first.Certify.graph_txns);
+    check_int "second graph" 1 (List.length second.Certify.graph_txns)
+  | certificates ->
+    Alcotest.failf "expected 2 certificates, got %d"
+      (List.length certificates)
+
+(* ------------------------------------------- the real stack as oracle *)
+
+let figure1 = lazy (Graph.build (Workload.Figure1.database ~c_objects:6 ()))
+
+let graph_nodes graph =
+  let nodes = Graph.fold (fun node accu -> node.Graph.id :: accu) graph [] in
+  let array = Array.of_list nodes in
+  Array.sort Node_id.compare array;
+  array
+
+(* Drive random interleaved transactions through the real protocol/lock
+   table with a memory sink attached, then certify the emitted trace:
+   whatever the real stack produced must pass. [try_acquire] keeps the
+   harness sequential-step (no scheduler needed); blocked requests are
+   simply skipped, which is itself a legal schedule. *)
+let run_real_schedule seed =
+  let graph = Lazy.force figure1 in
+  let sink, ring = Obs.Sink.memory () in
+  let table = Table.create ~obs:sink () in
+  let protocol = Protocol.create graph table in
+  let nodes = graph_nodes graph in
+  let rng = Random.State.make [| seed |] in
+  let txns = 2 + Random.State.int rng 3 in
+  let modes = [| Mode.IS; Mode.IX; Mode.S; Mode.X |] in
+  for txn = 1 to txns do
+    Obs.Sink.emit sink (Event.Txn_begin { txn })
+  done;
+  for _round = 1 to 3 do
+    for txn = 1 to txns do
+      let node = nodes.(Random.State.int rng (Array.length nodes)) in
+      let mode = modes.(Random.State.int rng (Array.length modes)) in
+      ignore (Protocol.try_acquire protocol ~txn node mode : Protocol.outcome)
+    done
+  done;
+  for txn = 1 to txns do
+    Obs.Sink.emit sink (Event.Txn_commit { txn });
+    ignore (Protocol.end_of_transaction protocol ~txn : Table.grant list)
+  done;
+  Certify.of_events ~modes:Mode.certify_modes (Obs.Ring.to_list ring)
+
+let prop_real_stack_certifies =
+  QCheck.Test.make ~count:25 ~name:"real protocol schedules certify clean"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let certificate = run_real_schedule seed in
+      if not (Certify.certified certificate) then
+        QCheck.Test.fail_reportf "violations: %s"
+          (String.concat "; "
+             (List.map
+                (Format.asprintf "%a" Certify.pp_violation)
+                certificate.Certify.violations));
+      certificate.Certify.committed > 0)
+
+(* An escalation performed by the real mechanism must audit clean. *)
+let test_real_escalation_certifies () =
+  let graph = Lazy.force figure1 in
+  let sink, ring = Obs.Sink.memory () in
+  let table = Table.create ~obs:sink () in
+  let protocol = Protocol.create graph table in
+  Obs.Sink.emit sink (Event.Txn_begin { txn = 1 });
+  let c1 =
+    Option.get (Graph.object_node graph (Oid.make ~relation:"cells" ~key:"c1"))
+  in
+  let holu = Node_id.child c1 "c_objects" in
+  let members = (Graph.node_exn graph holu).Graph.children in
+  List.iter
+    (fun member ->
+      match Protocol.acquire protocol ~txn:1 member Mode.S with
+      | Protocol.Acquired _ -> ()
+      | Protocol.Blocked _ -> Alcotest.fail "unexpected block")
+    members;
+  (match
+     Colock.Escalation.maybe_escalate protocol ~txn:1 ~threshold:4 ~parent:holu
+   with
+   | Colock.Escalation.Escalated _ -> ()
+   | _ -> Alcotest.fail "escalation expected");
+  Obs.Sink.emit sink (Event.Txn_commit { txn = 1 });
+  ignore (Protocol.end_of_transaction protocol ~txn:1 : Table.grant list);
+  let certificate =
+    Certify.of_events ~modes:Mode.certify_modes (Obs.Ring.to_list ring)
+  in
+  if not (Certify.certified certificate) then
+    Alcotest.failf "escalated run not certified: %s"
+      (String.concat "; "
+         (List.map
+            (Format.asprintf "%a" Certify.pp_violation)
+            certificate.Certify.violations))
+
+(* ------------------------------------------- corrupted random schedules *)
+
+let resources = [| "r0"; "r1"; "r2"; "r3" |]
+
+(* A serial, two-phase schedule over root resources: clean by
+   construction. Each transaction touches >= 2 distinct resources. *)
+let serial_blocks rng txns =
+  List.init txns (fun index ->
+      let txn = index + 1 in
+      let count = 2 + Random.State.int rng (Array.length resources - 1) in
+      let picks =
+        let all = Array.copy resources in
+        for i = Array.length all - 1 downto 1 do
+          let j = Random.State.int rng (i + 1) in
+          let tmp = all.(i) in
+          all.(i) <- all.(j);
+          all.(j) <- tmp
+        done;
+        Array.to_list (Array.sub all 0 (min count (Array.length all)))
+      in
+      (txn, picks))
+
+let serial_events blocks =
+  let time = ref 0.0 in
+  let tick kind =
+    time := !time +. 1.0;
+    at !time kind
+  in
+  List.concat_map
+    (fun (txn, picks) ->
+      (tick (begin_txn txn)
+       :: List.map (fun resource -> tick (grant txn resource "X")) picks)
+      @ List.map (fun resource -> tick (release txn resource)) picks
+      @ [ tick (commit txn) ])
+    blocks
+
+let prop_serial_certifies =
+  QCheck.Test.make ~count:50 ~name:"serial 2PL schedules certify clean"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let blocks = serial_blocks rng (2 + Random.State.int rng 3) in
+      Certify.certified (Certify.of_events (serial_events blocks)))
+
+(* Appending a fabricated criss-cross between two fresh transactions
+   injects exactly one conflict cycle; the certifier must report it and
+   blame only the corrupted transactions. *)
+let prop_injected_cycle_flagged =
+  QCheck.Test.make ~count:50 ~name:"injected grant-order cycle is flagged"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let blocks = serial_blocks rng (1 + Random.State.int rng 3) in
+      let t_a = List.length blocks + 1 and t_b = List.length blocks + 2 in
+      let cross =
+        [ at 100.0 (begin_txn t_a); at 100.0 (begin_txn t_b);
+          at 101.0 (grant t_a "ca" "X");
+          at 102.0 (release t_a "ca");
+          at 103.0 (grant t_b "ca" "X");
+          at 104.0 (release t_b "ca");
+          at 105.0 (grant t_b "cb" "X");
+          at 106.0 (release t_b "cb");
+          at 107.0 (grant t_a "cb" "X");
+          at 108.0 (release t_a "cb");
+          at 109.0 (commit t_a); at 109.0 (commit t_b) ]
+      in
+      let certificate =
+        Certify.of_events (serial_events blocks @ cross)
+      in
+      let cycle =
+        List.find_map
+          (function
+            | Certify.Unserializable { cycle; _ } -> Some cycle
+            | _ -> None)
+          certificate.Certify.violations
+      in
+      match cycle with
+      | Some cycle ->
+        List.sort Int.compare cycle = [ t_a; t_b ]
+        && List.for_all
+             (fun txn -> txn = t_a || txn = t_b)
+             (violation_txns certificate)
+      | None -> false)
+
+(* Moving one release ahead of a later grant inside a single serial
+   block breaks 2PL without creating any cycle; only that transaction
+   may be blamed, and only with phase violations. *)
+let prop_injected_phase_flagged =
+  QCheck.Test.make ~count:50 ~name:"injected post-release acquire is flagged"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let blocks = serial_blocks rng (2 + Random.State.int rng 3) in
+      let victim = 1 + Random.State.int rng (List.length blocks) in
+      let time = ref 0.0 in
+      let tick kind =
+        time := !time +. 1.0;
+        at !time kind
+      in
+      let events =
+        List.concat_map
+          (fun (txn, picks) ->
+            if txn <> victim then
+              (tick (begin_txn txn)
+               :: List.map (fun r -> tick (grant txn r "X")) picks)
+              @ List.map (fun r -> tick (release txn r)) picks
+              @ [ tick (commit txn) ]
+            else
+              (* grant head, release head, then keep growing: non-2PL *)
+              let head = List.hd picks and tail = List.tl picks in
+              [ tick (begin_txn txn);
+                tick (grant txn head "X");
+                tick (release txn head) ]
+              @ List.map (fun r -> tick (grant txn r "X")) tail
+              @ List.map (fun r -> tick (release txn r)) tail
+              @ [ tick (commit txn) ])
+          blocks
+      in
+      let certificate = Certify.of_events events in
+      kinds certificate <> []
+      && List.for_all (fun kind -> kind = "phase") (kinds certificate)
+      && violation_txns certificate = [ victim ])
+
+(* ------------------------------------------------- streaming JSONL *)
+
+let test_jsonl_iter_streams () =
+  let path = Filename.temp_file "certify_jsonl" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let channel = open_out path in
+      Obs.Jsonl.write_events channel
+        [ at 1.0 (grant 1 "r1" "X"); at 2.0 (commit 1) ];
+      output_string channel "not json at all\n";
+      Obs.Jsonl.write_events channel [ at 3.0 (release 1 "r1") ];
+      close_out channel;
+      let events, errors = Obs.Jsonl.load path in
+      check_int "decoded around the bad line" 3 (List.length events);
+      (match errors with
+       | [ message ] ->
+         check_bool "diagnostic carries the line number" true
+           (String.length message >= 7 && String.sub message 0 7 = "line 3:")
+       | _ -> Alcotest.fail "expected exactly one diagnostic");
+      (* the streaming form sees exactly what the batch form saw *)
+      let streamed = ref 0 and diagnostics = ref 0 in
+      Obs.Jsonl.with_file path (fun channel ->
+          Obs.Jsonl.iter
+            ~on_error:(fun _ -> incr diagnostics)
+            channel
+            (fun _ -> incr streamed));
+      check_int "same events" (List.length events) !streamed;
+      check_int "same diagnostics" 1 !diagnostics)
+
+let () =
+  Alcotest.run "certify"
+    [ ( "algebra",
+        [ Alcotest.test_case "matrices agree" `Quick test_algebra_agreement ]
+      );
+      ( "schedules",
+        [ Alcotest.test_case "clean serial" `Quick test_clean_serial;
+          Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+          Alcotest.test_case "pure phase violation" `Quick
+            test_pure_phase_violation;
+          Alcotest.test_case "uncovered grant" `Quick test_uncovered_grant;
+          Alcotest.test_case "concurrent conflict" `Quick
+            test_concurrent_conflict;
+          Alcotest.test_case "covered release" `Quick
+            test_covered_release_is_not_shrinking;
+          Alcotest.test_case "aborted attempt excluded" `Quick
+            test_aborted_attempt_excluded;
+          Alcotest.test_case "of_trace splits runs" `Quick
+            test_of_trace_splits_runs ] );
+      ( "escalation",
+        [ Alcotest.test_case "legal escalation" `Quick test_escalation_legal;
+          Alcotest.test_case "mode too weak" `Quick
+            test_escalation_mode_too_weak;
+          Alcotest.test_case "overclaimed children" `Quick
+            test_escalation_overclaims_children;
+          Alcotest.test_case "real escalation certifies" `Quick
+            test_real_escalation_certifies ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_real_stack_certifies;
+            prop_serial_certifies;
+            prop_injected_cycle_flagged;
+            prop_injected_phase_flagged ] );
+      ( "jsonl",
+        [ Alcotest.test_case "streaming reader" `Quick
+            test_jsonl_iter_streams ] ) ]

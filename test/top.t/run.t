@@ -7,9 +7,9 @@ techniques never bleed stats into each other.
   $ colock top fixture.jsonl --once --slo rules.slo
   colock top — proposed (rule 4')
   now 60  elapsed 60  throughput 0.0167 commits/tick
-  active txns 1  lock entries 2  wait queue 1
+  active txns 1  lock entries 9  wait queue 1
   window wait  p50 22.5  p95 24.8  p99 24.9  max 25.0  (2 waits, 0.010/tick)
-  window grants       2  (0.010/tick)
+  window grants      12  (0.060/tick)
   window commits      1  (0.005/tick)
   window aborts       1  (0.005/tick)
   window deadlocks    0  (0.000/tick)
@@ -23,7 +23,7 @@ techniques never bleed stats into each other.
   
   colock top — whole-object (XSQL)
   now 500  elapsed 500  throughput 0.0000 commits/tick
-  active txns 0  lock entries 2  wait queue 0
+  active txns 0  lock entries 7  wait queue 0
   window wait  p50 440.0  p95 440.0  p99 440.0  max 440.0  (1 waits, 0.005/tick)
   window grants       1  (0.005/tick)
   window commits      0  (0.000/tick)
@@ -31,7 +31,7 @@ techniques never bleed stats into each other.
   window deadlocks    0  (0.000/tick)
   hot resources                    blocked  waits  lu
     db1/seg1/cells/c1                440.0      1  HeLU
-  SLO (2 rule(s), 2 breach(es) this run)
+  SLO (2 rule(s), 1 breach(es) this run)
     BREACH p99_wait < 40 (value 440)
     ok     abort_rate < 0.25 (value 0)
 
@@ -43,7 +43,7 @@ cumulative panels (aborts, hot resources) keep the whole run:
   $ colock top fixture.jsonl --once --window 30 | head -n 6
   colock top — proposed (rule 4')
   now 60  elapsed 60  throughput 0.0167 commits/tick
-  active txns 1  lock entries 2  wait queue 1
+  active txns 1  lock entries 9  wait queue 1
   window wait  p50 25.0  p95 25.0  p99 25.0  max 25.0  (1 waits, 0.033/tick)
   window grants       0  (0.000/tick)
   window commits      1  (0.033/tick)
