@@ -3,7 +3,7 @@
    Default: regenerate every experiment table/figure (E1-E13 plus the E15
    resilience comparison, see DESIGN.md).
    Options:
-     --only E5        run a single experiment (E1..E13, E15..E17, E19, E20, E21)
+     --only E5        run a single experiment (E1..E13, E15..E17, E19..E22)
      --bechamel       additionally run the Bechamel micro-benchmarks (one
                       Test.make per experiment's core operation, plus the
                       E14 index ablation)
@@ -300,7 +300,7 @@ let () =
        experiment ();
        Report.write ~experiment:name ()
      | None ->
-       Printf.eprintf "unknown experiment %s (use E1..E13, E15..E17, E19, E20, E21)\n" name;
+       Printf.eprintf "unknown experiment %s (use E1..E13, E15..E17, E19..E22)\n" name;
        exit 1)
    | None, false ->
      Experiments.run_all ();

@@ -58,7 +58,22 @@ let write ~experiment () =
     (fun () ->
       Obs.Json.output channel json;
       output_char channel '\n');
-  Printf.printf "wrote %s\n" path
+  Printf.printf "wrote %s\n" path;
+  (* the headline numbers also land in the append-only trajectory store,
+     so `colock trends` can plot them across commits *)
+  let headline =
+    List.filter
+      (fun (key, _) ->
+        List.mem key
+          [ "committed"; "throughput"; "total_wait"; "makespan"; "lock.waits" ])
+      row
+  in
+  let record =
+    Bench.History.append ~path:"BENCH_HISTORY.jsonl" ~source:"bench"
+      ~label:experiment headline
+  in
+  Printf.printf "history seq %d -> BENCH_HISTORY.jsonl\n"
+    record.Bench.History.seq
 
 let write_scenarios ?(out = "BENCH_scenarios.json") ~dir () =
   match Workload.Dsl.load_path dir with

@@ -1303,11 +1303,180 @@ let flame_cmd =
              mode as leaf, weighted by blocked ticks.")
     Term.(const run $ setup_logs $ trace_arg)
 
+(* -------------------------------------------------------------------- why *)
+
+let why_cmd =
+  let base_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BASE"
+             ~doc:"The known-good JSONL event trace.")
+  in
+  let cand_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"CAND"
+             ~doc:"The candidate JSONL event trace whose wait-time delta \
+                   against $(b,BASE) wants explaining.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the differential report(s) as JSON instead of \
+                   tables.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows in the resource, conflict-cell and blocker delta \
+                   tables (text output only; ties break lexicographically \
+                   so the cut is deterministic).")
+  in
+  let run_arg =
+    Arg.(value & opt (some string) None
+         & info [ "run" ] ~docv:"LABEL"
+             ~doc:"Diff only the run labelled $(docv) (multi-run traces).")
+  in
+  let run () base cand json top run_label =
+    let base_events = load_trace base in
+    let cand_events = load_trace cand in
+    let pairing = Obs.Diff.of_traces ~base:base_events ~cand:cand_events in
+    let selected =
+      match run_label with
+      | None -> Some pairing
+      | Some wanted -> (
+        match
+          List.filter
+            (fun (report : Obs.Diff.report) -> report.label = Some wanted)
+            pairing.Obs.Diff.pairs
+        with
+        | [] -> None
+        | pairs -> Some { Obs.Diff.pairs; only_base = []; only_cand = [] })
+    in
+    match selected with
+    | None ->
+      let wanted = Option.value ~default:"" run_label in
+      let known =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (fun (report : Obs.Diff.report) -> report.label)
+             pairing.Obs.Diff.pairs
+           @ pairing.Obs.Diff.only_base @ pairing.Obs.Diff.only_cand)
+      in
+      Fmt.epr "colock: run %S not paired between %s and %s (runs: %s)@."
+        wanted base cand
+        (if known = [] then "none" else String.concat ", " known);
+      1
+    | Some pairing ->
+      if json then begin
+        Obs.Json.output stdout (Obs.Diff.pairing_to_json pairing);
+        print_newline ()
+      end
+      else begin
+        List.iteri
+          (fun index report ->
+            if index > 0 then print_newline ();
+            Obs.Diff.print ~top stdout report)
+          pairing.Obs.Diff.pairs;
+        Obs.Diff.print_drift stdout pairing
+      end;
+      0
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:"Explain a performance delta: diff two JSONL event traces and \
+             attribute the wait-time change across lockable-unit levels, \
+             graph depths, resources, conflict cells and blockers — every \
+             table sums exactly to the total delta, with one-sided runs \
+             and keys reported as explicit drift.")
+    Term.(const run $ setup_logs $ base_arg $ cand_arg $ json_flag $ top_arg
+          $ run_arg)
+
+(* ----------------------------------------------------------------- trends *)
+
+let trends_cmd =
+  let history_arg =
+    Arg.(value & pos 0 string "BENCH_HISTORY.jsonl"
+         & info [] ~docv:"HISTORY"
+             ~doc:"The append-only run-history store (one versioned JSON \
+                   record per line), as appended by $(b,bench/main) and \
+                   $(b,colock bench diff).")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the trajectories as JSON instead of text.")
+  in
+  let metric_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metric" ] ~docv:"KEY"
+             ~doc:"Render only trajectories of metric $(docv).")
+  in
+  let run () path json metric =
+    let records, diagnostics = Bench.History.load path in
+    List.iter
+      (fun message -> Fmt.epr "colock: %s: %s@." path message)
+      diagnostics;
+    if records = [] then begin
+      Fmt.epr "colock: %s: no history records@." path;
+      1
+    end
+    else begin
+      let trends =
+        List.filter
+          (fun trend ->
+            match metric with
+            | None -> true
+            | Some key -> trend.Bench.History.t_metric = key)
+          (Bench.History.trends records)
+      in
+      if trends = [] then begin
+        Fmt.epr "colock: %s: no trajectory for metric %s@." path
+          (Option.value ~default:"?" metric);
+        1
+      end
+      else if json then begin
+        Obs.Json.output stdout
+          (Obs.Json.List (List.map Bench.History.trend_to_json trends));
+        print_newline ();
+        0
+      end
+      else begin
+        List.iteri
+          (fun index trend ->
+            let open Bench.History in
+            if index > 0 then print_newline ();
+            Printf.printf
+              "%s %s %s: %d point(s), median %g, band \xc2\xb1%g, %d \
+               anomaly(ies)\n"
+              trend.t_source trend.t_label trend.t_metric
+              (List.length trend.t_points)
+              trend.t_median trend.t_band trend.t_anomalies;
+            List.iter
+              (fun point ->
+                Printf.printf "  #%-3d %14g  ewma %14g%s\n" point.pt_seq
+                  point.pt_value point.pt_ewma
+                  (if point.pt_anomalous then "  ANOMALY" else ""))
+              trend.t_points)
+          trends;
+        0
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "trends"
+       ~doc:"Render the run-history store as per-metric trajectories: one \
+             EWMA-smoothed series per (source, label, metric), with points \
+             outside a scaled-MAD band flagged as anomalies — the perf \
+             trajectory across commits, not just the latest gate verdict.")
+    Term.(const run $ setup_logs $ history_arg $ json_flag $ metric_arg)
+
 (* ------------------------------------------------------------------- soak *)
 
 (* One scenario × technique run under a live monitor, with the scenario's
-   inline SLO rules watching the windows. *)
-let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
+   inline SLO rules watching the windows. [?post_mortem] names a directory
+   that receives the run's full event capture as JSONL — written only when
+   the run breaches an SLO or fails certification, so a red soak always
+   leaves a trace behind for [colock why]/[colock analyze]. *)
+let soak_run ~quiet ?post_mortem db graph (dsl : Workload.Dsl.t) selector =
   let technique_name = Workload.Dsl.technique_to_string selector in
   let monitor = Obs.Monitor.create ~span:dsl.window () in
   Obs.Monitor.begin_run monitor ~label:(dsl.name ^ "/" ^ technique_name);
@@ -1319,6 +1488,15 @@ let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
     (Obs.Expo.labelled "scenario_info" [ ("scenario", dsl.name) ])
     1.0;
   let sink = Obs.Sink.create [ Obs.Monitor.handle monitor ] in
+  let ring =
+    match post_mortem with
+    | None -> None
+    | Some _ ->
+      let ring = Obs.Ring.create ~capacity:262144 in
+      Obs.Sink.attach sink
+        (Obs.Sink.filter Obs.Sink.not_sim_step (Obs.Sink.to_ring ring));
+      Some ring
+  in
   let certifier =
     if dsl.certify then begin
       let certifier =
@@ -1399,6 +1577,22 @@ let soak_run ~quiet db graph (dsl : Workload.Dsl.t) selector =
     | None -> 0
     | Some cert -> List.length cert.Obs.Certify.violations
   in
+  (match post_mortem, ring with
+   | Some dir, Some ring when breaches > 0 || cert_violations > 0 ->
+     (try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     let label = dsl.name ^ "/" ^ technique_name in
+     let path =
+       Filename.concat dir (dsl.name ^ "-" ^ technique_name ^ ".jsonl")
+     in
+     let events = Obs.Ring.to_list ring in
+     with_out path (fun channel ->
+         Obs.Jsonl.write_events channel
+           ({ Obs.Event.time = 0.0; kind = Obs.Event.Run_meta { label } }
+            :: events));
+     Printf.printf "  post-mortem: %s (%d event(s))\n" path
+       (List.length events)
+   | _ -> ());
   (breaches, certificate <> None, cert_violations)
 
 let soak_cmd =
@@ -1419,7 +1613,19 @@ let soak_cmd =
     Arg.(value & flag
          & info [ "quiet"; "q" ] ~doc:"Print only the summary line.")
   in
-  let run () path parse_only quiet =
+  let post_mortem_arg =
+    Arg.(value & opt string "post-mortem"
+         & info [ "post-mortem" ] ~docv:"DIR"
+             ~doc:"Capture the full event stream of every SLO-breaching or \
+                   uncertified run into $(docv) as \
+                   $(b,SCENARIO-TECHNIQUE.jsonl), ready for $(b,colock \
+                   why) / $(b,colock analyze). An empty $(docv) disables \
+                   the capture.")
+  in
+  let run () path parse_only quiet post_mortem_dir =
+    let post_mortem =
+      if post_mortem_dir = "" then None else Some post_mortem_dir
+    in
     match Workload.Dsl.load_path path with
     | Error message ->
       Fmt.epr "colock: %s@." message;
@@ -1454,7 +1660,7 @@ let soak_cmd =
                 (fun total selector ->
                   incr runs;
                   let breaches, certified, violations =
-                    soak_run ~quiet db graph dsl selector
+                    soak_run ~quiet ?post_mortem db graph dsl selector
                   in
                   if certified then begin
                     incr certified_runs;
@@ -1478,8 +1684,10 @@ let soak_cmd =
        ~doc:"Run a committed scenario suite (declarative $(b,.scn) files: \
              catalog scale, arrival process, Zipf popularity, operation \
              mix, faults, inline SLO rules) under the live monitor; exit 3 \
-             if any scenario breaches its SLOs.")
-    Term.(const run $ setup_logs $ path_arg $ parse_only $ quiet)
+             if any scenario breaches its SLOs, leaving each breaching \
+             run's event capture in the post-mortem directory.")
+    Term.(const run $ setup_logs $ path_arg $ parse_only $ quiet
+          $ post_mortem_arg)
 
 (* ------------------------------------------------------------------ bench *)
 
@@ -1529,6 +1737,29 @@ let bench_diff_cmd =
                    a sensitivity self-test proving the gate fires \
                    (repeatable).")
   in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the gate verdict as machine-readable JSON (metric \
+                   family, band direction, observed vs baseline) instead \
+                   of tables; exit codes are unchanged.")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Re-run every regressed scenario × technique pair with a \
+                   JSONL event capture and append a ranked attribution \
+                   (worst metric families first, plus the capture's \
+                   hottest levels and resources) to the failure output. \
+                   Captures land in $(b,bench-explain/).")
+  in
+  let history_arg =
+    Arg.(value & opt string "BENCH_HISTORY.jsonl"
+         & info [ "history" ] ~docv:"FILE"
+             ~doc:"Append one aggregate record per unperturbed gate run to \
+                   the run-history store $(docv) (see $(b,colock trends)). \
+                   An empty $(docv) disables the append.")
+  in
   let verdict_row finding =
     let open Bench.Baseline in
     let status, detail =
@@ -1542,7 +1773,125 @@ let bench_diff_cmd =
       finding.f_technique finding.f_metric finding.f_base finding.f_fresh
       status detail
   in
-  let run () scenarios_path baseline_path update all perturbations =
+  (* --explain: one ranked-attribution stanza per regressed pair, worst
+     excess (amount past the band, in the bad direction) first. *)
+  let explain_pair scenarios regressions (scenario, technique) =
+    let findings =
+      List.filter
+        (fun finding ->
+          finding.Bench.Baseline.f_scenario = scenario
+          && finding.Bench.Baseline.f_technique = technique)
+        regressions
+    in
+    let excess finding =
+      match finding.Bench.Baseline.f_verdict with
+      | Bench.Baseline.Regressed { delta; slack } ->
+        if Float.is_nan delta then Float.infinity
+        else
+          let { Bench.Baseline.direction; _ } =
+            Bench.Baseline.band finding.Bench.Baseline.f_metric
+          in
+          let worse =
+            match direction with
+            | Bench.Baseline.Lower_better -> delta
+            | Bench.Baseline.Higher_better -> -.delta
+          in
+          worse -. slack
+      | _ -> 0.0
+    in
+    let ranked =
+      List.sort
+        (fun a b ->
+          match Float.compare (excess b) (excess a) with
+          | 0 ->
+            String.compare a.Bench.Baseline.f_metric b.Bench.Baseline.f_metric
+          | order -> order)
+        findings
+    in
+    Printf.printf "explain: %s/%s: %d regressed metric(s)\n" scenario
+      technique (List.length ranked);
+    List.iteri
+      (fun index finding ->
+        let open Bench.Baseline in
+        let detail =
+          match finding.f_verdict with
+          | Regressed { delta; slack = _ } when Float.is_nan delta ->
+            "present on one side only"
+          | Regressed { delta; slack } ->
+            Printf.sprintf "%+g, excess %g over slack %g" delta
+              (excess finding) slack
+          | Within { delta } | Improved { delta } ->
+            Printf.sprintf "%+g" delta
+        in
+        Printf.printf "  %d. %-17s %-22s %s\n" (index + 1)
+          (family finding.f_metric) finding.f_metric detail)
+      ranked;
+    (* re-run the pair with a capture so the regression has a trace *)
+    match
+      List.find_opt
+        (fun (dsl : Workload.Dsl.t) -> dsl.name = scenario)
+        scenarios
+    with
+    | None -> ()
+    | Some dsl -> (
+      match
+        List.find_opt
+          (fun selector ->
+            Workload.Dsl.technique_to_string selector = technique)
+          dsl.techniques
+      with
+      | None -> ()
+      | Some selector ->
+        let db = Workload.Dsl.database dsl in
+        let graph = Colock.Instance_graph.build db in
+        let _run, events =
+          Bench.Baseline.measure_traced db graph dsl selector
+        in
+        let label = scenario ^ "/" ^ technique in
+        let profile = Obs.Profile.of_events ~label events in
+        let rec take n = function
+          | [] -> []
+          | _ when n <= 0 -> []
+          | head :: rest -> head :: take (n - 1) rest
+        in
+        let dir = "bench-explain" in
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let path =
+          Filename.concat dir (scenario ^ "-" ^ technique ^ ".jsonl")
+        in
+        with_out path (fun channel ->
+            Obs.Jsonl.write_events channel
+              ({ Obs.Event.time = 0.0; kind = Obs.Event.Run_meta { label } }
+               :: events));
+        Printf.printf
+          "  capture: %s (%d event(s), %g tick(s) blocked across %d \
+           wait(s))\n"
+          path (List.length events) profile.Obs.Profile.total_blocked
+          profile.Obs.Profile.wait_count;
+        (match take 3 profile.Obs.Profile.levels with
+         | [] -> ()
+         | levels ->
+           Printf.printf "  hot levels: %s\n"
+             (String.concat ", "
+                (List.map
+                   (fun stat ->
+                     Printf.sprintf "%s %g" stat.Obs.Profile.v_level
+                       stat.Obs.Profile.v_blocked)
+                   levels)));
+        (match take 3 profile.Obs.Profile.resources with
+         | [] -> ()
+         | resources ->
+           Printf.printf "  hot resources: %s\n"
+             (String.concat ", "
+                (List.map
+                   (fun stat ->
+                     Printf.sprintf "%s %g" stat.Obs.Profile.r_resource
+                       stat.Obs.Profile.r_blocked)
+                   resources))))
+  in
+  let run () scenarios_path baseline_path update all perturbations json
+      explain history_path =
     match Workload.Dsl.load_path scenarios_path with
     | Error message ->
       Fmt.epr "colock: %s@." message;
@@ -1570,33 +1919,80 @@ let bench_diff_cmd =
           let report = Bench.Baseline.diff ~baseline ~fresh in
           let regressions = Bench.Baseline.regressions report in
           let improvements = Bench.Baseline.improvements report in
-          let shown =
-            if all then report.Bench.Baseline.findings
-            else regressions @ improvements
-          in
-          if shown <> [] then begin
-            Printf.printf "%-10s %-14s %-22s %12s %12s  %-9s %s\n" "scenario"
-              "technique" "metric" "baseline" "fresh" "status" "delta";
-            List.iter verdict_row shown
+          if json then begin
+            Obs.Json.output stdout (Bench.Baseline.diff_to_json ~all report);
+            print_newline ()
+          end
+          else begin
+            let shown =
+              if all then report.Bench.Baseline.findings
+              else regressions @ improvements
+            in
+            if shown <> [] then begin
+              Printf.printf "%-10s %-14s %-22s %12s %12s  %-9s %s\n"
+                "scenario" "technique" "metric" "baseline" "fresh" "status"
+                "delta";
+              List.iter verdict_row shown
+            end;
+            List.iter
+              (fun (scenario, technique) ->
+                Printf.printf "missing: %s/%s (in baseline, not measured)\n"
+                  scenario technique)
+              report.Bench.Baseline.missing;
+            List.iter
+              (fun (scenario, technique) ->
+                Printf.printf
+                  "added: %s/%s (measured, not in baseline — rerun with \
+                   --update-baseline)\n"
+                  scenario technique)
+              report.Bench.Baseline.added;
+            Printf.printf
+              "bench diff: %d comparison(s), %d regression(s), %d \
+               improvement(s)\n"
+              (List.length report.Bench.Baseline.findings)
+              (List.length regressions)
+              (List.length improvements)
           end;
-          List.iter
-            (fun (scenario, technique) ->
-              Printf.printf "missing: %s/%s (in baseline, not measured)\n"
-                scenario technique)
-            report.Bench.Baseline.missing;
-          List.iter
-            (fun (scenario, technique) ->
-              Printf.printf
-                "added: %s/%s (measured, not in baseline — rerun with \
-                 --update-baseline)\n"
-                scenario technique)
-            report.Bench.Baseline.added;
-          Printf.printf
-            "bench diff: %d comparison(s), %d regression(s), %d \
-             improvement(s)\n"
-            (List.length report.Bench.Baseline.findings)
-            (List.length regressions)
-            (List.length improvements);
+          (* the trajectory records honest gate runs only: a --perturb run
+             measures the self-test, not the code *)
+          if perturbations = [] && history_path <> "" then begin
+            let total key =
+              List.fold_left
+                (fun sum (run : Bench.Baseline.run) ->
+                  sum
+                  +. Option.value ~default:0.0
+                       (List.assoc_opt key run.Bench.Baseline.metrics))
+                0.0 fresh
+            in
+            let record =
+              Bench.History.append ~path:history_path ~source:"bench-diff"
+                ~label:scenarios_path
+                [ ("committed", total "committed");
+                  ("throughput", total "throughput");
+                  ("total_wait", total "total_wait");
+                  ("makespan", total "makespan");
+                  ( "comparisons",
+                    float_of_int
+                      (List.length report.Bench.Baseline.findings) );
+                  ("regressions", float_of_int (List.length regressions));
+                  ("improvements", float_of_int (List.length improvements))
+                ]
+            in
+            if not json then
+              Printf.printf "bench diff: history seq %d -> %s\n"
+                record.Bench.History.seq history_path
+          end;
+          if explain && regressions <> [] then begin
+            let pairs =
+              List.sort_uniq compare
+                (List.map
+                   (fun finding ->
+                     ( finding.Bench.Baseline.f_scenario,
+                       finding.Bench.Baseline.f_technique ))
+                   regressions)
+            in
+            List.iter (explain_pair scenarios regressions) pairs
+          end;
           if Bench.Baseline.clean report then 0 else 2
       end)
   in
@@ -1604,9 +2000,11 @@ let bench_diff_cmd =
     (Cmd.info "diff"
        ~doc:"Re-measure the scenario suite and compare against the \
              committed baseline through per-metric tolerance bands; exit 2 \
-             on regressions (or baseline drift).")
+             on regressions (or baseline drift), with $(b,--explain) \
+             attaching a ranked attribution and event capture to every \
+             regressed pair.")
     Term.(const run $ setup_logs $ scenarios_arg $ baseline_arg $ update_arg
-          $ all_arg $ perturb_arg)
+          $ all_arg $ perturb_arg $ json_arg $ explain_arg $ history_arg)
 
 let bench_cmd =
   Cmd.group
@@ -1626,4 +2024,4 @@ let () =
        (Cmd.group info
           [ graph_cmd; plan_cmd; query_cmd; simulate_cmd; trace_cmd;
             serve_cmd; top_cmd; analyze_cmd; certify_cmd; explain_cmd;
-            flame_cmd; soak_cmd; bench_cmd ]))
+            flame_cmd; why_cmd; trends_cmd; soak_cmd; bench_cmd ]))

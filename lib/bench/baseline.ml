@@ -28,9 +28,15 @@ let starts_with ~prefix text =
   String.length text >= String.length prefix
   && String.sub text 0 (String.length prefix) = prefix
 
-let measure db graph (dsl : Workload.Dsl.t) technique =
+let measure_general db graph (dsl : Workload.Dsl.t) technique ~capture =
   let collector = Obs.Collector.create () in
-  let sink = Obs.Sink.create [ Obs.Collector.handle collector ] in
+  let captured = ref [] in
+  let handlers =
+    Obs.Collector.handle collector
+    :: (if capture then [ (fun event -> captured := event :: !captured) ]
+        else [])
+  in
+  let sink = Obs.Sink.create handlers in
   let table =
     Lockmgr.Lock_table.create ~obs:sink
       ~meta:(Colock.Instance_graph.lu_resolver graph) ()
@@ -55,12 +61,19 @@ let measure db graph (dsl : Workload.Dsl.t) technique =
         List.exists (fun prefix -> starts_with ~prefix key) latency_prefixes)
       (Obs.Registry.row (Obs.Collector.registry collector))
   in
-  { scenario = dsl.Workload.Dsl.name;
-    technique = Workload.Dsl.technique_to_string technique;
-    metrics =
-      List.sort
-        (fun (a, _) (b, _) -> String.compare a b)
-        (Sim.Metrics.row metrics @ lock_row @ latency_row) }
+  ( { scenario = dsl.Workload.Dsl.name;
+      technique = Workload.Dsl.technique_to_string technique;
+      metrics =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Sim.Metrics.row metrics @ lock_row @ latency_row) },
+    List.rev !captured )
+
+let measure db graph dsl technique =
+  fst (measure_general db graph dsl technique ~capture:false)
+
+let measure_traced db graph dsl technique =
+  measure_general db graph dsl technique ~capture:true
 
 let collect scenarios =
   List.concat_map
@@ -188,7 +201,26 @@ let band key =
   then { direction = Lower_better; rel = 0.20; abs = 30.0 }
   else if List.exists (fun prefix -> starts_with ~prefix key) latency_prefixes
   then { direction = Lower_better; rel = 0.25; abs = 30.0 }
+  else if starts_with ~prefix:"lock." key then
+    (* raw lock-manager counters replay deterministically under the seeded
+       simulator, so they can afford a band tight enough that a 1.5x swing
+       (the --perturb self-test) always clears it *)
+    { direction = Lower_better; rel = 0.25; abs = 10.0 }
   else { direction = Lower_better; rel = 0.50; abs = 25.0 }
+
+let family key =
+  if key = "committed" then "committed"
+  else if key = "throughput" then "throughput"
+  else if
+    List.mem key [ "gave_up"; "crashed"; "deadlock_aborts"; "timeout_aborts" ]
+  then "abort counts"
+  else if
+    List.mem key [ "makespan"; "avg_response"; "total_response"; "total_wait" ]
+  then "response times"
+  else if List.exists (fun prefix -> starts_with ~prefix key) latency_prefixes
+  then "latency quantiles"
+  else if starts_with ~prefix:"lock." key then "lock counters"
+  else "other"
 
 type verdict =
   | Within of { delta : float }
@@ -287,6 +319,52 @@ let improvements report =
 
 let clean report =
   regressions report = [] && report.missing = [] && report.added = []
+
+(* --------------------------------------------------------- JSON output *)
+
+let finding_to_json finding =
+  let { direction; _ } = band finding.f_metric in
+  let verdict_tag, extras =
+    match finding.f_verdict with
+    | Within { delta } -> ("within", [ ("delta", Obs.Json.Float delta) ])
+    | Improved { delta } -> ("improved", [ ("delta", Obs.Json.Float delta) ])
+    | Regressed { delta; slack } ->
+      ( "regressed",
+        [ ("delta", Obs.Json.Float delta); ("slack", Obs.Json.Float slack) ] )
+  in
+  Obs.Json.Obj
+    ([ ("scenario", Obs.Json.String finding.f_scenario);
+       ("technique", Obs.Json.String finding.f_technique);
+       ("metric", Obs.Json.String finding.f_metric);
+       ("family", Obs.Json.String (family finding.f_metric));
+       ( "direction",
+         Obs.Json.String
+           (match direction with
+           | Higher_better -> "higher-better"
+           | Lower_better -> "lower-better") );
+       ("base", json_number finding.f_base);
+       ("fresh", json_number finding.f_fresh);
+       ("verdict", Obs.Json.String verdict_tag) ]
+    @ extras)
+
+let diff_to_json ?(all = false) report =
+  let pair (scenario, technique) =
+    Obs.Json.Obj
+      [ ("scenario", Obs.Json.String scenario);
+        ("technique", Obs.Json.String technique) ]
+  in
+  let findings =
+    if all then report.findings
+    else regressions report @ improvements report
+  in
+  Obs.Json.Obj
+    [ ("comparisons", Obs.Json.Int (List.length report.findings));
+      ("regressions", Obs.Json.Int (List.length (regressions report)));
+      ("improvements", Obs.Json.Int (List.length (improvements report)));
+      ("clean", Obs.Json.Bool (clean report));
+      ("findings", Obs.Json.List (List.map finding_to_json findings));
+      ("missing", Obs.Json.List (List.map pair report.missing));
+      ("added", Obs.Json.List (List.map pair report.added)) ]
 
 let perturb factors runs =
   (* a factor naming no measured metric would silently perturb nothing and

@@ -36,6 +36,18 @@ val measure :
 val collect : Workload.Dsl.t list -> t
 (** {!measure} over every scenario × its listed techniques, in order. *)
 
+val measure_traced :
+  Nf2.Database.t ->
+  Colock.Instance_graph.t ->
+  Workload.Dsl.t ->
+  Workload.Dsl.technique ->
+  run * Obs.Event.t list
+(** {!measure} with a full event capture riding along: the same
+    deterministic run, plus every lock event it emitted, ready for
+    {!Obs.Profile.of_events} / {!Obs.Diff} attribution. [colock bench diff
+    --explain] uses this to re-run regressed pairs and explain {e where}
+    the regression lives, not just that it exists. *)
+
 val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result
 
@@ -55,7 +67,15 @@ val band : string -> band
 (** The tolerance band for a metric key, by family: committed count and
     throughput want to stay high (tight bands); abort/crash counts, wait
     totals and latency quantiles want to stay low (looser bands sized to
-    scheduler noise); raw lock-manager counters get the loosest band. *)
+    scheduler noise); raw lock-manager counters, being deterministic under
+    the seeded simulator, get a tight band of their own; anything else
+    gets the loosest band. *)
+
+val family : string -> string
+(** The human name of the metric family {!band} sorted [key] into:
+    ["committed"], ["throughput"], ["abort counts"], ["response times"],
+    ["latency quantiles"], ["lock counters"], or ["other"]. [--explain]
+    and [--json] output group findings by these names. *)
 
 type verdict =
   | Within of { delta : float }
@@ -90,6 +110,16 @@ val improvements : diff -> finding list
 
 val clean : diff -> bool
 (** No regressions, nothing missing, nothing added. *)
+
+val finding_to_json : finding -> Obs.Json.t
+(** One finding as a self-describing object: the pair, the metric and its
+    family, the band's direction and slack, base/fresh/delta, and the
+    verdict tag. *)
+
+val diff_to_json : ?all:bool -> diff -> Obs.Json.t
+(** Machine-readable gate output for [colock bench diff --json]: counts,
+    the regression and improvement findings (every finding when [all]),
+    and the missing/added drift lists. *)
 
 val perturb : (string * float) list -> t -> (t, string) result
 (** Scales matching metrics by a factor — [perturb [("total_wait", 2.0)]]

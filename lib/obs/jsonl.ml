@@ -31,17 +31,31 @@ let iter ?(on_error = fun _ -> ()) in_channel f =
   let line_number = ref 0 in
   try
     while true do
+      let start = pos_in in_channel in
       let line = input_line in_channel in
       incr line_number;
-      if String.trim line <> "" then
+      (* [input_line] consumed a newline iff the position advanced past the
+         line's own bytes; the final line of a crash-cut trace has none, so
+         a decode failure there is diagnosed as truncation (with the byte
+         offset to cut at) rather than as corruption *)
+      let truncated = pos_in in_channel = start + String.length line in
+      if String.trim line <> "" then begin
+        let report message =
+          if truncated then
+            on_error
+              (Printf.sprintf
+                 "line %d: truncated final line at byte %d (crash-cut \
+                  trace?): %s"
+                 !line_number start message)
+          else on_error (Printf.sprintf "line %d: %s" !line_number message)
+        in
         match Json.of_string line with
-        | Error message ->
-          on_error (Printf.sprintf "line %d: %s" !line_number message)
+        | Error message -> report message
         | Ok json -> (
           match Event.of_json json with
           | Ok event -> f event
-          | Error message ->
-            on_error (Printf.sprintf "line %d: %s" !line_number message))
+          | Error message -> report message)
+      end
     done
   with End_of_file -> ()
 

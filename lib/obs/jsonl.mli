@@ -19,7 +19,11 @@ val iter : ?on_error:(string -> unit) -> in_channel -> (Event.t -> unit) -> unit
 (** Streams a JSONL channel line by line in constant memory, calling the
     callback per decoded event. Blank lines are skipped; each malformed
     line becomes a ["line N: ..."] diagnostic passed to [?on_error]
-    (dropped by default) instead of poisoning the whole read. *)
+    (dropped by default) instead of poisoning the whole read. A final line
+    with no terminating newline that fails to decode — the signature of a
+    crash-cut capture — is diagnosed as ["truncated final line at byte
+    OFFSET"] so the complete prefix stays loadable and the cut point is
+    named. *)
 
 val read_events : in_channel -> Event.t list * string list
 (** {!iter} materialised: the decoded events and the diagnostics. *)

@@ -440,6 +440,49 @@ let of_trace events =
   in
   List.rev (flush reports label batch)
 
+(* Each span's duration split equally over its blockers ("queue" when the
+   FIFO rule alone blocked it); the equal split's float residue lands on
+   the first (sorted) share so the partition sums to total_blocked to the
+   tick — the same discipline Blame and Diff use. *)
+let blockers (report : report) =
+  let accumulate map span =
+    let keys =
+      match span.s_blockers with
+      | [] -> [ "queue" ]
+      | blockers ->
+        List.sort_uniq String.compare
+          (List.map (fun txn -> "T" ^ string_of_int txn) blockers)
+    in
+    let shares =
+      match keys with
+      | [] -> []
+      | [ key ] -> [ (key, duration span) ]
+      | first :: rest ->
+        let width = duration span /. float_of_int (List.length keys) in
+        let tail =
+          List.fold_left (fun total _key -> total +. width) 0.0 rest
+        in
+        (first, duration span -. tail)
+        :: List.map (fun key -> (key, width)) rest
+    in
+    List.fold_left
+      (fun map (key, weight) ->
+        let blocked, waits =
+          match String_map.find_opt key map with
+          | Some cell -> cell
+          | None -> (0.0, 0)
+        in
+        String_map.add key (blocked +. weight, waits + 1) map)
+      map shares
+  in
+  List.fold_left accumulate String_map.empty report.spans
+  |> String_map.bindings
+  |> List.map (fun (label, (blocked, waits)) -> (label, blocked, waits))
+  |> List.sort (fun (a_label, a_blocked, _) (b_label, b_blocked, _) ->
+         match Float.compare b_blocked a_blocked with
+         | 0 -> String.compare a_label b_label
+         | order -> order)
+
 (* ------------------------------------------------------------ rendering *)
 
 let json_of_lu = function

@@ -105,6 +105,14 @@ val of_trace : Event.t list -> report list
     one labelled report per run (events before the first delimiter, if any,
     form an unlabelled report). *)
 
+val blockers : report -> (string * float * int) list
+(** Per-blocker blocked-time partition: each span's duration is split
+    equally across its blocking transactions (labelled ["T7"]; ["queue"]
+    when the FIFO rule alone blocked it), with the float residue of the
+    equal split folded into the first share so the partition sums to
+    [total_blocked] exactly. [(label, blocked, waits)] in blocked-time
+    descending order, ties by label. *)
+
 val to_json : report -> Json.t
 
 val pp : ?top:int -> Format.formatter -> report -> unit

@@ -3,6 +3,7 @@ The committed baseline matches a fresh measurement of the committed suite
 
   $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json
   bench diff: 765 comparison(s), 0 regression(s), 0 improvement(s)
+  bench diff: history seq 1 -> BENCH_HISTORY.jsonl
 
 A synthetic slowdown (doubled wait time, halved throughput) must trip the
 gate: exit 2, one REGRESSED row per affected scenario/technique metric.
@@ -39,6 +40,7 @@ rewritten store immediately diffs clean against itself:
   bench diff: wrote fresh.json (17 run(s))
   $ colock bench diff --scenarios .. --baseline fresh.json
   bench diff: 765 comparison(s), 0 regression(s), 0 improvement(s)
+  bench diff: history seq 2 -> BENCH_HISTORY.jsonl
 
 A missing run in the fresh measurement (here: diffing a single scenario
 against the full baseline) is baseline drift, not a pass:
@@ -47,3 +49,34 @@ against the full baseline) is baseline drift, not a pass:
   [2]
   $ grep -c '^missing:' drift.txt
   14
+
+The JSON gate report is machine-readable: each finding names its metric
+family, band direction, and the observed value against the band (delta
+vs slack). The lock counters replay deterministically under the seeded
+simulator, so their band is tight and a 1.5x perturbation escapes it:
+
+  $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json \
+  >   --perturb lock.waits=1.5 --json
+  {"comparisons": 765,"regressions": 11,"improvements": 0,"clean": false,"findings": [{"scenario": "baseline","technique": "proposed","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 52,"fresh": 78,"verdict": "regressed","delta": 26,"slack": 23},{"scenario": "baseline","technique": "whole-object","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 121,"fresh": 181.5,"verdict": "regressed","delta": 60.5,"slack": 40.25},{"scenario": "baseline","technique": "tuple-level","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 52,"fresh": 78,"verdict": "regressed","delta": 26,"slack": 23},{"scenario": "bursty","technique": "whole-object","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 165,"fresh": 247.5,"verdict": "regressed","delta": 82.5,"slack": 51.25},{"scenario": "checkout","technique": "proposed","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 53,"fresh": 79.5,"verdict": "regressed","delta": 26.5,"slack": 23.25},{"scenario": "checkout","technique": "whole-object","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 113,"fresh": 169.5,"verdict": "regressed","delta": 56.5,"slack": 38.25},{"scenario": "checkout","technique": "tuple-level","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 56,"fresh": 84,"verdict": "regressed","delta": 28,"slack": 24},{"scenario": "hotspot","technique": "proposed","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 50,"fresh": 75,"verdict": "regressed","delta": 25,"slack": 22.5},{"scenario": "hotspot","technique": "whole-object","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 205,"fresh": 307.5,"verdict": "regressed","delta": 102.5,"slack": 61.25},{"scenario": "hotspot","technique": "tuple-level","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 50,"fresh": 75,"verdict": "regressed","delta": 25,"slack": 22.5},{"scenario": "library","technique": "whole-object","metric": "lock.waits","family": "lock counters","direction": "lower-better","base": 99,"fresh": 148.5,"verdict": "regressed","delta": 49.5,"slack": 34.75}],"missing": [],"added": []}
+  [2]
+
+--explain re-runs each regressed scenario/technique pair with JSONL
+capture and ranks the regressed metrics by how far past the tolerance
+band they landed, so the perturbed family leads every ranking:
+
+  $ colock bench diff --scenarios .. --baseline ../../BENCH_scenarios.json \
+  >   --perturb lock.waits=1.5 --explain > explain.txt
+  [2]
+  $ grep -c '^explain:' explain.txt
+  11
+  $ grep -c 'lock counters.*lock.waits' explain.txt
+  11
+  $ grep -A 1 '^explain: baseline/proposed' explain.txt
+  explain: baseline/proposed: 1 regressed metric(s)
+    1. lock counters     lock.waits             +26, excess 3 over slack 23
+  $ ls bench-explain/baseline-proposed.jsonl
+  bench-explain/baseline-proposed.jsonl
+  $ colock why bench-explain/baseline-proposed.jsonl bench-explain/baseline-proposed.jsonl | head -3
+  === wait-time diff: baseline/proposed ===
+  base blocked 12930 across 52 wait(s); cand blocked 12930 across 52 wait(s)
+  delta +0 (+0.0%)

@@ -36,6 +36,7 @@ committed throughput than uncontrolled.
   backlog drains at a steady rate regardless of offered MPL.
   wrote BENCH_overload.json
   wrote BENCH_E19.json
+  history seq 1 -> BENCH_HISTORY.jsonl
 
 The controlled twin of the breach fixture — same 30 jobs, gap 10,
 cost 100, plus the admission/limits/budget stanzas — passes its SLOs:
@@ -51,5 +52,6 @@ while the uncontrolled breach fixture still exits 3:
   scenario            technique      committed aborts gaveup  shed crashed makespan thruput breaches
   overload            proposed              30      0      0     0       0     1020   29.41       11
     overload             BREACH throughput > 5 (value 0.01)
+    post-mortem: post-mortem/overload-proposed.jsonl (812 event(s))
   soak: 1 run(s), 1 scenario(s), 11 breach(es)
   [3]

@@ -33,8 +33,17 @@ and the offending rule is named with its measured value:
   scenario            technique      committed aborts gaveup  shed crashed makespan thruput breaches
   overload            proposed              30      0      0     0       0     1020   29.41       11
     overload             BREACH throughput > 5 (value 0.01)
+    post-mortem: post-mortem/overload-proposed.jsonl (812 event(s))
   soak: 1 run(s), 1 scenario(s), 11 breach(es)
   [3]
+
+The auto-captured post-mortem trace is a regular JSONL trace: the
+offline analyzer accepts it directly, labelled after the breaching run.
+
+  $ colock analyze post-mortem/overload-proposed.jsonl | head -3
+  === contention report: overload/proposed ===
+  events 812, time 0..1020
+  blocked time 4170 across 21 wait(s), 0 unfinished
 
 Every committed fixture round-trips through the canonical printer:
 parse -> print -> parse -> print is a fixed point.

@@ -1,0 +1,150 @@
+The differential profiler pairs runs by label and explains where the
+wait-time delta lives.  Every table must sum exactly to the headline
+delta: calm stretches the rA wait from 10 to 25 ticks, swaps the
+untagged rB wait (20) for a HeLU rC wait (7), so delta = +2.  Runs
+present on only one side are reported as drift, never silently diffed.
+
+  $ colock why base.jsonl cand.jsonl
+  === wait-time diff: calm ===
+  base blocked 30 across 2 wait(s); cand blocked 32 across 2 wait(s)
+  delta +2 (+6.7%)
+  
+  by lockable-unit level:
+           DELTA         BASE         CAND       WAITS  KEY
+             +15           10           25     1->1     BLU
+              +7            0            7     0->1     HeLU (added)
+             -20           20            0     1->0     untagged (removed)
+  
+  by graph depth:
+           DELTA         BASE         CAND       WAITS  KEY
+             +15           10           25     1->1     2
+              +7            0            7     0->1     4 (added)
+             -20           20            0     1->0     untagged (removed)
+  
+  resource deltas:
+           DELTA         BASE         CAND       WAITS  KEY
+             +15           10           25     1->1     rA
+              +7            0            7     0->1     rC (added)
+             -20           20            0     1->0     rB (removed)
+  
+  conflict-cell deltas (waiter<-holder):
+           DELTA         BASE         CAND       WAITS  KEY
+             +15           10           25     1->1     X<-S
+              +7            0            7     0->1     S<-X (added)
+             -20           20            0     1->0     S<-queue (removed)
+  
+  blocker deltas:
+           DELTA         BASE         CAND       WAITS  KEY
+             +22           10           32     1->2     T9
+             -20           20            0     1->0     queue (removed)
+  
+  drift: run extinct only in the base trace (not diffed)
+  drift: run newborn only in the candidate trace (not diffed)
+
+Top-N truncation keeps the headline and drift intact and says how many
+entries were folded away.
+
+  $ colock why base.jsonl cand.jsonl --top 1
+  === wait-time diff: calm ===
+  base blocked 30 across 2 wait(s); cand blocked 32 across 2 wait(s)
+  delta +2 (+6.7%)
+  
+  by lockable-unit level:
+           DELTA         BASE         CAND       WAITS  KEY
+             +15           10           25     1->1     BLU
+              +7            0            7     0->1     HeLU (added)
+             -20           20            0     1->0     untagged (removed)
+  
+  by graph depth:
+           DELTA         BASE         CAND       WAITS  KEY
+             +15           10           25     1->1     2
+              +7            0            7     0->1     4 (added)
+             -20           20            0     1->0     untagged (removed)
+  
+  resource deltas (top 1 of 3):
+           DELTA         BASE         CAND       WAITS  KEY
+             +15           10           25     1->1     rA
+  
+  conflict-cell deltas (waiter<-holder) (top 1 of 3):
+           DELTA         BASE         CAND       WAITS  KEY
+             +15           10           25     1->1     X<-S
+  
+  blocker deltas (top 1 of 2):
+           DELTA         BASE         CAND       WAITS  KEY
+             +22           10           32     1->2     T9
+  
+  drift: run extinct only in the base trace (not diffed)
+  drift: run newborn only in the candidate trace (not diffed)
+
+A specific run can be selected by label; asking for a label that is not
+paired fails with the known labels listed.
+
+  $ colock why base.jsonl cand.jsonl --run nope
+  colock: run "nope" not paired between base.jsonl and cand.jsonl (runs: calm, extinct, newborn)
+  [1]
+
+Machine-readable output for dashboards: one object per paired run, all
+five partitions plus drift arrays.
+
+  $ colock why base.jsonl cand.jsonl --json --run calm
+  {"pairs": [{"label": "calm","base_total": 30,"cand_total": 32,"delta": 2,"base_waits": 2,"cand_waits": 2,"levels": [{"key": "BLU","base": 10,"cand": 25,"delta": 15,"base_waits": 1,"cand_waits": 1,"status": "both"},{"key": "HeLU","base": 0,"cand": 7,"delta": 7,"base_waits": 0,"cand_waits": 1,"status": "only_cand"},{"key": "untagged","base": 20,"cand": 0,"delta": -20,"base_waits": 1,"cand_waits": 0,"status": "only_base"}],"depths": [{"key": "2","base": 10,"cand": 25,"delta": 15,"base_waits": 1,"cand_waits": 1,"status": "both"},{"key": "4","base": 0,"cand": 7,"delta": 7,"base_waits": 0,"cand_waits": 1,"status": "only_cand"},{"key": "untagged","base": 20,"cand": 0,"delta": -20,"base_waits": 1,"cand_waits": 0,"status": "only_base"}],"resources": [{"key": "rA","base": 10,"cand": 25,"delta": 15,"base_waits": 1,"cand_waits": 1,"status": "both"},{"key": "rC","base": 0,"cand": 7,"delta": 7,"base_waits": 0,"cand_waits": 1,"status": "only_cand"},{"key": "rB","base": 20,"cand": 0,"delta": -20,"base_waits": 1,"cand_waits": 0,"status": "only_base"}],"cells": [{"key": "X<-S","base": 10,"cand": 25,"delta": 15,"base_waits": 1,"cand_waits": 1,"status": "both"},{"key": "S<-X","base": 0,"cand": 7,"delta": 7,"base_waits": 0,"cand_waits": 1,"status": "only_cand"},{"key": "S<-queue","base": 20,"cand": 0,"delta": -20,"base_waits": 1,"cand_waits": 0,"status": "only_base"}],"blockers": [{"key": "T9","base": 10,"cand": 32,"delta": 22,"base_waits": 1,"cand_waits": 2,"status": "both"},{"key": "queue","base": 20,"cand": 0,"delta": -20,"base_waits": 1,"cand_waits": 0,"status": "only_base"}]}],"only_base": [],"only_cand": []}
+
+A crash-cut trace (final line torn mid-record, no newline) is diagnosed
+with the byte offset where the torn line begins; the complete prefix is
+still diffed.
+
+  $ colock why truncated.jsonl cand.jsonl --run calm 2>&1
+  colock: truncated.jsonl: line 4: truncated final line at byte 312 (crash-cut trace?): unterminated string
+  === wait-time diff: calm ===
+  base blocked 6 across 1 wait(s); cand blocked 32 across 2 wait(s)
+  delta +26 (+433.3%)
+  
+  by lockable-unit level:
+           DELTA         BASE         CAND       WAITS  KEY
+             +19            6           25     1->1     BLU
+              +7            0            7     0->1     HeLU (added)
+  
+  by graph depth:
+           DELTA         BASE         CAND       WAITS  KEY
+             +19            6           25     1->1     2
+              +7            0            7     0->1     4 (added)
+  
+  resource deltas:
+           DELTA         BASE         CAND       WAITS  KEY
+             +25            0           25     0->1     rA (added)
+              +7            0            7     0->1     rC (added)
+              -6            6            0     1->0     rT (removed)
+  
+  conflict-cell deltas (waiter<-holder):
+           DELTA         BASE         CAND       WAITS  KEY
+             +19            6           25     1->1     X<-S
+              +7            0            7     0->1     S<-X (added)
+  
+  blocker deltas:
+           DELTA         BASE         CAND       WAITS  KEY
+             +32            0           32     0->2     T9 (added)
+              -6            6            0     1->0     T4 (removed)
+  
+
+The trajectory store renders per-metric trends with an EWMA and a MAD
+anomaly band; the jump from ~300 to 900 is flagged, and the v:2 record
+from the future is skipped with a diagnostic.
+
+  $ colock trends history.jsonl 2>&1
+  colock: history.jsonl: line 4: unsupported record version (want 1)
+  bench-diff scenarios committed: 3 point(s), median 1005, band ±1.005e-06, 0 anomaly(ies)
+    #1             1005  ewma           1005
+    #2             1005  ewma           1005
+    #3             1005  ewma           1005
+  
+  bench-diff scenarios total_wait: 3 point(s), median 310, band ±44.478, 1 anomaly(ies)
+    #1              300  ewma            300
+    #2              310  ewma            303
+    #3              900  ewma          482.1  ANOMALY
+
+The committed repo history seed is renderable too.
+
+  $ colock trends ../../BENCH_HISTORY.jsonl --metric committed
+  bench E22 committed: 2 point(s), median 40, band ±4e-08, 0 anomaly(ies)
+    #1               40  ewma             40
+    #2               40  ewma             40
